@@ -1,0 +1,128 @@
+// Command sssp regenerates the paper's Figure 4: execution time of the
+// parallel label-correcting SSSP benchmark on Erdős–Rényi graphs, comparing
+// the k-LSM against the Wimmer et al. centralized and hybrid k-priority
+// queues.
+//
+// Figure 4 left (time vs. threads at k=256), paper scale:
+//
+//	sssp -sweep threads -threads 1,2,3,5,10,20,40,80 -k 256 -nodes 10000 -p 0.5 -reps 30
+//
+// Figure 4 right (time vs. k at 10 threads), paper scale:
+//
+//	sssp -sweep k -threads 10 -klist 0,1,4,16,64,256,1024,4096,16384 -nodes 10000 -p 0.5 -reps 30
+//
+// The tool also reports the "additional iterations compared to a sequential
+// execution" metric the paper quotes in §6.1 (+362 for the k-LSM at k=256).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+
+	"klsm/internal/graph"
+	"klsm/internal/harness"
+	"klsm/internal/sssp"
+	"klsm/internal/stats"
+)
+
+func main() {
+	var (
+		sweep       = flag.String("sweep", "threads", "'threads' (Fig 4 left) or 'k' (Fig 4 right)")
+		threadsFlag = flag.String("threads", "1,2,4,8", "thread counts for -sweep threads; single value used for -sweep k")
+		k           = flag.Int("k", 256, "relaxation parameter for -sweep threads")
+		klistFlag   = flag.String("klist", "0,1,4,16,64,256,1024,4096,16384", "k values for -sweep k")
+		nodes       = flag.Int("nodes", 2000, "graph nodes (paper: 10000)")
+		p           = flag.Float64("p", 0.5, "edge probability (paper: 0.5)")
+		maxW        = flag.Uint64("maxweight", 100_000_000, "max edge weight (paper: 10^8)")
+		reps        = flag.Int("reps", 5, "repetitions per point (paper: 30)")
+		seed        = flag.Uint64("seed", 42, "graph seed")
+		csv         = flag.Bool("csv", false, "emit CSV")
+	)
+	flag.Parse()
+
+	threads, err := harness.ParseIntList(*threadsFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sssp:", err)
+		os.Exit(1)
+	}
+
+	fmt.Fprintf(os.Stderr, "# generating G(%d, %.2f) with weights [1,%d]...\n", *nodes, *p, *maxW)
+	g := graph.ErdosRenyi(*nodes, *p, uint32(*maxW), *seed)
+	fmt.Fprintf(os.Stderr, "# %d nodes, %d edges; GOMAXPROCS=%d\n", g.N, g.Edges(), runtime.GOMAXPROCS(0))
+	_, seqPops := graph.Dijkstra(g, 0)
+	fmt.Fprintf(os.Stderr, "# sequential Dijkstra pops: %d\n", seqPops)
+
+	oracle, _ := graph.Dijkstra(g, 0)
+	verify := func(name string, res sssp.Result) {
+		for v := range oracle {
+			if res.Dist[v] != oracle[v] {
+				fmt.Fprintf(os.Stderr, "sssp: %s produced WRONG distance at node %d\n", name, v)
+				os.Exit(1)
+			}
+		}
+	}
+
+	// measure runs one warmup (discarded: first-run allocator and cache
+	// effects otherwise dominate small graphs) plus reps measured runs.
+	measure := func(spec harness.QueueSpec, workers int) (times, extras []float64) {
+		res := sssp.Run(g, 0, workers, spec.NewSSSP)
+		verify(spec.Name, res)
+		for r := 0; r < *reps; r++ {
+			res := sssp.Run(g, 0, workers, spec.NewSSSP)
+			verify(spec.Name, res)
+			times = append(times, res.Elapsed.Seconds())
+			extras = append(extras, float64(res.Processed-seqPops))
+		}
+		return times, extras
+	}
+
+	switch *sweep {
+	case "threads":
+		if *csv {
+			fmt.Println("queue,threads,k,reps,mean_time_s,ci95_s,extra_iterations_mean")
+		} else {
+			fmt.Printf("# Figure 4 (left): execution time (s), k=%d\n", *k)
+			fmt.Printf("%-14s %8s %16s %14s\n", "queue", "threads", "time (s)", "extra iters")
+		}
+		for _, spec := range harness.Figure4Specs(*k) {
+			for _, t := range threads {
+				times, extras := measure(spec, t)
+				ts, es := stats.Summarize(times), stats.Summarize(extras)
+				if *csv {
+					fmt.Printf("%s,%d,%d,%d,%.6f,%.6f,%.1f\n", spec.Name, t, *k, *reps, ts.Mean, ts.CI95, es.Mean)
+				} else {
+					fmt.Printf("%-14s %8d %16s %14.0f\n", spec.Name, t, ts.String(), es.Mean)
+				}
+			}
+		}
+	case "k":
+		klist, err := harness.ParseIntList(*klistFlag)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sssp:", err)
+			os.Exit(1)
+		}
+		t := threads[0]
+		if *csv {
+			fmt.Println("queue,threads,k,reps,mean_time_s,ci95_s,extra_iterations_mean")
+		} else {
+			fmt.Printf("# Figure 4 (right): execution time (s) vs k, threads=%d\n", t)
+			fmt.Printf("%-14s %8s %16s %14s\n", "queue", "k", "time (s)", "extra iters")
+		}
+		for _, kv := range klist {
+			for _, spec := range harness.Figure4Specs(kv) {
+				times, extras := measure(spec, t)
+				ts, es := stats.Summarize(times), stats.Summarize(extras)
+				if *csv {
+					fmt.Printf("%s,%d,%d,%d,%.6f,%.6f,%.1f\n", spec.Name, t, kv, *reps, ts.Mean, ts.CI95, es.Mean)
+				} else {
+					fmt.Printf("%-14s %8d %16s %14.0f\n", spec.Name, kv, ts.String(), es.Mean)
+				}
+			}
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "sssp: unknown sweep %q (threads|k)\n", *sweep)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,100 @@
+// Command throughput regenerates the paper's Figure 3: throughput per
+// thread per second of the 50/50 insert/delete-min benchmark over prefilled
+// queues, for every comparison queue and thread count.
+//
+// Paper-scale invocation (Figure 3, left and right panels):
+//
+//	throughput -prefill 1000000  -threads 1,2,3,5,10,20,40,80 -duration 10s -reps 30
+//	throughput -prefill 10000000 -threads 1,2,3,5,10,20,40,80 -duration 10s -reps 30
+//
+// The defaults are laptop-scale (smaller prefill, shorter runs, fewer
+// repetitions) so the full sweep finishes in minutes; the shape of the
+// curves — who wins, where relaxation pays off — is preserved.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"klsm/internal/harness"
+	"klsm/internal/stats"
+)
+
+func main() {
+	var (
+		threadsFlag  = flag.String("threads", "1,2,4,8", "comma-separated thread counts")
+		queuesFlag   = flag.String("queues", "all", "comma-separated queue names or 'all'")
+		prefill      = flag.Int("prefill", 100_000, "keys inserted before the timed phase")
+		duration     = flag.Duration("duration", 500*time.Millisecond, "timed phase length")
+		reps         = flag.Int("reps", 5, "repetitions per point (paper: 30)")
+		keyRange     = flag.Uint64("keyrange", 0, "bound for random keys (0 = full uint64)")
+		insertRatio  = flag.Float64("mix", 0.5, "fraction of inserts in the op mix (paper: 0.5)")
+		seed         = flag.Uint64("seed", 1, "base workload seed")
+		csv          = flag.Bool("csv", false, "emit CSV instead of an aligned table")
+		maxProcsInfo = flag.Bool("envinfo", true, "print environment header")
+	)
+	flag.Parse()
+
+	threads, err := harness.ParseIntList(*threadsFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "throughput:", err)
+		os.Exit(1)
+	}
+	specs, err := harness.LookupFigure3(*queuesFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "throughput:", err)
+		os.Exit(1)
+	}
+
+	if *maxProcsInfo && !*csv {
+		fmt.Printf("# Figure 3 throughput benchmark: prefill=%d duration=%v reps=%d GOMAXPROCS=%d\n",
+			*prefill, *duration, *reps, runtime.GOMAXPROCS(0))
+		fmt.Printf("# metric: successful operations / thread / second (mean ±95%% CI)\n")
+	}
+	if *csv {
+		fmt.Println("queue,threads,prefill,duration_s,reps,mean_ops_per_thread_per_s,ci95,failed_deletes_mean")
+	} else {
+		fmt.Printf("%-12s", "queue")
+		for _, t := range threads {
+			fmt.Printf(" %14s", fmt.Sprintf("T=%d", t))
+		}
+		fmt.Println()
+	}
+
+	for _, spec := range specs {
+		if !*csv {
+			fmt.Printf("%-12s", spec.Name)
+		}
+		for _, t := range threads {
+			var samples []float64
+			var failed []float64
+			for r := 0; r < *reps; r++ {
+				res := harness.Throughput(harness.ThroughputConfig{
+					Queue:       spec.New(t),
+					Threads:     t,
+					Prefill:     *prefill,
+					Duration:    *duration,
+					KeyRange:    *keyRange,
+					InsertRatio: *insertRatio,
+					Seed:        *seed + uint64(r)*7919,
+				})
+				samples = append(samples, res.PerThreadPerSec)
+				failed = append(failed, float64(res.FailedDeletes))
+			}
+			s := stats.Summarize(samples)
+			if *csv {
+				fmt.Printf("%s,%d,%d,%.3f,%d,%.1f,%.1f,%.1f\n",
+					spec.Name, t, *prefill, duration.Seconds(), *reps,
+					s.Mean, s.CI95, stats.Summarize(failed).Mean)
+			} else {
+				fmt.Printf(" %14s", fmt.Sprintf("%.3gM ±%.1g", s.Mean/1e6, s.CI95/1e6))
+			}
+		}
+		if !*csv {
+			fmt.Println()
+		}
+	}
+}

@@ -1,0 +1,41 @@
+// Package klsm provides a lock-free, relaxed concurrent priority queue based
+// on log-structured merge-trees, implementing "The Lock-free k-LSM Relaxed
+// Priority Queue" (Wimmer, Gruber, Träff, Tsigas; PPoPP 2015,
+// arXiv:1503.05698).
+//
+// # Semantics
+//
+// The queue stores uint64 keys (smaller = higher priority) with an arbitrary
+// payload. DeleteMin is relaxed: with T active handles and relaxation
+// parameter k, it returns one of the T·k+1 smallest keys — a fixed,
+// runtime-configurable worst-case bound, unlike heuristic relaxed queues.
+// Two properties sharpen this:
+//
+//   - Local ordering: keys inserted and deleted by the same handle behave
+//     exactly like a strict priority queue; a handle never skips its own keys.
+//   - With k = 0 and a single handle, the queue is an exact priority queue.
+//
+// All operations are lock-free: a stalled goroutine cannot block others.
+//
+// # Handles
+//
+// Every goroutine using the queue needs its own Handle (the paper's
+// "thread"); handles hold the thread-local batching structures, so they must
+// not be shared between concurrently running goroutines:
+//
+//	q := klsm.New[string]()
+//	h := q.NewHandle()
+//	h.Insert(42, "answer")
+//	key, val, ok := h.TryDeleteMin()
+//
+// TryDeleteMin may fail spuriously under concurrent modification; callers
+// that know items remain (for example via application-level in-flight
+// counting) simply retry.
+//
+// # Choosing k
+//
+// k trades ordering quality for scalability. k = 0 is strict but serializes
+// on the shared structure; the paper's evaluation finds k = 256 a good
+// general-purpose setting and uses k up to 4096 for maximum throughput.
+// See the benchmarks in bench_test.go, which regenerate the paper's figures.
+package klsm

@@ -1,0 +1,113 @@
+package klsm
+
+import (
+	"container/heap"
+	"testing"
+)
+
+// fuzzHeap is the exact-PQ oracle for fuzzing.
+type fuzzHeap []uint64
+
+func (h fuzzHeap) Len() int            { return len(h) }
+func (h fuzzHeap) Less(i, j int) bool  { return h[i] < h[j] }
+func (h fuzzHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *fuzzHeap) Push(x interface{}) { *h = append(*h, x.(uint64)) }
+func (h *fuzzHeap) Pop() interface{} {
+	old := *h
+	x := old[len(old)-1]
+	*h = old[:len(old)-1]
+	return x
+}
+
+// FuzzSingleHandleExact drives a single-handle queue with byte-decoded
+// operations and cross-checks every result against an exact heap: with one
+// handle and local ordering, every configuration must behave exactly.
+// Run with `go test -fuzz FuzzSingleHandleExact` for coverage-guided
+// exploration; the seed corpus runs in ordinary `go test` invocations.
+func FuzzSingleHandleExact(f *testing.F) {
+	f.Add([]byte{0x00, 0x13, 0x07, 0x01, 0xff, 0x20})
+	f.Add([]byte("insert-delete-insert"))
+	f.Add([]byte{0x02, 0x04, 0x06, 0x01, 0x03, 0x05, 0x01, 0x01, 0x01})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 4096 {
+			return
+		}
+		ks := []int{0, 4, 256}
+		k := 0
+		if len(data) > 0 {
+			k = ks[int(data[0])%len(ks)]
+		}
+		q := New[struct{}](WithRelaxation(k))
+		h := q.NewHandle()
+		ref := &fuzzHeap{}
+		for i, b := range data {
+			if b&1 == 0 || ref.Len() == 0 {
+				key := uint64(b>>1) + uint64(i)<<7
+				h.Insert(key, struct{}{})
+				heap.Push(ref, key)
+			} else {
+				got, _, ok := h.TryDeleteMin()
+				want := heap.Pop(ref).(uint64)
+				if !ok {
+					t.Fatalf("op %d: spurious empty with %d live keys", i, ref.Len()+1)
+				}
+				if got != want {
+					t.Fatalf("op %d: got %d, want %d (single handle must be exact)", i, got, want)
+				}
+			}
+			if q.Size() != ref.Len() {
+				t.Fatalf("op %d: Size %d, oracle %d", i, q.Size(), ref.Len())
+			}
+		}
+	})
+}
+
+// FuzzConservationWithReconfig interleaves inserts, deletes, melds of an
+// empty queue, and run-time k changes, checking the conservation invariant
+// (nothing lost, nothing duplicated).
+func FuzzConservationWithReconfig(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8})
+	f.Add([]byte{0xff, 0x00, 0xaa, 0x55})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 2048 {
+			return
+		}
+		q := New[struct{}](WithRelaxation(8))
+		h := q.NewHandle()
+		inserted := map[uint64]int{}
+		extracted := map[uint64]int{}
+		ins, del := 0, 0
+		for i, b := range data {
+			switch b % 4 {
+			case 0, 1:
+				key := uint64(b) + uint64(i)
+				h.Insert(key, struct{}{})
+				inserted[key]++
+				ins++
+			case 2:
+				if k, _, ok := h.TryDeleteMin(); ok {
+					extracted[k]++
+					del++
+				}
+			case 3:
+				q.SetRelaxation(int(b) % 512)
+			}
+		}
+		for {
+			k, _, ok := h.TryDeleteMin()
+			if !ok {
+				break
+			}
+			extracted[k]++
+			del++
+		}
+		if ins != del {
+			t.Fatalf("conservation violated: %d inserted, %d extracted", ins, del)
+		}
+		for k, c := range extracted {
+			if inserted[k] < c {
+				t.Fatalf("key %d extracted %d times but inserted %d", k, c, inserted[k])
+			}
+		}
+	})
+}

@@ -1,0 +1,119 @@
+// Package binheap implements a sequential d-ary min-heap over uint64 keys.
+//
+// It is the building block for three of the paper's comparison queues: the
+// "Heap + Lock" baseline of Figure 3 (binary heap behind a spinlock), the
+// MultiQueue of Rihani et al. (which the paper runs with 8-ary heaps,
+// matching the Boost d-ary heap they used), and the reconstructed Wimmer et
+// al. k-priority queues. It also serves as the oracle in conformance tests.
+package binheap
+
+// Heap is a sequential d-ary min-heap. Not safe for concurrent use; callers
+// provide their own synchronization.
+type Heap struct {
+	keys  []uint64
+	arity int
+}
+
+// New returns an empty heap with the given arity (2 for binary, 8 to match
+// the paper's MultiQueue configuration). Arity below 2 panics.
+func New(arity int) *Heap {
+	if arity < 2 {
+		panic("binheap: arity must be >= 2")
+	}
+	return &Heap{arity: arity}
+}
+
+// Len returns the number of stored keys.
+func (h *Heap) Len() int { return len(h.keys) }
+
+// Empty reports whether the heap holds no keys.
+func (h *Heap) Empty() bool { return len(h.keys) == 0 }
+
+// Peek returns the minimum key without removing it.
+func (h *Heap) Peek() (uint64, bool) {
+	if len(h.keys) == 0 {
+		return 0, false
+	}
+	return h.keys[0], true
+}
+
+// Push adds a key.
+func (h *Heap) Push(key uint64) {
+	h.keys = append(h.keys, key)
+	h.siftUp(len(h.keys) - 1)
+}
+
+// Pop removes and returns the minimum key.
+func (h *Heap) Pop() (uint64, bool) {
+	n := len(h.keys)
+	if n == 0 {
+		return 0, false
+	}
+	min := h.keys[0]
+	h.keys[0] = h.keys[n-1]
+	h.keys = h.keys[:n-1]
+	if len(h.keys) > 0 {
+		h.siftDown(0)
+	}
+	return min, true
+}
+
+// PopBulk removes up to n smallest keys into dst and returns the extended
+// slice. Used by the batched Wimmer-style queues to amortize lock holds.
+func (h *Heap) PopBulk(dst []uint64, n int) []uint64 {
+	for i := 0; i < n; i++ {
+		k, ok := h.Pop()
+		if !ok {
+			break
+		}
+		dst = append(dst, k)
+	}
+	return dst
+}
+
+// PushBulk adds all keys.
+func (h *Heap) PushBulk(keys []uint64) {
+	for _, k := range keys {
+		h.Push(k)
+	}
+}
+
+func (h *Heap) siftUp(i int) {
+	key := h.keys[i]
+	for i > 0 {
+		parent := (i - 1) / h.arity
+		if h.keys[parent] <= key {
+			break
+		}
+		h.keys[i] = h.keys[parent]
+		i = parent
+	}
+	h.keys[i] = key
+}
+
+func (h *Heap) siftDown(i int) {
+	n := len(h.keys)
+	key := h.keys[i]
+	for {
+		first := i*h.arity + 1
+		if first >= n {
+			break
+		}
+		last := first + h.arity
+		if last > n {
+			last = n
+		}
+		smallest := first
+		for c := first + 1; c < last; c++ {
+			if h.keys[c] < h.keys[smallest] {
+				smallest = c
+			}
+		}
+		if h.keys[smallest] >= key {
+			break
+		}
+		h.keys[i] = h.keys[smallest]
+		i = smallest
+	}
+	h.keys[i] = key
+}

@@ -1,0 +1,142 @@
+package binheap
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"klsm/internal/xrand"
+)
+
+func TestEmpty(t *testing.T) {
+	h := New(2)
+	if !h.Empty() || h.Len() != 0 {
+		t.Fatal("fresh heap not empty")
+	}
+	if _, ok := h.Pop(); ok {
+		t.Fatal("Pop on empty succeeded")
+	}
+	if _, ok := h.Peek(); ok {
+		t.Fatal("Peek on empty succeeded")
+	}
+}
+
+func TestBadArityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("arity 1 did not panic")
+		}
+	}()
+	New(1)
+}
+
+func TestHeapSortAllArities(t *testing.T) {
+	for _, arity := range []int{2, 3, 4, 8} {
+		src := xrand.NewSeeded(uint64(arity))
+		h := New(arity)
+		keys := make([]uint64, 2000)
+		for i := range keys {
+			keys[i] = src.Uint64() % 10000
+			h.Push(keys[i])
+		}
+		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+		for i, want := range keys {
+			got, ok := h.Pop()
+			if !ok || got != want {
+				t.Fatalf("arity %d, pop %d: got %d (%v), want %d", arity, i, got, ok, want)
+			}
+		}
+		if !h.Empty() {
+			t.Fatalf("arity %d: heap not empty after full drain", arity)
+		}
+	}
+}
+
+func TestPeekMatchesPop(t *testing.T) {
+	h := New(4)
+	src := xrand.NewSeeded(9)
+	for i := 0; i < 500; i++ {
+		h.Push(src.Uint64())
+	}
+	for !h.Empty() {
+		p, _ := h.Peek()
+		g, _ := h.Pop()
+		if p != g {
+			t.Fatalf("Peek %d != Pop %d", p, g)
+		}
+	}
+}
+
+func TestPopBulkAndPushBulk(t *testing.T) {
+	h := New(2)
+	h.PushBulk([]uint64{5, 1, 4, 2, 3})
+	got := h.PopBulk(nil, 3)
+	want := []uint64{1, 2, 3}
+	if len(got) != 3 {
+		t.Fatalf("PopBulk = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("PopBulk = %v, want %v", got, want)
+		}
+	}
+	// Asking for more than available returns what exists.
+	rest := h.PopBulk(nil, 10)
+	if len(rest) != 2 || rest[0] != 4 || rest[1] != 5 {
+		t.Fatalf("PopBulk remainder = %v", rest)
+	}
+}
+
+func TestPropSortedDrain(t *testing.T) {
+	f := func(keys []uint64) bool {
+		h := New(8)
+		for _, k := range keys {
+			h.Push(k)
+		}
+		prev := uint64(0)
+		for i := 0; i < len(keys); i++ {
+			k, ok := h.Pop()
+			if !ok || k < prev {
+				return false
+			}
+			prev = k
+		}
+		return h.Empty()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDuplicates(t *testing.T) {
+	h := New(2)
+	for i := 0; i < 10; i++ {
+		h.Push(7)
+	}
+	for i := 0; i < 10; i++ {
+		if k, ok := h.Pop(); !ok || k != 7 {
+			t.Fatalf("pop %d: %d (%v)", i, k, ok)
+		}
+	}
+}
+
+func BenchmarkPushPopBinary(b *testing.B) {
+	benchArity(b, 2)
+}
+
+func BenchmarkPushPop8Ary(b *testing.B) {
+	benchArity(b, 8)
+}
+
+func benchArity(b *testing.B, arity int) {
+	h := New(arity)
+	src := xrand.NewSeeded(3)
+	for i := 0; i < 1024; i++ {
+		h.Push(src.Uint64())
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Push(src.Uint64())
+		h.Pop()
+	}
+}

@@ -1,0 +1,286 @@
+// Package block implements the sorted storage unit of all LSM variants
+// (paper §4, Listing 1).
+//
+// A Block of level l holds up to 2^l pointers to Items in *decreasing* key
+// order, so the minimum lives at items[filled-1]: delete-min shrinks blocks
+// from the tail, and the paper's shrink/find-min logic (scan the tail for
+// logically deleted items, fall back to items[filled-1]) depends on this
+// orientation.
+//
+// Concurrency contract: a Block is mutable only while it is private to the
+// thread constructing it (Append/MergeInto). Once published — stored into a
+// DistLSM slot or referenced from a shared BlockArray — its item slots are
+// immutable; only the filled counter may still shrink (ShrinkInPlace), which
+// is why filled is atomic. Items beyond filled are intentionally not nil'ed:
+// a concurrent spy may have read a larger filled moments earlier and must
+// still find valid (if logically deleted) pointers there. The garbage-
+// collection delay this causes is bounded, because every copy or merge drops
+// taken items.
+//
+// Note on the paper's Listing 1: its shrink loop reads
+// `while (f > 0 && !items[f-1]->flag) --f`, which would discard *live* items;
+// the surrounding prose ("scans the end of the block for logically deleted
+// items") makes clear the negation is a typo. We implement the prose.
+package block
+
+import (
+	"sync/atomic"
+
+	"klsm/internal/bloom"
+	"klsm/internal/item"
+)
+
+// MaxLevel bounds block levels; a level-48 block would hold 2^48 items, far
+// beyond addressable workloads, so fixed-size arrays of block pointers in the
+// LSM structures use MaxLevel+1 slots.
+const MaxLevel = 48
+
+// DropFunc is an application callback for the lazy deletion extension
+// (paper §4.5): during copies and merges, items for which drop returns true
+// are treated like logically deleted items and not carried over. SSSP uses
+// this to discard queue entries whose distance label is already stale.
+type DropFunc[V any] func(key uint64, value V) bool
+
+// Block is a sorted run of item pointers. See the package comment for the
+// mutability contract.
+type Block[V any] struct {
+	level  int
+	filled atomic.Int64
+	items  []*item.Item[V]
+	filter bloom.Filter
+}
+
+// New returns an empty block of the given level (capacity 1<<level).
+func New[V any](level int) *Block[V] {
+	if level < 0 || level > MaxLevel {
+		panic("block: level out of range")
+	}
+	return &Block[V]{
+		level: level,
+		items: make([]*item.Item[V], 1<<uint(level)),
+	}
+}
+
+// LevelForCount returns the smallest level whose capacity holds n items.
+func LevelForCount(n int) int {
+	level := 0
+	for 1<<uint(level) < n {
+		level++
+	}
+	return level
+}
+
+// Level returns the block's level; capacity is 1<<Level().
+func (b *Block[V]) Level() int { return b.level }
+
+// Capacity returns the item slot count.
+func (b *Block[V]) Capacity() int { return len(b.items) }
+
+// Filled returns the current number of occupied slots (live or logically
+// deleted). Safe to call concurrently with ShrinkInPlace.
+func (b *Block[V]) Filled() int { return int(b.filled.Load()) }
+
+// Item returns the item in slot i. i must be < the value Filled returned to
+// this caller (or a value it returned earlier; slots are never reused).
+func (b *Block[V]) Item(i int) *item.Item[V] { return b.items[i] }
+
+// Items returns the occupied prefix of the slot array as a read-only view.
+func (b *Block[V]) Items() []*item.Item[V] { return b.items[:b.filled.Load()] }
+
+// Bloom returns the filter of handle IDs that contributed items to b.
+func (b *Block[V]) Bloom() bloom.Filter { return b.filter }
+
+// AddOwner records a contributing handle ID in the block's Bloom filter.
+// Must only be called while the block is private.
+func (b *Block[V]) AddOwner(id uint64) { b.filter = b.filter.Add(id) }
+
+// SetBloom overwrites the filter. Must only be called while private.
+func (b *Block[V]) SetBloom(f bloom.Filter) { b.filter = f }
+
+// Append adds it to the end of the block unless it has been logically
+// deleted (Listing 1). The caller is responsible for preserving decreasing
+// key order and for only appending to private blocks.
+func (b *Block[V]) Append(it *item.Item[V]) {
+	if it.Taken() {
+		return
+	}
+	f := b.filled.Load()
+	b.items[f] = it
+	b.filled.Store(f + 1)
+}
+
+// appendDrop is Append plus the lazy-deletion callback.
+func (b *Block[V]) appendDrop(it *item.Item[V], drop DropFunc[V]) {
+	if it.Taken() {
+		return
+	}
+	if drop != nil && drop(it.Key(), it.Value()) {
+		// Claim the item so copies of it in other blocks (stale merges,
+		// spied blocks) cannot resurrect it.
+		it.TryTake()
+		return
+	}
+	f := b.filled.Load()
+	b.items[f] = it
+	b.filled.Store(f + 1)
+}
+
+// Copy returns a new private block of the given level containing b's live
+// items (logically deleted ones are filtered out, Listing 1). The Bloom
+// filter is carried over.
+func (b *Block[V]) Copy(level int) *Block[V] {
+	return b.CopyDrop(level, nil)
+}
+
+// CopyDrop is Copy with the lazy-deletion callback applied.
+func (b *Block[V]) CopyDrop(level int, drop DropFunc[V]) *Block[V] {
+	nb := New[V](level)
+	nb.filter = b.filter
+	for _, it := range b.Items() {
+		nb.appendDrop(it, drop)
+	}
+	return nb
+}
+
+// MergeInto fills dst (a fresh private block) with the two-way merge of b1
+// and b2 in decreasing key order, filtering logically deleted and dropped
+// items and uniting the Bloom filters. dst must have capacity for
+// b1.Filled()+b2.Filled() items.
+func MergeInto[V any](dst, b1, b2 *Block[V], drop DropFunc[V]) {
+	a, b := b1.Items(), b2.Items()
+	dst.filter = b1.filter.Union(b2.filter)
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		// >= keeps the merge stable and the order non-increasing.
+		if a[i].Key() >= b[j].Key() {
+			dst.appendDrop(a[i], drop)
+			i++
+		} else {
+			dst.appendDrop(b[j], drop)
+			j++
+		}
+	}
+	for ; i < len(a); i++ {
+		dst.appendDrop(a[i], drop)
+	}
+	for ; j < len(b); j++ {
+		dst.appendDrop(b[j], drop)
+	}
+}
+
+// Merge allocates a block one level above the larger input and merges b1 and
+// b2 into it, then shrinks it to the smallest fitting level. This is the
+// "merge then shrink" step shared by all LSM insert paths.
+func Merge[V any](b1, b2 *Block[V], drop DropFunc[V]) *Block[V] {
+	level := b1.level
+	if b2.level > level {
+		level = b2.level
+	}
+	dst := New[V](level + 1)
+	MergeInto(dst, b1, b2, drop)
+	return dst.Shrink()
+}
+
+// Shrink returns a block holding b's live items at the smallest adequate
+// level (Listing 1). If b already satisfies its level constraint after
+// trimming the logically deleted tail, b itself is returned with filled
+// updated; otherwise a compacted copy at a smaller level is returned.
+// Must only be called on private blocks (use ShrinkInPlace for published
+// ones).
+func (b *Block[V]) Shrink() *Block[V] {
+	f := b.filled.Load()
+	for f > 0 && b.items[f-1].Taken() {
+		f--
+	}
+	l := b.level
+	for l > 0 && f <= 1<<uint(l-1) {
+		l--
+	}
+	if l < b.level {
+		// Copy may clean out further items mid-array, so recurse as the
+		// paper does.
+		b.filled.Store(f)
+		return b.Copy(l).Shrink()
+	}
+	b.filled.Store(f)
+	return b
+}
+
+// ShrinkInPlace trims the logically deleted tail of a possibly shared block
+// by lowering filled. It never reallocates and never raises filled, so
+// concurrent readers observe a monotonically shrinking, always-valid prefix.
+// It returns the new filled value.
+func (b *Block[V]) ShrinkInPlace() int {
+	f := b.filled.Load()
+	for f > 0 && b.items[f-1].Taken() {
+		f--
+	}
+	// Another thread may have shrunk concurrently; only ever store a value
+	// not larger than what we based the scan on.
+	cur := b.filled.Load()
+	if f < cur {
+		b.filled.Store(f)
+	}
+	return int(f)
+}
+
+// Min returns the item in the minimum slot (items[filled-1]) without checking
+// its deletion flag, or nil if the block is empty. Callers fall back to other
+// candidates if the item is taken.
+func (b *Block[V]) Min() *item.Item[V] {
+	f := b.filled.Load()
+	if f == 0 {
+		return nil
+	}
+	return b.items[f-1]
+}
+
+// LiveMin scans from the tail past logically deleted items and returns the
+// first live item and the number of deleted items skipped. It does not
+// mutate the block, so it is safe on shared blocks. Returns nil if no live
+// item exists.
+func (b *Block[V]) LiveMin() (it *item.Item[V], skipped int) {
+	f := b.filled.Load()
+	for i := f - 1; i >= 0; i-- {
+		if cand := b.items[i]; !cand.Taken() {
+			return cand, int(f - 1 - i)
+		}
+	}
+	return nil, int(f)
+}
+
+// LiveCount scans the whole block and counts live items. Intended for tests
+// and size estimation, not hot paths.
+func (b *Block[V]) LiveCount() int {
+	n := 0
+	for _, it := range b.Items() {
+		if !it.Taken() {
+			n++
+		}
+	}
+	return n
+}
+
+// Empty reports whether the block has no occupied slots.
+func (b *Block[V]) Empty() bool { return b.filled.Load() == 0 }
+
+// Underfull reports whether the block violates its level's minimum occupancy
+// (2^(l-1) < n for l > 0), indicating consolidation should shrink it.
+func (b *Block[V]) Underfull() bool {
+	if b.level == 0 {
+		return b.filled.Load() == 0
+	}
+	return b.filled.Load() <= 1<<uint(b.level-1)
+}
+
+// SortedDesc reports whether the occupied prefix is in non-increasing key
+// order. It exists for tests and invariant checks.
+func (b *Block[V]) SortedDesc() bool {
+	its := b.Items()
+	for i := 1; i < len(its); i++ {
+		if its[i-1].Key() < its[i].Key() {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,86 @@
+// Package bloom implements the 64-bit Bloom filters the shared k-LSM uses to
+// provide local ordering semantics (paper §4.1).
+//
+// Each Block carries a filter recording the IDs of all handles (threads) that
+// contributed items to the block. find-min then only needs to inspect the
+// block minima of blocks whose filter may contain the calling handle, and a
+// handle is guaranteed never to skip its own items: Bloom filters have no
+// false negatives. The paper uses 64-bit filters with two hash values obtained
+// by tabulation hashing; filters are only mutated while a block is still
+// private to the merging thread, so no synchronization is needed.
+package bloom
+
+import "klsm/internal/xrand"
+
+// Filter is a 64-bit Bloom filter over handle IDs. The zero value is the
+// empty filter. Filter is a value type: merging two blocks ORs their filters.
+type Filter uint64
+
+// tables holds the tabulation hashing tables: 8 tables of 256 random entries,
+// one per input byte. Two independent 6-bit hash values are carved out of the
+// same 64-bit tabulation product, which is the standard trick for
+// twin-hash Bloom filters.
+var tables [8][256]uint64
+
+func init() {
+	// A fixed seed keeps filters deterministic across runs, which makes
+	// failures reproducible; tabulation hashing is 3-independent regardless
+	// of the table contents as long as they are random-looking.
+	src := xrand.NewSeeded(0xb10f11e8)
+	for i := range tables {
+		for j := range tables[i] {
+			tables[i][j] = src.Uint64()
+		}
+	}
+}
+
+// hash computes the 64-bit tabulation hash of id.
+func hash(id uint64) uint64 {
+	var h uint64
+	for i := 0; i < 8; i++ {
+		h ^= tables[i][byte(id>>(8*uint(i)))]
+	}
+	return h
+}
+
+// bits returns the two filter bit masks for id.
+func bits(id uint64) Filter {
+	h := hash(id)
+	b1 := h & 63
+	b2 := (h >> 6) & 63
+	return Filter(1<<b1 | 1<<b2)
+}
+
+// Add returns f with id recorded.
+func (f Filter) Add(id uint64) Filter { return f | bits(id) }
+
+// Mask returns the filter containing exactly id. Callers that tag many
+// blocks with the same ID (each handle's DistLSM) precompute this once and
+// OR it in, avoiding the tabulation hash on every insert.
+func Mask(id uint64) Filter { return bits(id) }
+
+// MayContain reports whether id may have been added to f. False positives are
+// possible; false negatives are not.
+func (f Filter) MayContain(id uint64) bool {
+	b := bits(id)
+	return f&b == b
+}
+
+// Union returns the filter containing everything recorded in f or g. Used
+// when two blocks are merged.
+func (f Filter) Union(g Filter) Filter { return f | g }
+
+// Empty reports whether no ID has been added.
+func (f Filter) Empty() bool { return f == 0 }
+
+// PopCount returns the number of set bits, a rough indicator of saturation.
+// With two bits per ID the filter saturates (all queries positive) around
+// a few dozen distinct handles, after which local-ordering checks degrade
+// gracefully to scanning every block minimum.
+func (f Filter) PopCount() int {
+	n := 0
+	for x := uint64(f); x != 0; x &= x - 1 {
+		n++
+	}
+	return n
+}

@@ -1,0 +1,132 @@
+package core
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestCloseTransfersItems(t *testing.T) {
+	q := NewQueue(Config[int]{K: 1 << 20, Mode: Combined, LocalOrdering: true})
+	leaver := q.NewHandle()
+	for i := uint64(0); i < 300; i++ {
+		leaver.Insert(i, 0) // huge k: everything stays in leaver's DistLSM
+	}
+	leaver.Close()
+	if q.Handles() != 0 {
+		t.Fatalf("Handles = %d after close", q.Handles())
+	}
+	if q.Size() != 300 {
+		t.Fatalf("Size = %d after close, want 300", q.Size())
+	}
+	// A fresh handle must find every item WITHOUT spying (they moved to
+	// the shared structure).
+	h := q.NewHandle()
+	got := drainHandle(h)
+	if len(got) != 300 {
+		t.Fatalf("drained %d of 300 after close", len(got))
+	}
+	if h.SpyCalls.Load() > 1 {
+		// One trailing spy for the final emptiness check is fine.
+		t.Fatalf("items were not transferred to shared: %d spy calls", h.SpyCalls.Load())
+	}
+	if q.Size() != 0 {
+		t.Fatalf("Size = %d after drain", q.Size())
+	}
+}
+
+func TestCloseIdempotent(t *testing.T) {
+	q := combined(4)
+	h := q.NewHandle()
+	h.Insert(1, 0)
+	h.Close()
+	h.Close() // second close must be a no-op
+	if q.Handles() != 0 {
+		t.Fatalf("Handles = %d", q.Handles())
+	}
+	if got := drainHandle(q.NewHandle()); len(got) != 1 {
+		t.Fatalf("drained %d, want 1", len(got))
+	}
+}
+
+func TestCloseDistOnlyKeepsReachability(t *testing.T) {
+	q := NewQueue(Config[int]{Mode: DistOnly})
+	leaver := q.NewHandle()
+	for i := uint64(0); i < 100; i++ {
+		leaver.Insert(i, 0)
+	}
+	leaver.Close()
+	// DistOnly has no shared structure; the retired DistLSM must stay
+	// spy-able.
+	h := q.NewHandle()
+	got := drainHandle(h)
+	if len(got) != 100 {
+		t.Fatalf("drained %d of 100 after DistOnly close", len(got))
+	}
+}
+
+func TestCloseReducesRho(t *testing.T) {
+	q := combined(16)
+	h1 := q.NewHandle()
+	h2 := q.NewHandle()
+	if q.Rho() != 32 {
+		t.Fatalf("Rho = %d", q.Rho())
+	}
+	h1.Close()
+	if q.Rho() != 16 {
+		t.Fatalf("Rho after close = %d", q.Rho())
+	}
+	_ = h2
+}
+
+// TestCloseConcurrentWithWork: handles closing while others operate; all
+// items conserved (run with -race).
+func TestCloseConcurrentWithWork(t *testing.T) {
+	q := combined(64)
+	const workers = 4
+	const n = 2000
+	var wg sync.WaitGroup
+	results := make([][]uint64, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			h := q.NewHandle()
+			base := uint64(id * n)
+			for i := 0; i < n; i++ {
+				h.Insert(base+uint64(i), 0)
+				if i%3 == 0 {
+					if k, _, ok := h.TryDeleteMin(); ok {
+						results[id] = append(results[id], k)
+					}
+				}
+				if i == n/2 {
+					// Mid-run churn: retire and replace the handle.
+					h.Close()
+					h = q.NewHandle()
+				}
+			}
+			h.Close()
+		}(w)
+	}
+	wg.Wait()
+	rest := drainHandle(q.NewHandle())
+	seen := map[uint64]int{}
+	total := len(rest)
+	for _, k := range rest {
+		seen[k]++
+	}
+	for _, keys := range results {
+		total += len(keys)
+		for _, k := range keys {
+			seen[k]++
+		}
+	}
+	if total != workers*n {
+		t.Fatalf("conserved %d of %d across closes", total, workers*n)
+	}
+	for k, c := range seen {
+		if c != 1 {
+			t.Fatalf("key %d seen %d times", k, c)
+		}
+	}
+}

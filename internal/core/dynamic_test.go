@@ -1,0 +1,204 @@
+package core
+
+import (
+	"sort"
+	"sync"
+	"testing"
+
+	"klsm/internal/xrand"
+)
+
+func TestSetRelaxationTightensBound(t *testing.T) {
+	q := combined(1024)
+	h := q.NewHandle()
+	src := xrand.NewSeeded(3)
+	var live []uint64
+	ins := func(key uint64) {
+		h.Insert(key, 0)
+		j := sort.Search(len(live), func(i int) bool { return live[i] >= key })
+		live = append(live, 0)
+		copy(live[j+1:], live[j:])
+		live[j] = key
+	}
+	for i := 0; i < 2000; i++ {
+		ins(src.Uint64() % 100000)
+	}
+	// Tighten to k=0 at run time; one insert applies the new DistLSM bound.
+	q.SetRelaxation(0)
+	if q.K() != 0 {
+		t.Fatalf("K = %d after SetRelaxation(0)", q.K())
+	}
+	ins(src.Uint64() % 100000)
+	// From here on, deletions must be exact (single handle, k=0).
+	for len(live) > 0 {
+		key, _, ok := h.TryDeleteMin()
+		if !ok {
+			t.Fatalf("empty with %d live keys", len(live))
+		}
+		if key != live[0] {
+			t.Fatalf("after tightening to k=0: got %d, exact min %d", key, live[0])
+		}
+		live = live[1:]
+	}
+}
+
+func TestSetRelaxationLoosens(t *testing.T) {
+	q := combined(0)
+	h := q.NewHandle()
+	for i := uint64(0); i < 100; i++ {
+		h.Insert(i, 0)
+	}
+	q.SetRelaxation(4096)
+	if q.K() != 4096 {
+		t.Fatalf("K = %d", q.K())
+	}
+	// Still conserves every key.
+	seen := map[uint64]bool{}
+	for {
+		k, _, ok := h.TryDeleteMin()
+		if !ok {
+			break
+		}
+		if seen[k] {
+			t.Fatalf("key %d twice", k)
+		}
+		seen[k] = true
+	}
+	if len(seen) != 100 {
+		t.Fatalf("drained %d of 100 after loosening", len(seen))
+	}
+}
+
+func TestSetRelaxationNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative k did not panic")
+		}
+	}()
+	combined(4).SetRelaxation(-1)
+}
+
+func TestSetRelaxationDistOnlyNoop(t *testing.T) {
+	q := NewQueue(Config[int]{Mode: DistOnly})
+	q.SetRelaxation(7) // must not panic or change anything
+	h := q.NewHandle()
+	h.Insert(1, 0)
+	if k, _, ok := h.TryDeleteMin(); !ok || k != 1 {
+		t.Fatalf("DLSM broken after SetRelaxation: %d %v", k, ok)
+	}
+}
+
+// TestSetRelaxationConcurrent reconfigures k while workers hammer the
+// queue; conservation must hold across the transitions.
+func TestSetRelaxationConcurrent(t *testing.T) {
+	const workers = 4
+	n := 4000
+	if testing.Short() {
+		n = 800
+	}
+	q := combined(256)
+	var wg sync.WaitGroup
+	results := make([][]uint64, workers)
+	stop := make(chan struct{})
+	go func() {
+		ks := []int{0, 4, 4096, 16, 256}
+		src := xrand.NewSeeded(9)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				q.SetRelaxation(ks[src.Intn(len(ks))])
+			}
+		}
+	}()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			h := q.NewHandle()
+			base := uint64(id * n)
+			for i := 0; i < n; i++ {
+				h.Insert(base+uint64(i), id)
+			}
+			for {
+				k, _, ok := h.TryDeleteMin()
+				if !ok {
+					return
+				}
+				results[id] = append(results[id], k)
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	seen := make(map[uint64]int)
+	total := 0
+	for _, keys := range results {
+		total += len(keys)
+		for _, k := range keys {
+			seen[k]++
+		}
+	}
+	// Stragglers: drain with a fresh handle.
+	h := q.NewHandle()
+	for {
+		k, _, ok := h.TryDeleteMin()
+		if !ok {
+			break
+		}
+		seen[k]++
+		total++
+	}
+	if total != workers*n {
+		t.Fatalf("extracted %d of %d during k reconfiguration", total, workers*n)
+	}
+	for k, c := range seen {
+		if c != 1 {
+			t.Fatalf("key %d extracted %d times", k, c)
+		}
+	}
+}
+
+// TestStalledHandleDoesNotBlockOthers is the lock-freedom smoke test: a
+// handle that inserted items and then stalls forever must not prevent other
+// handles from completing inserts and deletes, and its items must remain
+// reachable (the ρ-relaxation reachability requirement of §2).
+func TestStalledHandleDoesNotBlockOthers(t *testing.T) {
+	q := combined(16)
+	stalled := q.NewHandle()
+	for i := uint64(0); i < 500; i++ {
+		stalled.Insert(i, 0)
+	}
+	// The stalled handle never runs again. Other handles must still see
+	// and drain everything.
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	seen := map[uint64]bool{}
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			h := q.NewHandle()
+			for i := 0; i < 200; i++ {
+				h.Insert(10000+uint64(i), 0)
+				h.TryDeleteMin()
+			}
+			for {
+				k, _, ok := h.TryDeleteMin()
+				if !ok {
+					return
+				}
+				mu.Lock()
+				seen[k] = true
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	// All of the stalled handle's keys must have been reachable: every key
+	// 0..499 was either drained above or deleted during the mixed phase.
+	if q.Size() != 0 {
+		t.Fatalf("Size = %d with a stalled handle; items unreachable", q.Size())
+	}
+}

@@ -1,0 +1,127 @@
+package core
+
+import (
+	"container/heap"
+	"testing"
+	"testing/quick"
+)
+
+// oracleHeap is a minimal min-heap for cross-checking.
+type oracleHeap []uint64
+
+func (h oracleHeap) Len() int            { return len(h) }
+func (h oracleHeap) Less(i, j int) bool  { return h[i] < h[j] }
+func (h oracleHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *oracleHeap) Push(x interface{}) { *h = append(*h, x.(uint64)) }
+func (h *oracleHeap) Pop() interface{} {
+	old := *h
+	x := old[len(old)-1]
+	*h = old[:len(old)-1]
+	return x
+}
+
+// TestPropSingleHandleK0IsExact: with one handle and k=0 the combined queue
+// must be indistinguishable from an exact priority queue on arbitrary
+// operation sequences (the paper's strictest configuration).
+func TestPropSingleHandleK0IsExact(t *testing.T) {
+	f := func(ops []uint16) bool {
+		q := combined(0)
+		h := q.NewHandle()
+		ref := &oracleHeap{}
+		for _, op := range ops {
+			if op&1 == 0 || ref.Len() == 0 {
+				key := uint64(op >> 1)
+				h.Insert(key, 0)
+				heap.Push(ref, key)
+			} else {
+				got, _, ok := h.TryDeleteMin()
+				want := heap.Pop(ref).(uint64)
+				if !ok || got != want {
+					return false
+				}
+			}
+			if q.Size() != ref.Len() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropSingleHandleLocalOrderingExactAnyK: local ordering makes a single
+// handle exact for *any* k — its own minimum always wins the comparison.
+func TestPropSingleHandleLocalOrderingExactAnyK(t *testing.T) {
+	f := func(ops []uint16, kSel uint8) bool {
+		ks := []int{1, 4, 64, 1024, 65536}
+		q := combined(ks[int(kSel)%len(ks)])
+		h := q.NewHandle()
+		ref := &oracleHeap{}
+		for _, op := range ops {
+			if op&1 == 0 || ref.Len() == 0 {
+				key := uint64(op >> 1)
+				h.Insert(key, 0)
+				heap.Push(ref, key)
+			} else {
+				got, _, ok := h.TryDeleteMin()
+				want := heap.Pop(ref).(uint64)
+				if !ok || got != want {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropConservationTwoHandles: arbitrary interleavings across two
+// handles conserve the key multiset (drained quiescently at the end).
+func TestPropConservationTwoHandles(t *testing.T) {
+	f := func(ops []uint16) bool {
+		q := combined(16)
+		h1, h2 := q.NewHandle(), q.NewHandle()
+		inserted := map[uint64]int{}
+		extracted := map[uint64]int{}
+		insCount, delCount := 0, 0
+		for i, op := range ops {
+			h := h1
+			if i&1 == 1 {
+				h = h2
+			}
+			if op&1 == 0 {
+				key := uint64(op >> 1)
+				h.Insert(key, 0)
+				inserted[key]++
+				insCount++
+			} else if k, _, ok := h.TryDeleteMin(); ok {
+				extracted[k]++
+				delCount++
+			}
+		}
+		for {
+			k, _, ok := h1.TryDeleteMin()
+			if !ok {
+				break
+			}
+			extracted[k]++
+			delCount++
+		}
+		if insCount != delCount {
+			return false
+		}
+		for k, c := range extracted {
+			if inserted[k] < c {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,383 @@
+// Package core implements the combined k-LSM relaxed priority queue of
+// paper §4.3 (Listing 5): one distributed LSM per handle for insertion
+// batching plus a single shared k-LSM for global ordering guarantees, glued
+// together by the overflow rule (a merged block reaching level ⌊log2(k+1)⌋
+// moves from the handle-local DistLSM to the shared k-LSM).
+//
+// Guarantees (paper §5):
+//
+//   - insert is lock-free and linearizable; a key is reachable by every
+//     handle from its linearization point until it is logically deleted.
+//   - try-delete-min is lock-free and linearizable with structural
+//     ρ-relaxation, ρ = T·k for T registered handles: it returns a key among
+//     the ρ+1 smallest, or fails. Failures may be spurious under concurrency
+//     but repeated calls eventually succeed while items remain.
+//   - local ordering: a handle never skips keys it inserted itself, so
+//     per-handle insert/delete sequences behave like an exact priority queue.
+//
+// The package also provides the standalone operating modes used by the
+// paper's evaluation: DistOnly is the DLSM of Figure 3 (local ordering only,
+// no ρ bound), SharedOnly exposes the shared k-LSM without insertion
+// batching (the k-LSM with k=0 degenerates to this shape naturally).
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"klsm/internal/block"
+	"klsm/internal/distlsm"
+	"klsm/internal/item"
+	"klsm/internal/sharedlsm"
+	"klsm/internal/xrand"
+)
+
+// Mode selects which components of the combined queue are active.
+type Mode int
+
+const (
+	// Combined is the full k-LSM of §4.3.
+	Combined Mode = iota
+	// DistOnly is the standalone distributed LSM (DLSM in Figure 3):
+	// maximum scalability, local ordering only, no global relaxation bound.
+	DistOnly
+	// SharedOnly bypasses insertion batching: every item goes straight to
+	// the shared k-LSM as a singleton block.
+	SharedOnly
+)
+
+// Config configures a Queue.
+type Config[V any] struct {
+	// K is the relaxation parameter: delete-min may return any of the
+	// T·K+1 smallest keys. K = 0 gives the strictest (slowest) setting.
+	K int
+	// Mode selects the combined queue or one of the standalone components.
+	Mode Mode
+	// LocalOrdering enables the Bloom-filter check in the shared k-LSM.
+	// The paper's implementation has it always on; the ablation benchmark
+	// measures its cost.
+	LocalOrdering bool
+	// Drop, if non-nil, is the lazy-deletion callback (§4.5): items for
+	// which it returns true are discarded during block maintenance and
+	// never returned from delete-min.
+	Drop block.DropFunc[V]
+}
+
+// Queue is the combined k-LSM relaxed priority queue. Create handles with
+// NewHandle; all queue operations go through handles.
+type Queue[V any] struct {
+	cfg    Config[V]
+	shared *sharedlsm.Shared[V]
+
+	mu      sync.Mutex
+	handles []*Handle[V]
+	// victims is a copy-on-write snapshot of all handle DistLSMs, read
+	// lock-free on the spy path.
+	victims atomic.Pointer[[]*distlsm.Dist[V]]
+	nextID  atomic.Uint64
+	// kCurrent tracks the run-time-configurable relaxation parameter
+	// (SetRelaxation); cfg.K is only its initial value.
+	kCurrent atomic.Int64
+	// closedInserted/closedDeleted accumulate the operation totals of
+	// closed handles so Size stays correct across handle churn. Guarded by
+	// mu.
+	closedInserted int64
+	closedDeleted  int64
+	// zombies holds DistLSMs of closed handles that still contain items
+	// (DistOnly mode only, where no shared structure can absorb them); they
+	// must stay spy-able. Guarded by mu.
+	zombies []*distlsm.Dist[V]
+}
+
+// rebuildVictims refreshes the copy-on-write spy-victim snapshot from the
+// registered handles plus any zombie DistLSMs. Caller must hold mu.
+func (q *Queue[V]) rebuildVictims() {
+	next := make([]*distlsm.Dist[V], 0, len(q.handles)+len(q.zombies))
+	for _, hh := range q.handles {
+		next = append(next, hh.dist)
+	}
+	next = append(next, q.zombies...)
+	q.victims.Store(&next)
+}
+
+// NewQueue returns an empty queue with the given configuration.
+func NewQueue[V any](cfg Config[V]) *Queue[V] {
+	if cfg.K < 0 {
+		panic("core: negative K")
+	}
+	q := &Queue[V]{cfg: cfg}
+	q.kCurrent.Store(int64(cfg.K))
+	q.shared = sharedlsm.New[V](cfg.K, cfg.LocalOrdering)
+	if cfg.Drop != nil {
+		q.shared.SetDrop(cfg.Drop)
+	}
+	empty := []*distlsm.Dist[V]{}
+	q.victims.Store(&empty)
+	return q
+}
+
+// K returns the current relaxation parameter.
+func (q *Queue[V]) K() int { return q.shared.K() }
+
+// SetRelaxation changes k at run time (paper §1: "the parameter k can be
+// configured at run-time"). The change propagates lazily but promptly:
+// the shared k-LSM uses the new k for every subsequent snapshot, and each
+// handle applies the new DistLSM bound — evicting now-oversized local
+// blocks — on its next insert. Until every handle has inserted once, the
+// effective bound is max(old, new) per handle.
+func (q *Queue[V]) SetRelaxation(k int) {
+	if k < 0 {
+		panic("core: negative k")
+	}
+	if q.cfg.Mode == DistOnly {
+		return // no shared component; the DLSM has no global bound
+	}
+	q.shared.SetK(k)
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for _, h := range q.handles {
+		h.dist.SetK(k)
+	}
+	q.kCurrent.Store(int64(k))
+}
+
+// Mode returns the configured operating mode.
+func (q *Queue[V]) Mode() Mode { return q.cfg.Mode }
+
+// Handles returns the number of registered handles (the T in ρ = T·k).
+func (q *Queue[V]) Handles() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.handles)
+}
+
+// Rho returns the current worst-case relaxation bound T·k.
+func (q *Queue[V]) Rho() int { return q.Handles() * int(q.kCurrent.Load()) }
+
+// Size returns the number of live keys, accurate to within the relaxation
+// bound ρ (the paper's size operation): concurrent operations may be counted
+// or missed while in flight.
+func (q *Queue[V]) Size() int {
+	q.mu.Lock()
+	hs := append([]*Handle[V](nil), q.handles...)
+	n := q.closedInserted - q.closedDeleted
+	q.mu.Unlock()
+	for _, h := range hs {
+		n += h.inserted.Load() - h.deleted.Load()
+	}
+	if n < 0 {
+		n = 0
+	}
+	return int(n)
+}
+
+// NewHandle registers and returns a handle. A handle must only be used by
+// one goroutine at a time; every goroutine operating on the queue needs its
+// own handle. Handles are the unit of the relaxation bound: ρ = T·k with T
+// the number of handles created.
+func (q *Queue[V]) NewHandle() *Handle[V] {
+	id := q.nextID.Add(1)
+	h := &Handle[V]{
+		q:   q,
+		id:  id,
+		rng: xrand.NewSeeded(id*0x9e3779b97f4a7c15 + 0x6a09e667),
+	}
+	kBound := int(q.kCurrent.Load())
+	if q.cfg.Mode == DistOnly {
+		kBound = -1 // unbounded: no overflow target exists
+	}
+	h.dist = distlsm.New[V](id, kBound)
+	if q.cfg.Drop != nil {
+		h.dist.SetDrop(q.cfg.Drop)
+	}
+	h.cursor = q.shared.NewCursor(id, xrand.NewSeeded(id*0xbf58476d1ce4e5b9+0x3c6ef372))
+	h.overflow = func(b *block.Block[V]) {
+		h.q.shared.Insert(h.cursor, b)
+	}
+
+	q.mu.Lock()
+	q.handles = append(q.handles, h)
+	q.rebuildVictims()
+	q.mu.Unlock()
+	return h
+}
+
+// Handle is one goroutine's access point to the queue, bundling the paper's
+// thread-local state: the DistLSM, the shared-k-LSM snapshot cursor, and a
+// private RNG.
+type Handle[V any] struct {
+	q        *Queue[V]
+	dist     *distlsm.Dist[V]
+	cursor   *sharedlsm.Cursor[V]
+	rng      *xrand.Source
+	id       uint64
+	overflow func(*block.Block[V])
+
+	// inserted/deleted are owner-incremented, read by Queue.Size.
+	inserted atomic.Int64
+	deleted  atomic.Int64
+
+	// SpyCalls counts spy attempts for the ablation benchmarks. Atomic so
+	// Queue.Stats can read it concurrently.
+	SpyCalls atomic.Int64
+}
+
+// ID returns the handle's identity (used in Bloom filters).
+func (h *Handle[V]) ID() uint64 { return h.id }
+
+// Close retires the handle: its locally batched items are transferred to
+// the shared k-LSM (so they stay reachable without the handle), and the
+// handle is deregistered — it no longer counts toward ρ = T·k and its
+// DistLSM stops being a spy victim. The handle must not be used afterwards.
+//
+// In DistOnly mode there is no shared structure to absorb the items, so the
+// DistLSM stays registered as a spy victim (its items remain reachable);
+// only the operation counters move. This mirrors the paper's model, which
+// has no thread departure story at all — see DESIGN.md.
+func (h *Handle[V]) Close() {
+	if h.q.cfg.Mode != DistOnly {
+		h.dist.DrainTo(h.overflow)
+	}
+
+	q := h.q
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	keep := q.handles[:0]
+	for _, other := range q.handles {
+		if other != h {
+			keep = append(keep, other)
+		}
+	}
+	if len(keep) == len(q.handles) {
+		return // already closed
+	}
+	q.handles = keep
+	if q.cfg.Mode == DistOnly && h.dist.Blocks() > 0 {
+		// Keep the retired DistLSM spy-able; it holds live items.
+		q.zombies = append(q.zombies, h.dist)
+	}
+	q.rebuildVictims()
+	// Preserve the operation totals for Size.
+	q.closedInserted += h.inserted.Load()
+	q.closedDeleted += h.deleted.Load()
+}
+
+// DistStats exposes the handle's DistLSM counters for benchmarks.
+func (h *Handle[V]) DistStats() distlsm.Stats { return h.dist.Stats() }
+
+// Insert adds key with its payload to the queue (Listing 5). It always
+// succeeds and is lock-free.
+func (h *Handle[V]) Insert(key uint64, value V) {
+	it := item.New(key, value)
+	h.inserted.Add(1)
+	switch h.q.cfg.Mode {
+	case DistOnly:
+		h.dist.Insert(it, nil)
+	case SharedOnly:
+		nb := block.New[V](0)
+		nb.AddOwner(h.id)
+		nb.Append(it)
+		h.q.shared.Insert(h.cursor, nb)
+	default:
+		h.dist.Insert(it, h.overflow)
+	}
+}
+
+// findMinCandidate returns the better of the DistLSM minimum and the shared
+// k-LSM candidate, as in Listing 5's inner loop.
+func (h *Handle[V]) findMinCandidate() *item.Item[V] {
+	var local *item.Item[V]
+	switch h.q.cfg.Mode {
+	case SharedOnly:
+		return h.q.shared.FindMin(h.cursor)
+	case DistOnly:
+		return h.dist.FindMin()
+	default:
+		local = h.dist.FindMin()
+	}
+	shared := h.q.shared.FindMin(h.cursor)
+	switch {
+	case local == nil:
+		return shared
+	case shared == nil:
+		return local
+	case shared.Key() < local.Key():
+		return shared
+	default:
+		return local
+	}
+}
+
+// TryDeleteMin attempts to delete a minimal key per the relaxed semantics
+// (Listing 5). On success it returns the key, its payload and true. A false
+// result means no key was found; it may be spurious under concurrent
+// modification, but repeated calls eventually succeed while live keys
+// remain reachable.
+//
+// With a Drop callback configured, items the callback reports stale are
+// claimed and discarded here instead of being returned, so TryDeleteMin
+// never surfaces a dropped item (slightly stronger than the paper's
+// maintenance-time-only lazy deletion).
+func (h *Handle[V]) TryDeleteMin() (key uint64, value V, ok bool) {
+	drop := h.q.cfg.Drop
+	for {
+		for {
+			it := h.findMinCandidate()
+			if it == nil {
+				break
+			}
+			if it.TryTake() {
+				h.deleted.Add(1)
+				if drop != nil && drop(it.Key(), it.Value()) {
+					continue // stale: discard and keep looking
+				}
+				return it.Key(), it.Value(), true
+			}
+			// Lost the race for this item; the failed take implies another
+			// handle progressed, so retrying preserves lock-freedom.
+		}
+		if !h.spy() {
+			var zero V
+			return 0, zero, false
+		}
+	}
+}
+
+// PeekMin returns a key/payload that TryDeleteMin could return, without
+// deleting it. The view is relaxed exactly like TryDeleteMin's.
+func (h *Handle[V]) PeekMin() (key uint64, value V, ok bool) {
+	it := h.findMinCandidate()
+	if it == nil {
+		var zero V
+		return 0, zero, false
+	}
+	return it.Key(), it.Value(), true
+}
+
+// spy copies blocks from other handles' DistLSMs into h's (paper §4.2).
+// Following Listing 5 a random victim is tried first; if that yields
+// nothing, the remaining victims are scanned once from a random start so
+// that a false return gives a much stronger (though still relaxed) emptiness
+// signal. The scan is bounded and wait-free apart from the copies
+// themselves.
+func (h *Handle[V]) spy() bool {
+	if h.q.cfg.Mode == SharedOnly {
+		return false
+	}
+	victims := *h.q.victims.Load()
+	if len(victims) == 0 {
+		return false
+	}
+	h.SpyCalls.Add(1)
+	start := h.rng.Intn(len(victims))
+	for i := 0; i < len(victims); i++ {
+		v := victims[(start+i)%len(victims)]
+		if v == h.dist {
+			continue
+		}
+		if h.dist.Spy(v) {
+			return true
+		}
+	}
+	return false
+}

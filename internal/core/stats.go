@@ -1,0 +1,54 @@
+package core
+
+// QueueStats aggregates structural counters across all handles, exposing
+// the data the ablation experiments (DESIGN.md E6–E8) are built on. The
+// snapshot is taken without stopping the queue, so counters from handles
+// that are mid-operation may be one event behind.
+type QueueStats struct {
+	// Handles is the number of registered handles (T in ρ = T·k).
+	Handles int
+	// Inserted and Deleted are the lifetime operation totals.
+	Inserted int64
+	Deleted  int64
+	// Merges counts block merges across all DistLSMs.
+	Merges int64
+	// Overflows counts blocks transferred from DistLSMs to the shared
+	// k-LSM (the batching frequency of §4.3).
+	Overflows int64
+	// Spies counts successful spy operations; SpiedBlocks the blocks
+	// copied by them (§4.2).
+	Spies       int64
+	SpiedBlocks int64
+	// SpyCalls counts delete-min rounds that resorted to spying.
+	SpyCalls int64
+	// Consolidates counts DistLSM consolidation passes.
+	Consolidates int64
+	// SharedConsolidatePushes counts successfully published consolidations
+	// of the shared k-LSM; SharedInsertRetries counts failed insert CAS
+	// attempts (the contention measure of §4.1's bottleneck discussion).
+	SharedConsolidatePushes int64
+	SharedInsertRetries     int64
+}
+
+// Stats returns an aggregated snapshot of the queue's structural counters.
+func (q *Queue[V]) Stats() QueueStats {
+	q.mu.Lock()
+	hs := append([]*Handle[V](nil), q.handles...)
+	q.mu.Unlock()
+	var s QueueStats
+	s.Handles = len(hs)
+	for _, h := range hs {
+		s.Inserted += h.inserted.Load()
+		s.Deleted += h.deleted.Load()
+		ds := h.dist.Stats()
+		s.Merges += ds.Merges
+		s.Overflows += ds.Overflows
+		s.Spies += ds.Spies
+		s.SpiedBlocks += ds.SpiedBlocks
+		s.Consolidates += ds.Consolidates
+		s.SpyCalls += h.SpyCalls.Load()
+		s.SharedConsolidatePushes += h.cursor.ConsolidatePushes.Load()
+		s.SharedInsertRetries += h.cursor.InsertRetries.Load()
+	}
+	return s
+}

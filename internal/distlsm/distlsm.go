@@ -1,0 +1,406 @@
+// Package distlsm implements the distributed LSM priority queue of paper
+// §4.2 (Listing 4).
+//
+// Every handle (the paper's "thread") owns one Dist instance and is the only
+// writer to it; other handles interact exclusively through Spy, which
+// non-destructively copies block contents. Single-writer/multi-reader imposes
+// the package's publication discipline:
+//
+//   - block slots and the size counter are atomics, and the owner orders its
+//     stores so that every live item stays reachable through (blocks, size)
+//     at every instant: new/merged blocks are stored before the blocks they
+//     replace become unreachable, and transfers to the shared k-LSM complete
+//     before the transferred blocks are dropped here. Spying threads may
+//     consequently observe the same item twice (stale block plus merged
+//     block), which the logical-deletion flag de-duplicates.
+//   - published blocks are never mutated except for monotonically shrinking
+//     their filled counter.
+//
+// When used inside the combined k-LSM (§4.3), the Dist is bounded: no block
+// may reach level ⌊log2(k+1)⌋, so a handle's Dist holds at most k items —
+// the property the ρ = T·k relaxation bound of Lemma 2 rests on. Blocks
+// growing past the bound are handed to the overflow callback (the shared
+// k-LSM) instead of being stored locally.
+package distlsm
+
+import (
+	"sync/atomic"
+
+	"klsm/internal/block"
+	"klsm/internal/bloom"
+	"klsm/internal/item"
+)
+
+// Stats is a snapshot of structural event counters for the ablation
+// benchmarks and diagnostics.
+type Stats struct {
+	Merges       int64 // block merges performed by inserts
+	Overflows    int64 // blocks transferred to the shared k-LSM
+	Spies        int64 // successful spy operations
+	SpiedBlocks  int64 // blocks copied by spy operations
+	Consolidates int64 // consolidation passes
+}
+
+// statCounters is the live, owner-written representation; atomics so
+// diagnostic snapshots may be taken concurrently.
+type statCounters struct {
+	merges       atomic.Int64
+	overflows    atomic.Int64
+	spies        atomic.Int64
+	spiedBlocks  atomic.Int64
+	consolidates atomic.Int64
+}
+
+// Dist is one handle's distributed LSM priority queue.
+type Dist[V any] struct {
+	blocks [block.MaxLevel + 1]atomic.Pointer[block.Block[V]]
+	size   atomic.Int64
+
+	// ownerID tags blocks with the owning handle for the shared k-LSM's
+	// Bloom-filter-based local ordering; ownerMask is its precomputed
+	// Bloom filter bit pattern.
+	ownerID   uint64
+	ownerMask bloom.Filter
+
+	// maxLevel is the overflow threshold: a merged block reaching this level
+	// is transferred to the shared k-LSM. maxLevel <= 0 disables local
+	// storage entirely (k = 0); maxLevel > block.MaxLevel disables overflow
+	// (standalone DLSM). It is atomic because the relaxation parameter can
+	// be reconfigured at run time (paper §1) by a goroutine other than the
+	// owner; the owner reads it on every insert.
+	maxLevel atomic.Int64
+
+	drop  block.DropFunc[V]
+	stats statCounters
+}
+
+// UnboundedLevel disables overflow: the Dist keeps every block locally.
+const UnboundedLevel = block.MaxLevel + 1
+
+// maxLevelFor computes the overflow threshold ⌊log2(k+1)⌋: levels
+// 0..maxLevel-1 may be stored locally, so at most 2^maxLevel - 1 <= k items
+// reside in the Dist.
+func maxLevelFor(k int) int {
+	level := 0
+	for 1<<uint(level+1) <= k+1 {
+		level++
+	}
+	return level
+}
+
+// New returns a Dist owned by handle ownerID, bounded for relaxation
+// parameter k. k < 0 means unbounded (standalone DLSM mode).
+func New[V any](ownerID uint64, k int) *Dist[V] {
+	d := &Dist[V]{ownerID: ownerID, ownerMask: bloom.Mask(ownerID)}
+	if k < 0 {
+		d.maxLevel.Store(UnboundedLevel)
+	} else {
+		d.maxLevel.Store(int64(maxLevelFor(k)))
+	}
+	return d
+}
+
+// SetK re-derives the overflow threshold from a new relaxation parameter
+// (run-time reconfiguration, paper §1). Safe to call from any goroutine;
+// the owner applies it — including evicting now-oversized blocks — on its
+// next insert.
+func (d *Dist[V]) SetK(k int) {
+	if k < 0 {
+		d.maxLevel.Store(UnboundedLevel)
+		return
+	}
+	d.maxLevel.Store(int64(maxLevelFor(k)))
+}
+
+// SetDrop installs the lazy-deletion callback applied during merges.
+func (d *Dist[V]) SetDrop(drop block.DropFunc[V]) { d.drop = drop }
+
+// Stats returns a snapshot of the structural event counters. Safe to call
+// from any goroutine.
+func (d *Dist[V]) Stats() Stats {
+	return Stats{
+		Merges:       d.stats.merges.Load(),
+		Overflows:    d.stats.overflows.Load(),
+		Spies:        d.stats.spies.Load(),
+		SpiedBlocks:  d.stats.spiedBlocks.Load(),
+		Consolidates: d.stats.consolidates.Load(),
+	}
+}
+
+// MaxLevel exposes the overflow threshold for tests.
+func (d *Dist[V]) MaxLevel() int { return int(d.maxLevel.Load()) }
+
+// evictOversized transfers blocks at or above maxLevel to the shared k-LSM
+// (owner only). Blocks are published to the overflow target before their
+// local slots are compacted, so reachability is never interrupted.
+func (d *Dist[V]) evictOversized(maxLevel int, overflow func(*block.Block[V])) {
+	sz := int(d.size.Load())
+	if sz == 0 {
+		return
+	}
+	// Blocks are sorted by strictly decreasing level; oversized ones form a
+	// prefix.
+	evict := 0
+	for evict < sz {
+		b := d.blocks[evict].Load()
+		if b == nil || b.Level() < maxLevel {
+			break
+		}
+		overflow(b)
+		d.stats.overflows.Add(1)
+		evict++
+	}
+	if evict == 0 {
+		return
+	}
+	// Compact left; transient duplicates are fine, lost items are not.
+	for i := evict; i < sz; i++ {
+		d.blocks[i-evict].Store(d.blocks[i].Load())
+	}
+	d.size.Store(int64(sz - evict))
+}
+
+// Insert adds it to the Dist (owner only). Following Listing 4, a level-0
+// block is merged with existing blocks from the small end until levels are
+// strictly decreasing. If the resulting block reaches the overflow threshold
+// it is passed to overflow (when non-nil) *before* the merged-away blocks
+// are unlinked, so the items never become unreachable. Insert reports
+// whether the item was kept locally (false means it overflowed).
+func (d *Dist[V]) Insert(it *item.Item[V], overflow func(*block.Block[V])) bool {
+	b := block.New[V](0)
+	b.SetBloom(d.ownerMask)
+	b.Append(it)
+	if b.Empty() {
+		return true // item was concurrently taken; nothing to do
+	}
+	return d.insertBlock(b, overflow)
+}
+
+// insertBlock runs the merge loop for a prepared block. Exposed within the
+// package for spy-assisted bulk moves.
+func (d *Dist[V]) insertBlock(b *block.Block[V], overflow func(*block.Block[V])) bool {
+	maxLevel := int(d.maxLevel.Load())
+	if overflow != nil {
+		// Apply a run-time k reduction: evict blocks the new bound no
+		// longer permits before growing the structure further.
+		d.evictOversized(maxLevel, overflow)
+	}
+	sz := int(d.size.Load())
+	i := sz
+	for i > 0 {
+		prev := d.blocks[i-1].Load()
+		if prev == nil || prev.Empty() {
+			// Empty slots can appear after consolidation races with nothing:
+			// the owner wrote them; just absorb.
+			i--
+			continue
+		}
+		if prev.Level() > b.Level() {
+			break
+		}
+		// Merge is non-destructive: prev stays reachable in its slot until
+		// the final publication below.
+		b = block.Merge(prev, b, d.drop)
+		d.stats.merges.Add(1)
+		i--
+	}
+	if b.Empty() {
+		// Everything merged away (drop callback / logical deletions).
+		d.size.Store(int64(i))
+		return true
+	}
+	if overflow != nil && b.Level() >= maxLevel {
+		// Publish to the shared k-LSM first; only then drop local
+		// references (reachability is never interrupted, items are briefly
+		// duplicated instead).
+		overflow(b)
+		d.stats.overflows.Add(1)
+		d.size.Store(int64(i))
+		return false
+	}
+	d.blocks[i].Store(b)
+	d.size.Store(int64(i + 1))
+	return true
+}
+
+// FindMin returns the live minimum item without removing it (owner only), or
+// nil if the Dist holds no live item. It opportunistically trims logically
+// deleted tails and triggers consolidation when blocks have died.
+func (d *Dist[V]) FindMin() *item.Item[V] {
+	sz := int(d.size.Load())
+	var best *item.Item[V]
+	deadBlocks := 0
+	for i := 0; i < sz; i++ {
+		b := d.blocks[i].Load()
+		if b == nil {
+			continue
+		}
+		// Owner-side cheap cleanup: drop the logically deleted tail so the
+		// next scan starts at a live minimum.
+		if b.ShrinkInPlace() == 0 {
+			deadBlocks++
+			continue
+		}
+		it := b.Min()
+		if it == nil || it.Taken() {
+			// Taken between trim and read; skip, the next FindMin cleans up.
+			continue
+		}
+		if best == nil || it.Key() < best.Key() {
+			best = it
+		}
+	}
+	if deadBlocks > 0 {
+		d.Consolidate()
+	}
+	return best
+}
+
+// Consolidate compacts the block array (owner only): empty blocks are
+// removed, underfull blocks shrunk, and level collisions re-merged, mirroring
+// the paper's consolidate. References to old blocks are only dropped after
+// their replacements are published (left-to-right overwrite, size last), so
+// spying threads never lose sight of a live item.
+func (d *Dist[V]) Consolidate() {
+	d.stats.consolidates.Add(1)
+	sz := int(d.size.Load())
+	var runs []*block.Block[V]
+	for i := 0; i < sz; i++ {
+		b := d.blocks[i].Load()
+		if b == nil || b.Empty() {
+			continue
+		}
+		s := b.Shrink() // may copy; mutation of b is limited to lowering filled
+		if s.Empty() {
+			continue
+		}
+		// Restore strictly decreasing levels with a merge stack.
+		for len(runs) > 0 && runs[len(runs)-1].Level() <= s.Level() {
+			s = block.Merge(runs[len(runs)-1], s, d.drop)
+			d.stats.merges.Add(1)
+			runs = runs[:len(runs)-1]
+		}
+		if !s.Empty() {
+			runs = append(runs, s)
+		}
+	}
+	for i, r := range runs {
+		d.blocks[i].Store(r)
+	}
+	d.size.Store(int64(len(runs)))
+}
+
+// Spy copies the victim's blocks into d (owner of d only; victim may be
+// mutating concurrently). Copied blocks keep the victim's Bloom filter, and
+// only blocks preserving d's strictly-decreasing level order are taken, as
+// in Listing 4. Returns true if d is non-empty afterwards.
+func (d *Dist[V]) Spy(victim *Dist[V]) bool {
+	if victim == nil || victim == d {
+		return d.size.Load() != 0
+	}
+	vsz := int(victim.size.Load())
+	copied := int64(0)
+	for i := 0; i < vsz; i++ {
+		b := victim.blocks[i].Load()
+		if b == nil || b.Empty() {
+			continue
+		}
+		sz := int(d.size.Load())
+		level := b.Level()
+		if sz != 0 {
+			last := d.blocks[sz-1].Load()
+			if last != nil && level >= last.Level() {
+				// Would violate strictly decreasing levels; the victim
+				// mutated under us or our own tail is already smaller. Stop
+				// taking blocks — spy is best-effort.
+				continue
+			}
+		}
+		nb := b.Copy(level)
+		if nb.Empty() {
+			continue
+		}
+		d.blocks[sz].Store(nb)
+		d.size.Store(int64(sz + 1))
+		copied++
+	}
+	if copied > 0 {
+		d.stats.spies.Add(1)
+		d.stats.spiedBlocks.Add(copied)
+	}
+	return d.size.Load() != 0
+}
+
+// DrainTo publishes compacted copies of every block to overflow and then
+// empties the Dist (owner only). Used when a handle retires: its items move
+// to the shared k-LSM so the Dist no longer needs to be spy-reachable.
+// Publication strictly precedes unlinking, so reachability is never
+// interrupted (items are briefly duplicated, which logical deletion
+// resolves).
+func (d *Dist[V]) DrainTo(overflow func(*block.Block[V])) {
+	sz := int(d.size.Load())
+	for i := 0; i < sz; i++ {
+		b := d.blocks[i].Load()
+		if b == nil || b.Empty() {
+			continue
+		}
+		nb := b.Copy(b.Level())
+		if nb.Empty() {
+			continue
+		}
+		overflow(nb.Shrink())
+		d.stats.overflows.Add(1)
+	}
+	d.size.Store(0)
+}
+
+// Empty reports whether the owner currently sees no blocks. Live items may
+// still exist transiently during maintenance of other structures; callers
+// needing certainty combine this with FindMin.
+func (d *Dist[V]) Empty() bool { return d.size.Load() == 0 }
+
+// Blocks returns the number of published blocks (racy snapshot; for tests).
+func (d *Dist[V]) Blocks() int { return int(d.size.Load()) }
+
+// BlockAt returns the published block in slot i, or nil. Safe from any
+// goroutine; used by spy-style bulk readers (meld).
+func (d *Dist[V]) BlockAt(i int) *block.Block[V] {
+	if i < 0 || i > block.MaxLevel {
+		return nil
+	}
+	return d.blocks[i].Load()
+}
+
+// LiveCount scans all blocks and counts live items (owner only; for tests
+// and size estimation).
+func (d *Dist[V]) LiveCount() int {
+	sz := int(d.size.Load())
+	n := 0
+	for i := 0; i < sz; i++ {
+		if b := d.blocks[i].Load(); b != nil {
+			n += b.LiveCount()
+		}
+	}
+	return n
+}
+
+// CheckInvariants verifies strictly decreasing levels and per-block order
+// (owner only; for tests).
+func (d *Dist[V]) CheckInvariants() bool {
+	sz := int(d.size.Load())
+	prevLevel := block.MaxLevel + 2
+	for i := 0; i < sz; i++ {
+		b := d.blocks[i].Load()
+		if b == nil || b.Empty() {
+			return false
+		}
+		if b.Level() >= prevLevel {
+			return false
+		}
+		if !b.SortedDesc() {
+			return false
+		}
+		prevLevel = b.Level()
+	}
+	return true
+}

@@ -1,0 +1,176 @@
+// Package graph provides the input substrate for the paper's SSSP benchmark
+// (§6): Erdős–Rényi random graphs in compressed-sparse-row form, plus a
+// sequential Dijkstra oracle for correctness checks and for the
+// "additional iterations vs. sequential execution" metric of Figure 4.
+//
+// The paper's configuration is n = 10000 nodes, edge probability 50%, and
+// integer weights uniform in [1, 10^8]; tests and CI use smaller graphs and
+// the experiment binaries expose flags for paper scale.
+package graph
+
+import (
+	"fmt"
+	"math"
+
+	"klsm/internal/binheap"
+	"klsm/internal/xrand"
+)
+
+// Unreached marks nodes with no path from the source.
+const Unreached = ^uint64(0)
+
+// CSR is a directed graph in compressed-sparse-row representation.
+type CSR struct {
+	N       int
+	RowPtr  []int64  // len N+1; edges of u are Targets[RowPtr[u]:RowPtr[u+1]]
+	Targets []uint32 //
+	Weights []uint32 // parallel to Targets; weights are >= 1
+}
+
+// Edges returns the number of directed edges.
+func (g *CSR) Edges() int { return len(g.Targets) }
+
+// Neighbors returns the target and weight slices of node u.
+func (g *CSR) Neighbors(u uint32) ([]uint32, []uint32) {
+	lo, hi := g.RowPtr[u], g.RowPtr[u+1]
+	return g.Targets[lo:hi], g.Weights[lo:hi]
+}
+
+// Validate checks structural integrity (for tests and after generation).
+func (g *CSR) Validate() error {
+	if len(g.RowPtr) != g.N+1 {
+		return fmt.Errorf("RowPtr length %d, want %d", len(g.RowPtr), g.N+1)
+	}
+	if g.RowPtr[0] != 0 || g.RowPtr[g.N] != int64(len(g.Targets)) {
+		return fmt.Errorf("RowPtr endpoints inconsistent")
+	}
+	if len(g.Weights) != len(g.Targets) {
+		return fmt.Errorf("Weights length mismatch")
+	}
+	for u := 0; u < g.N; u++ {
+		if g.RowPtr[u] > g.RowPtr[u+1] {
+			return fmt.Errorf("RowPtr not monotone at %d", u)
+		}
+	}
+	for i, v := range g.Targets {
+		if int(v) >= g.N {
+			return fmt.Errorf("edge %d targets out-of-range node %d", i, v)
+		}
+		if g.Weights[i] == 0 {
+			return fmt.Errorf("edge %d has zero weight", i)
+		}
+	}
+	return nil
+}
+
+// ErdosRenyi generates a directed G(n, p) graph with weights uniform in
+// [1, maxWeight], deterministically from seed. Each ordered pair (u,v),
+// u != v, is an edge with probability p; the paper's "edge probability 50%"
+// graphs arise from p = 0.5. Self-loops are excluded.
+//
+// Generation uses geometric skip sampling, so the cost is proportional to
+// the number of edges rather than n².
+func ErdosRenyi(n int, p float64, maxWeight uint32, seed uint64) *CSR {
+	if n <= 0 {
+		panic("graph: n must be positive")
+	}
+	if p < 0 || p > 1 {
+		panic("graph: p out of [0,1]")
+	}
+	if maxWeight == 0 {
+		panic("graph: maxWeight must be >= 1")
+	}
+	src := xrand.NewSeeded(seed)
+	g := &CSR{N: n, RowPtr: make([]int64, n+1)}
+	if p == 0 {
+		return g
+	}
+	est := int(float64(n) * float64(n) * p)
+	g.Targets = make([]uint32, 0, est)
+	g.Weights = make([]uint32, 0, est)
+
+	for u := 0; u < n; u++ {
+		g.RowPtr[u] = int64(len(g.Targets))
+		// Walk candidate targets 0..n-1 with geometric skips.
+		v := skip(src, p)
+		for v < n {
+			if v != u {
+				g.Targets = append(g.Targets, uint32(v))
+				g.Weights = append(g.Weights, 1+uint32(src.Uint64n(uint64(maxWeight))))
+			}
+			v += 1 + skip(src, p)
+		}
+	}
+	g.RowPtr[n] = int64(len(g.Targets))
+	return g
+}
+
+// skip draws from the geometric distribution of gaps between successes of a
+// Bernoulli(p) process (0 means the next candidate is an edge).
+func skip(src *xrand.Source, p float64) int {
+	if p >= 1 {
+		return 0
+	}
+	// Inverse transform: floor(log(U)/log(1-p)). Float64 returns values in
+	// [0,1); 0 maps to gap 0.
+	u := src.Float64()
+	if u <= 0 {
+		return 0
+	}
+	g := int(math.Log(u) / math.Log(1-p))
+	if g < 0 {
+		return 0
+	}
+	return g
+}
+
+// Dijkstra computes exact single-source shortest paths sequentially using a
+// binary heap with lazy deletion (re-insertion instead of decrease-key —
+// the same scheme the parallel benchmark uses). It returns the distance
+// array and the number of heap pops, which the Figure 4 harness uses as the
+// sequential-iterations baseline.
+func Dijkstra(g *CSR, src uint32) ([]uint64, int64) {
+	dist := make([]uint64, g.N)
+	for i := range dist {
+		dist[i] = Unreached
+	}
+	dist[src] = 0
+	h := binheap.New(2)
+	shift := nodeShift(g.N)
+	h.Push(0<<shift | uint64(src))
+	var pops int64
+	for {
+		key, ok := h.Pop()
+		if !ok {
+			break
+		}
+		pops++
+		d := key >> shift
+		u := uint32(key & (1<<shift - 1))
+		if d > dist[u] {
+			continue // stale entry (lazy deletion)
+		}
+		targets, weights := g.Neighbors(u)
+		for i, v := range targets {
+			nd := d + uint64(weights[i])
+			if nd < dist[v] {
+				dist[v] = nd
+				h.Push(nd<<shift | uint64(v))
+			}
+		}
+	}
+	return dist, pops
+}
+
+// nodeShift returns the number of low bits needed to store node IDs of a
+// graph with n nodes when packing (dist, node) pairs into one uint64 key.
+func nodeShift(n int) uint {
+	s := uint(1)
+	for 1<<s < n {
+		s++
+	}
+	return s
+}
+
+// NodeShift is the exported packing helper shared with the parallel SSSP.
+func NodeShift(n int) uint { return nodeShift(n) }

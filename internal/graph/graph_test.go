@@ -1,0 +1,201 @@
+package graph
+
+import (
+	"math"
+	"testing"
+)
+
+func TestErdosRenyiStructure(t *testing.T) {
+	g := ErdosRenyi(100, 0.3, 1000, 42)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.N != 100 {
+		t.Fatalf("N = %d", g.N)
+	}
+	// Expected edges: n*(n-1)*p = 100*99*0.3 = 2970; allow ±15%.
+	want := 2970.0
+	if e := float64(g.Edges()); math.Abs(e-want) > 0.15*want {
+		t.Fatalf("edges = %v, expected around %v", e, want)
+	}
+	// No self loops.
+	for u := 0; u < g.N; u++ {
+		targets, _ := g.Neighbors(uint32(u))
+		for _, v := range targets {
+			if int(v) == u {
+				t.Fatalf("self loop at %d", u)
+			}
+		}
+	}
+}
+
+func TestErdosRenyiDeterministic(t *testing.T) {
+	a := ErdosRenyi(50, 0.5, 100, 7)
+	b := ErdosRenyi(50, 0.5, 100, 7)
+	if a.Edges() != b.Edges() {
+		t.Fatal("same seed produced different graphs")
+	}
+	for i := range a.Targets {
+		if a.Targets[i] != b.Targets[i] || a.Weights[i] != b.Weights[i] {
+			t.Fatal("same seed produced different edges")
+		}
+	}
+	c := ErdosRenyi(50, 0.5, 100, 8)
+	if c.Edges() == a.Edges() {
+		same := true
+		for i := range a.Targets {
+			if a.Targets[i] != c.Targets[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatal("different seeds produced identical graphs")
+		}
+	}
+}
+
+func TestErdosRenyiExtremes(t *testing.T) {
+	empty := ErdosRenyi(10, 0, 100, 1)
+	if empty.Edges() != 0 {
+		t.Fatalf("p=0 graph has %d edges", empty.Edges())
+	}
+	if err := empty.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	full := ErdosRenyi(20, 1, 100, 1)
+	if full.Edges() != 20*19 {
+		t.Fatalf("p=1 graph has %d edges, want %d", full.Edges(), 20*19)
+	}
+	if err := full.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWeightsInRange(t *testing.T) {
+	g := ErdosRenyi(50, 0.5, 10, 3)
+	for _, w := range g.Weights {
+		if w < 1 || w > 10 {
+			t.Fatalf("weight %d out of [1,10]", w)
+		}
+	}
+}
+
+func TestDijkstraLine(t *testing.T) {
+	// Path graph 0 -> 1 -> 2 -> 3 with unit weights, hand-built.
+	g := &CSR{
+		N:       4,
+		RowPtr:  []int64{0, 1, 2, 3, 3},
+		Targets: []uint32{1, 2, 3},
+		Weights: []uint32{1, 1, 1},
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	dist, pops := Dijkstra(g, 0)
+	for i, want := range []uint64{0, 1, 2, 3} {
+		if dist[i] != want {
+			t.Fatalf("dist[%d] = %d, want %d", i, dist[i], want)
+		}
+	}
+	if pops < 4 {
+		t.Fatalf("pops = %d", pops)
+	}
+	// Node 3 has no outgoing edges; 0 unreachable from 3.
+	dist3, _ := Dijkstra(g, 3)
+	if dist3[0] != Unreached || dist3[3] != 0 {
+		t.Fatalf("dist from 3: %v", dist3)
+	}
+}
+
+func TestDijkstraTriangleShortcut(t *testing.T) {
+	// 0->2 direct weight 10; 0->1->2 total 3: Dijkstra must prefer 3.
+	g := &CSR{
+		N:       3,
+		RowPtr:  []int64{0, 2, 3, 3},
+		Targets: []uint32{2, 1, 2},
+		Weights: []uint32{10, 1, 2},
+	}
+	dist, _ := Dijkstra(g, 0)
+	if dist[2] != 3 {
+		t.Fatalf("dist[2] = %d, want 3", dist[2])
+	}
+}
+
+// TestDijkstraMatchesBellmanFord cross-validates against an independent
+// O(VE) implementation on random graphs.
+func TestDijkstraMatchesBellmanFord(t *testing.T) {
+	for seed := uint64(0); seed < 5; seed++ {
+		g := ErdosRenyi(60, 0.1, 1000, seed)
+		want := bellmanFord(g, 0)
+		got, _ := Dijkstra(g, 0)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("seed %d: dist[%d] = %d, Bellman-Ford %d", seed, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func bellmanFord(g *CSR, src uint32) []uint64 {
+	dist := make([]uint64, g.N)
+	for i := range dist {
+		dist[i] = Unreached
+	}
+	dist[src] = 0
+	for iter := 0; iter < g.N; iter++ {
+		changed := false
+		for u := 0; u < g.N; u++ {
+			if dist[u] == Unreached {
+				continue
+			}
+			targets, weights := g.Neighbors(uint32(u))
+			for i, v := range targets {
+				if nd := dist[u] + uint64(weights[i]); nd < dist[v] {
+					dist[v] = nd
+					changed = true
+				}
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return dist
+}
+
+func TestNodeShift(t *testing.T) {
+	cases := []struct {
+		n    int
+		want uint
+	}{
+		{2, 1}, {3, 2}, {4, 2}, {5, 3}, {1024, 10}, {1025, 11}, {10000, 14},
+	}
+	for _, c := range cases {
+		if got := NodeShift(c.n); got != c.want {
+			t.Errorf("NodeShift(%d) = %d, want %d", c.n, got, c.want)
+		}
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	g := ErdosRenyi(10, 0.5, 10, 1)
+	g.Targets[0] = 100 // out of range
+	if g.Validate() == nil {
+		t.Fatal("Validate missed out-of-range target")
+	}
+}
+
+func BenchmarkErdosRenyi1K(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		ErdosRenyi(1000, 0.1, 1<<20, uint64(i))
+	}
+}
+
+func BenchmarkDijkstra1K(b *testing.B) {
+	g := ErdosRenyi(1000, 0.1, 1<<20, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Dijkstra(g, 0)
+	}
+}

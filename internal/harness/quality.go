@@ -1,0 +1,72 @@
+package harness
+
+import (
+	"klsm/internal/ostat"
+	"klsm/internal/pqs"
+	"klsm/internal/xrand"
+)
+
+// QualityResult summarizes the rank errors observed during a sequential
+// replay: for every delete-min, the rank of the returned key among all live
+// keys (0 = exact minimum).
+type QualityResult struct {
+	Deletes  int64
+	MaxRank  int
+	MeanRank float64
+	// RankHist[r] counts deletions that returned the key of rank r, capped
+	// at len(RankHist)-1 (the last bucket aggregates the tail).
+	RankHist []int64
+}
+
+// RankError measures a queue's delete-min rank error on a single-handle
+// replay: prefill keys, then a 50/50 random mix, tracking the exact live
+// multiset in an order-statistic treap. For the k-LSM with one handle the
+// structural bound guarantees MaxRank <= k; for heuristic queues
+// (SprayList, MultiQueue) this measures their empirical quality.
+func RankError(q pqs.Queue, prefill, ops int, seed uint64) QualityResult {
+	h := q.NewHandle()
+	rng := xrand.NewSeeded(seed)
+	tree := ostat.New(seed + 1)
+	const histSize = 1 << 14
+	res := QualityResult{RankHist: make([]int64, histSize)}
+
+	insert := func() {
+		key := rng.Uint64() % (1 << 40)
+		h.Insert(key)
+		tree.Insert(key)
+	}
+	for i := 0; i < prefill; i++ {
+		insert()
+	}
+	var rankSum int64
+	for i := 0; i < ops; i++ {
+		if rng.Bool() || tree.Len() == 0 {
+			insert()
+			continue
+		}
+		key, ok := h.TryDeleteMin()
+		if !ok {
+			continue
+		}
+		rank := tree.Rank(key)
+		if !tree.Delete(key) {
+			// The queue returned a key we do not consider live — a
+			// conservation violation. Record it as a pathological rank.
+			rank = histSize - 1
+		}
+		res.Deletes++
+		rankSum += int64(rank)
+		if rank > res.MaxRank {
+			res.MaxRank = rank
+		}
+		b := rank
+		if b >= histSize {
+			b = histSize - 1
+		}
+		res.RankHist[b]++
+	}
+	if res.Deletes > 0 {
+		res.MeanRank = float64(rankSum) / float64(res.Deletes)
+	}
+	return res
+}

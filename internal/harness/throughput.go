@@ -1,0 +1,143 @@
+// Package harness drives the paper's experiments: the throughput benchmark
+// of Figure 3 (uniformly random 50/50 insert/delete-min mix on a prefilled
+// queue), the SSSP sweeps of Figure 4, and the rank-error quality
+// measurement that validates the ρ = T·k relaxation bound empirically.
+package harness
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"klsm/internal/pqs"
+	"klsm/internal/xrand"
+)
+
+// ThroughputConfig parameterizes one throughput measurement (one point of
+// Figure 3).
+type ThroughputConfig struct {
+	// Queue under test (fresh instance per run).
+	Queue pqs.Queue
+	// Threads is the number of worker goroutines.
+	Threads int
+	// Prefill is the number of random keys inserted before the timed phase
+	// (10^6 and 10^7 in the paper).
+	Prefill int
+	// Duration of the timed phase (10 s in the paper).
+	Duration time.Duration
+	// KeyRange bounds the random keys (exclusive); 0 means full uint64.
+	KeyRange uint64
+	// InsertRatio is the fraction of operations that are inserts; 0 means
+	// the paper's 50/50 mix. Values near 1 grow the queue during the run,
+	// values near 0 drain it.
+	InsertRatio float64
+	// Seed makes workloads reproducible.
+	Seed uint64
+}
+
+// ThroughputResult is one measured point.
+type ThroughputResult struct {
+	// Ops is the total completed operations (inserts + delete-min attempts
+	// that returned a key; failed attempts are not counted, matching a
+	// "throughput of successful operations" reading).
+	Ops int64
+	// FailedDeletes counts delete-min attempts that found nothing.
+	FailedDeletes int64
+	// Elapsed is the measured wall time of the timed phase.
+	Elapsed time.Duration
+	// PerThreadPerSec is the Figure 3 metric: throughput/thread/second.
+	PerThreadPerSec float64
+}
+
+// Throughput runs one measurement.
+func Throughput(cfg ThroughputConfig) ThroughputResult {
+	if cfg.Threads <= 0 {
+		cfg.Threads = 1
+	}
+	if cfg.Duration <= 0 {
+		cfg.Duration = time.Second
+	}
+	insertRatio := cfg.InsertRatio
+	if insertRatio <= 0 {
+		insertRatio = 0.5
+	}
+	keyRange := cfg.KeyRange
+
+	var (
+		ready    sync.WaitGroup
+		done     sync.WaitGroup
+		start    = make(chan struct{})
+		stop     atomic.Bool
+		ops      = make([]int64, cfg.Threads)
+		failures = make([]int64, cfg.Threads)
+	)
+
+	perThreadPrefill := cfg.Prefill / cfg.Threads
+	extra := cfg.Prefill - perThreadPrefill*cfg.Threads
+
+	for w := 0; w < cfg.Threads; w++ {
+		ready.Add(1)
+		done.Add(1)
+		go func(id int) {
+			defer done.Done()
+			h := cfg.Queue.NewHandle()
+			rng := xrand.NewSeeded(cfg.Seed*1_000_003 + uint64(id))
+			draw := func() uint64 {
+				if keyRange == 0 {
+					return rng.Uint64()
+				}
+				return rng.Uint64n(keyRange)
+			}
+			// Prefill phase: spread across workers so handle-local
+			// structures (DistLSMs, MultiQueue heaps) are realistically
+			// populated.
+			n := perThreadPrefill
+			if id == 0 {
+				n += extra
+			}
+			for i := 0; i < n; i++ {
+				h.Insert(draw())
+			}
+			pqs.FlushHandle(h)
+			ready.Done()
+			<-start
+
+			var localOps, localFail int64
+			for !stop.Load() {
+				// Check the stop flag every batch to keep Load overhead
+				// out of the measured inner loop.
+				for b := 0; b < 64; b++ {
+					if rng.Float64() < insertRatio {
+						h.Insert(draw())
+						localOps++
+					} else if _, ok := h.TryDeleteMin(); ok {
+						localOps++
+					} else {
+						localFail++
+					}
+				}
+			}
+			ops[id] = localOps
+			failures[id] = localFail
+		}(w)
+	}
+
+	ready.Wait()
+	runtime.GC() // keep prefill garbage out of the timed phase
+	begin := time.Now()
+	close(start)
+	time.Sleep(cfg.Duration)
+	stop.Store(true)
+	done.Wait()
+	elapsed := time.Since(begin)
+
+	var res ThroughputResult
+	for w := 0; w < cfg.Threads; w++ {
+		res.Ops += ops[w]
+		res.FailedDeletes += failures[w]
+	}
+	res.Elapsed = elapsed
+	res.PerThreadPerSec = float64(res.Ops) / elapsed.Seconds() / float64(cfg.Threads)
+	return res
+}

@@ -1,0 +1,49 @@
+// Package item implements the Item wrapper the k-LSM stores keys in
+// (paper §4, "Shared components").
+//
+// Every key inserted into the queue is wrapped in exactly one Item. Blocks
+// hold pointers to Items, and more than one pointer to the same Item may
+// exist at a time (spying copies pointers, merges leave stale blocks briefly
+// reachable). Deletion is logical: delete-min performs an atomic test-and-set
+// on the Item's flag, so no matter how many blocks still reference the Item,
+// exactly one delete-min ever returns it. Pointers to taken Items are lazily
+// purged whenever blocks are copied, merged, or shrunk.
+//
+// The paper's C++ version widens the flag to a versioned integer for ABA
+// safety under manual memory reuse (§4.4); under Go's garbage collector an
+// Item is never recycled while reachable, so a plain one-shot flag suffices.
+package item
+
+import "sync/atomic"
+
+// Item wraps a key and payload with a logical-deletion flag. Items are
+// created by insert, shared freely between blocks and queues, and never
+// mutated except for the flag.
+type Item[V any] struct {
+	key   uint64
+	value V
+	taken atomic.Bool
+}
+
+// New returns a live Item holding key and value.
+func New[V any](key uint64, value V) *Item[V] {
+	return &Item[V]{key: key, value: value}
+}
+
+// Key returns the priority key. Smaller keys are higher priority.
+func (it *Item[V]) Key() uint64 { return it.key }
+
+// Value returns the payload stored alongside the key.
+func (it *Item[V]) Value() V { return it.value }
+
+// Taken reports whether the item has been logically deleted. A false result
+// may be stale by the time the caller acts on it; callers that need to claim
+// the item must use TryTake.
+func (it *Item[V]) Taken() bool { return it.taken.Load() }
+
+// TryTake attempts to logically delete the item and reports whether this
+// caller won. At most one TryTake over the item's lifetime returns true;
+// this is the linearization point of a successful delete-min.
+func (it *Item[V]) TryTake() bool {
+	return !it.taken.Load() && it.taken.CompareAndSwap(false, true)
+}

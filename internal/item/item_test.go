@@ -1,0 +1,101 @@
+package item
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestNewItem(t *testing.T) {
+	it := New[string](42, "payload")
+	if it.Key() != 42 {
+		t.Fatalf("Key = %d, want 42", it.Key())
+	}
+	if it.Value() != "payload" {
+		t.Fatalf("Value = %q, want payload", it.Value())
+	}
+	if it.Taken() {
+		t.Fatal("fresh item already taken")
+	}
+}
+
+func TestTryTakeOnce(t *testing.T) {
+	it := New[struct{}](1, struct{}{})
+	if !it.TryTake() {
+		t.Fatal("first TryTake failed")
+	}
+	if !it.Taken() {
+		t.Fatal("Taken false after successful TryTake")
+	}
+	if it.TryTake() {
+		t.Fatal("second TryTake succeeded")
+	}
+}
+
+// TestTryTakeExactlyOnceConcurrent is the core exactly-once-deletion
+// guarantee: many goroutines race on TryTake, precisely one may win.
+func TestTryTakeExactlyOnceConcurrent(t *testing.T) {
+	const goroutines = 16
+	const items = 2000
+	its := make([]*Item[int], items)
+	for i := range its {
+		its[i] = New(uint64(i), i)
+	}
+	wins := make([]int, goroutines)
+	var wg sync.WaitGroup
+	var start sync.WaitGroup
+	start.Add(1)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			start.Wait()
+			for _, it := range its {
+				if it.TryTake() {
+					wins[id]++
+				}
+			}
+		}(g)
+	}
+	start.Done()
+	wg.Wait()
+	total := 0
+	for _, w := range wins {
+		total += w
+	}
+	if total != items {
+		t.Fatalf("total wins = %d, want exactly %d (each item taken exactly once)", total, items)
+	}
+	for _, it := range its {
+		if !it.Taken() {
+			t.Fatal("item not taken after the race")
+		}
+	}
+}
+
+func TestZeroKeyAndMaxKey(t *testing.T) {
+	lo := New[struct{}](0, struct{}{})
+	hi := New[struct{}](^uint64(0), struct{}{})
+	if lo.Key() != 0 || hi.Key() != ^uint64(0) {
+		t.Fatal("extreme keys not preserved")
+	}
+}
+
+func BenchmarkTryTake(b *testing.B) {
+	its := make([]*Item[struct{}], b.N)
+	for i := range its {
+		its[i] = New[struct{}](uint64(i), struct{}{})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		its[i].TryTake()
+	}
+}
+
+func BenchmarkTakenLoad(b *testing.B) {
+	it := New[struct{}](1, struct{}{})
+	var sink bool
+	for i := 0; i < b.N; i++ {
+		sink = it.Taken()
+	}
+	_ = sink
+}

@@ -1,0 +1,182 @@
+// Package lsm implements the sequential log-structured merge-tree priority
+// queue of paper §3.
+//
+// The queue maintains a logarithmic number of sorted blocks with strictly
+// decreasing levels (largest first). At most one block per level may exist;
+// inserts create a level-0 block and merge from the small end until the
+// invariant holds again, and delete-min shrinks blocks and re-merges as
+// needed, giving O(log n) amortized operations.
+//
+// This package is single-threaded. It serves three roles: the conceptual
+// basis the concurrent variants build on, the thread-local queue semantics
+// reference in tests, and a fast sequential baseline.
+package lsm
+
+import (
+	"klsm/internal/block"
+	"klsm/internal/item"
+)
+
+// LSM is a sequential log-structured merge-tree priority queue. The zero
+// value is not usable; call New.
+type LSM[V any] struct {
+	// blocks is ordered by strictly decreasing level: blocks[0] is the
+	// largest run, blocks[len-1] the smallest.
+	blocks []*block.Block[V]
+	drop   block.DropFunc[V]
+	// live tracks the exact number of live items: inserts minus delete-mins
+	// minus items removed by the drop callback during maintenance.
+	live int
+}
+
+// New returns an empty sequential LSM priority queue.
+func New[V any]() *LSM[V] {
+	return &LSM[V]{}
+}
+
+// SetDrop installs the lazy-deletion callback (paper §4.5). Items for which
+// drop returns true are discarded whenever maintenance copies or merges
+// blocks. Pass nil to disable.
+func (l *LSM[V]) SetDrop(drop block.DropFunc[V]) { l.drop = drop }
+
+// Insert adds key with its payload.
+func (l *LSM[V]) Insert(key uint64, value V) {
+	l.InsertItem(item.New(key, value))
+}
+
+// InsertItem adds a pre-wrapped item (paper Figure 2: create a level-0 block,
+// then merge from the tail until no two blocks share a level).
+func (l *LSM[V]) InsertItem(it *item.Item[V]) {
+	nb := block.New[V](0)
+	nb.Append(it)
+	if nb.Empty() {
+		return // item was already taken
+	}
+	l.live++
+	l.pushMerging(nb)
+}
+
+// pushMerging appends nb (the smallest run) and restores the strictly
+// decreasing level invariant by merging from the tail. When a drop callback
+// is installed it is wrapped to keep the live count exact; without one,
+// merges cannot change the live count (they only filter items that were
+// already logically deleted and accounted for).
+func (l *LSM[V]) pushMerging(nb *block.Block[V]) {
+	drop := l.drop
+	if drop != nil {
+		inner := l.drop
+		drop = func(key uint64, value V) bool {
+			if inner(key, value) {
+				l.live--
+				return true
+			}
+			return false
+		}
+	}
+	i := len(l.blocks)
+	for i > 0 && l.blocks[i-1].Level() <= nb.Level() {
+		nb = block.Merge(l.blocks[i-1], nb, drop)
+		i--
+	}
+	l.blocks = append(l.blocks[:i], nb)
+	if nb.Empty() {
+		l.blocks = l.blocks[:i]
+	}
+}
+
+// PeekMin returns the live minimum item without removing it, or nil if the
+// queue is empty.
+func (l *LSM[V]) PeekMin() *item.Item[V] {
+	it, _ := l.minItem()
+	return it
+}
+
+// minItem locates the block holding the live minimum.
+func (l *LSM[V]) minItem() (*item.Item[V], int) {
+	var best *item.Item[V]
+	bestIdx := -1
+	for i, b := range l.blocks {
+		it, _ := b.LiveMin()
+		if it == nil {
+			continue
+		}
+		if best == nil || it.Key() < best.Key() {
+			best, bestIdx = it, i
+		}
+	}
+	return best, bestIdx
+}
+
+// DeleteMin removes and returns the minimum key and its payload. ok is false
+// if the queue is empty. Items the drop callback reports stale are discarded
+// here as well as during merges, so DeleteMin never returns a dropped item.
+func (l *LSM[V]) DeleteMin() (key uint64, value V, ok bool) {
+	for {
+		it, idx := l.minItem()
+		if it == nil {
+			var zero V
+			return 0, zero, false
+		}
+		it.TryTake()
+		l.live--
+		l.shrinkAt(idx)
+		if l.drop != nil && l.drop(it.Key(), it.Value()) {
+			continue
+		}
+		return it.Key(), it.Value(), true
+	}
+}
+
+// shrinkAt shrinks the block at idx after a removal and restores the level
+// invariant by re-merging the suffix if the block's level dropped.
+func (l *LSM[V]) shrinkAt(idx int) {
+	b := l.blocks[idx]
+	s := b.Shrink()
+	if s == b && !s.Empty() {
+		return // level unchanged, invariant intact
+	}
+	// The block at idx shrank below its old level: it may now collide with
+	// smaller blocks to its right. Rebuild the suffix via the same merging
+	// push used by insert.
+	suffix := append([]*block.Block[V](nil), l.blocks[idx+1:]...)
+	l.blocks = l.blocks[:idx]
+	if !s.Empty() {
+		l.pushMerging(s)
+	}
+	for _, sb := range suffix {
+		if !sb.Empty() {
+			l.pushMerging(sb)
+		}
+	}
+}
+
+// Len returns the exact number of live items.
+func (l *LSM[V]) Len() int { return l.live }
+
+// Empty reports whether no live item remains.
+func (l *LSM[V]) Empty() bool { return l.live == 0 }
+
+// Blocks returns the current number of blocks; exposed for tests asserting
+// the logarithmic-structure invariant.
+func (l *LSM[V]) Blocks() int { return len(l.blocks) }
+
+// CheckInvariants verifies the structural invariants (strictly decreasing
+// levels, per-block descending order, level occupancy) and returns false on
+// the first violation. Used by tests and the property suite.
+func (l *LSM[V]) CheckInvariants() bool {
+	for i, b := range l.blocks {
+		if i > 0 && l.blocks[i-1].Level() <= b.Level() {
+			return false
+		}
+		if !b.SortedDesc() {
+			return false
+		}
+		if b.Filled() > b.Capacity() {
+			return false
+		}
+		if b.Empty() {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,254 @@
+package lsm
+
+import (
+	"container/heap"
+	"sort"
+	"testing"
+
+	"klsm/internal/xrand"
+)
+
+// refHeap is a container/heap min-heap oracle.
+type refHeap []uint64
+
+func (h refHeap) Len() int            { return len(h) }
+func (h refHeap) Less(i, j int) bool  { return h[i] < h[j] }
+func (h refHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *refHeap) Push(x interface{}) { *h = append(*h, x.(uint64)) }
+func (h *refHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+func TestEmptyQueue(t *testing.T) {
+	q := New[int]()
+	if !q.Empty() || q.Len() != 0 {
+		t.Fatal("fresh queue not empty")
+	}
+	if _, _, ok := q.DeleteMin(); ok {
+		t.Fatal("DeleteMin on empty queue succeeded")
+	}
+	if q.PeekMin() != nil {
+		t.Fatal("PeekMin on empty queue not nil")
+	}
+}
+
+func TestSingleItem(t *testing.T) {
+	q := New[string]()
+	q.Insert(42, "x")
+	if q.Len() != 1 || q.Empty() {
+		t.Fatalf("Len = %d", q.Len())
+	}
+	if pk := q.PeekMin(); pk == nil || pk.Key() != 42 {
+		t.Fatalf("PeekMin = %v", pk)
+	}
+	k, v, ok := q.DeleteMin()
+	if !ok || k != 42 || v != "x" {
+		t.Fatalf("DeleteMin = (%d, %q, %v)", k, v, ok)
+	}
+	if !q.Empty() {
+		t.Fatal("queue not empty after removing only item")
+	}
+}
+
+func TestSortedExtraction(t *testing.T) {
+	q := New[int]()
+	keys := []uint64{5, 3, 9, 1, 7, 2, 8, 4, 6, 0}
+	for i, k := range keys {
+		q.Insert(k, i)
+	}
+	if !q.CheckInvariants() {
+		t.Fatal("invariants violated after inserts")
+	}
+	for want := uint64(0); want < 10; want++ {
+		k, _, ok := q.DeleteMin()
+		if !ok || k != want {
+			t.Fatalf("DeleteMin = %d (%v), want %d", k, ok, want)
+		}
+		if !q.CheckInvariants() {
+			t.Fatalf("invariants violated after deleting %d", want)
+		}
+	}
+	if !q.Empty() {
+		t.Fatal("queue not empty at end")
+	}
+}
+
+func TestDuplicateKeys(t *testing.T) {
+	q := New[int]()
+	for i := 0; i < 5; i++ {
+		q.Insert(7, i)
+	}
+	q.Insert(3, 100)
+	q.Insert(11, 200)
+	want := []uint64{3, 7, 7, 7, 7, 7, 11}
+	for _, w := range want {
+		k, _, ok := q.DeleteMin()
+		if !ok || k != w {
+			t.Fatalf("got %d (%v), want %d", k, ok, w)
+		}
+	}
+}
+
+func TestAgainstHeapOracle(t *testing.T) {
+	const ops = 20000
+	src := xrand.NewSeeded(2024)
+	q := New[struct{}]()
+	ref := &refHeap{}
+	for i := 0; i < ops; i++ {
+		if src.Intn(2) == 0 || ref.Len() == 0 {
+			k := src.Uint64() % 10000
+			q.Insert(k, struct{}{})
+			heap.Push(ref, k)
+		} else {
+			k, _, ok := q.DeleteMin()
+			want := heap.Pop(ref).(uint64)
+			if !ok || k != want {
+				t.Fatalf("op %d: DeleteMin = %d (%v), want %d", i, k, ok, want)
+			}
+		}
+		if q.Len() != ref.Len() {
+			t.Fatalf("op %d: Len = %d, oracle %d", i, q.Len(), ref.Len())
+		}
+	}
+	// Drain and compare the remainder.
+	for ref.Len() > 0 {
+		k, _, ok := q.DeleteMin()
+		want := heap.Pop(ref).(uint64)
+		if !ok || k != want {
+			t.Fatalf("drain: got %d (%v), want %d", k, ok, want)
+		}
+	}
+	if !q.Empty() {
+		t.Fatal("queue not empty after drain")
+	}
+}
+
+func TestLogarithmicBlockCount(t *testing.T) {
+	q := New[struct{}]()
+	const n = 1 << 12
+	src := xrand.NewSeeded(5)
+	for i := 0; i < n; i++ {
+		q.Insert(src.Uint64(), struct{}{})
+	}
+	// n items fit in at most log2(n)+1 blocks of distinct levels.
+	if q.Blocks() > 13 {
+		t.Fatalf("blocks = %d for %d items; structure not logarithmic", q.Blocks(), n)
+	}
+	if !q.CheckInvariants() {
+		t.Fatal("invariants violated")
+	}
+}
+
+func TestLazyDeletionDrop(t *testing.T) {
+	q := New[int]()
+	stale := map[uint64]bool{}
+	q.SetDrop(func(key uint64, _ int) bool { return stale[key] })
+	for k := uint64(0); k < 64; k++ {
+		q.Insert(k, int(k))
+	}
+	// Mark the even keys stale; they must be purged during maintenance and
+	// never returned.
+	for k := uint64(0); k < 64; k += 2 {
+		stale[k] = true
+	}
+	// Force maintenance merges by inserting more items.
+	for k := uint64(64); k < 128; k++ {
+		q.Insert(k, int(k))
+	}
+	var got []uint64
+	for {
+		k, _, ok := q.DeleteMin()
+		if !ok {
+			break
+		}
+		if k < 64 && k%2 == 0 {
+			t.Fatalf("stale key %d returned", k)
+		}
+		got = append(got, k)
+	}
+	if !sort.SliceIsSorted(got, func(i, j int) bool { return got[i] < got[j] }) {
+		t.Fatal("extraction not sorted with lazy deletion enabled")
+	}
+	// 32 odd keys below 64 plus 64 keys above = 96.
+	if len(got) != 96 {
+		t.Fatalf("extracted %d keys, want 96", len(got))
+	}
+	if q.Len() != 0 {
+		t.Fatalf("Len = %d after drain, want 0 (drop accounting broken)", q.Len())
+	}
+}
+
+func TestInterleavedInsertDelete(t *testing.T) {
+	q := New[struct{}]()
+	src := xrand.NewSeeded(77)
+	live := 0
+	for round := 0; round < 50; round++ {
+		for i := 0; i < 100; i++ {
+			q.Insert(src.Uint64()%1000, struct{}{})
+			live++
+		}
+		for i := 0; i < 60; i++ {
+			if _, _, ok := q.DeleteMin(); ok {
+				live--
+			}
+		}
+		if q.Len() != live {
+			t.Fatalf("round %d: Len = %d, want %d", round, q.Len(), live)
+		}
+		if !q.CheckInvariants() {
+			t.Fatalf("round %d: invariants violated", round)
+		}
+	}
+}
+
+func TestMonotoneInsertAscending(t *testing.T) {
+	q := New[struct{}]()
+	const n = 1000
+	for k := uint64(0); k < n; k++ {
+		q.Insert(k, struct{}{})
+	}
+	for want := uint64(0); want < n; want++ {
+		if k, _, _ := q.DeleteMin(); k != want {
+			t.Fatalf("ascending: got %d want %d", k, want)
+		}
+	}
+}
+
+func TestMonotoneInsertDescending(t *testing.T) {
+	q := New[struct{}]()
+	const n = 1000
+	for k := int64(n - 1); k >= 0; k-- {
+		q.Insert(uint64(k), struct{}{})
+	}
+	for want := uint64(0); want < n; want++ {
+		if k, _, _ := q.DeleteMin(); k != want {
+			t.Fatalf("descending: got %d want %d", k, want)
+		}
+	}
+}
+
+func BenchmarkInsert(b *testing.B) {
+	q := New[struct{}]()
+	src := xrand.NewSeeded(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q.Insert(src.Uint64(), struct{}{})
+	}
+}
+
+func BenchmarkInsertDeletePair(b *testing.B) {
+	q := New[struct{}]()
+	src := xrand.NewSeeded(1)
+	for i := 0; i < 1024; i++ {
+		q.Insert(src.Uint64(), struct{}{})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q.Insert(src.Uint64(), struct{}{})
+		q.DeleteMin()
+	}
+}

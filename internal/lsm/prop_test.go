@@ -1,0 +1,155 @@
+package lsm
+
+import (
+	"container/heap"
+	"testing"
+	"testing/quick"
+
+	"klsm/internal/xrand"
+)
+
+// opSeq decodes a byte stream into an insert/delete operation sequence and
+// cross-checks the LSM against a heap oracle, verifying structural
+// invariants after every operation.
+func runOpSequence(ops []byte) bool {
+	q := New[struct{}]()
+	ref := &refHeap{}
+	for _, op := range ops {
+		if op&1 == 0 || ref.Len() == 0 {
+			key := uint64(op) * 31
+			q.Insert(key, struct{}{})
+			heap.Push(ref, key)
+		} else {
+			got, _, ok := q.DeleteMin()
+			want := heap.Pop(ref).(uint64)
+			if !ok || got != want {
+				return false
+			}
+		}
+		if q.Len() != ref.Len() {
+			return false
+		}
+		if !q.CheckInvariants() {
+			return false
+		}
+	}
+	return true
+}
+
+// TestPropMatchesHeapOracle: arbitrary operation sequences agree with
+// container/heap and preserve all structural invariants.
+func TestPropMatchesHeapOracle(t *testing.T) {
+	if err := quick.Check(runOpSequence, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropDrainIsSorted: for an arbitrary key multiset, draining the LSM
+// yields a non-decreasing sequence of exactly the inserted keys.
+func TestPropDrainIsSorted(t *testing.T) {
+	f := func(keys []uint64) bool {
+		q := New[struct{}]()
+		counts := map[uint64]int{}
+		for _, k := range keys {
+			q.Insert(k, struct{}{})
+			counts[k]++
+		}
+		prev := uint64(0)
+		for range keys {
+			k, _, ok := q.DeleteMin()
+			if !ok || k < prev {
+				return false
+			}
+			prev = k
+			counts[k]--
+			if counts[k] < 0 {
+				return false
+			}
+		}
+		_, _, ok := q.DeleteMin()
+		return !ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropLazyDeletionNeverReturnsDropped: with an arbitrary stale-set, no
+// dropped key is ever returned and every live key is.
+func TestPropLazyDeletionNeverReturnsDropped(t *testing.T) {
+	f := func(keys []uint64, staleMask []bool) bool {
+		stale := map[uint64]bool{}
+		for i, k := range keys {
+			if i < len(staleMask) && staleMask[i] {
+				stale[k] = true
+			}
+		}
+		q := New[struct{}]()
+		q.SetDrop(func(key uint64, _ struct{}) bool { return stale[key] })
+		liveCount := 0
+		for _, k := range keys {
+			q.Insert(k, struct{}{})
+			if !stale[k] {
+				liveCount++
+			}
+		}
+		got := 0
+		for {
+			k, _, ok := q.DeleteMin()
+			if !ok {
+				break
+			}
+			if stale[k] {
+				return false
+			}
+			got++
+		}
+		// Staleness is a function of the key, so duplicates agree: exactly
+		// the live insertions must surface.
+		return got == liveCount
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStressChurn runs a long random mix, testing amortized maintenance
+// paths (deep merge chains, shrink cascades).
+func TestStressChurn(t *testing.T) {
+	iters := 200000
+	if testing.Short() {
+		iters = 20000
+	}
+	q := New[struct{}]()
+	src := xrand.NewSeeded(2026)
+	live := 0
+	for i := 0; i < iters; i++ {
+		switch src.Intn(3) {
+		case 0, 1:
+			q.Insert(src.Uint64()%4096, struct{}{})
+			live++
+		default:
+			if _, _, ok := q.DeleteMin(); ok {
+				live--
+			}
+		}
+	}
+	if q.Len() != live {
+		t.Fatalf("Len = %d, want %d", q.Len(), live)
+	}
+	if !q.CheckInvariants() {
+		t.Fatal("invariants violated after churn")
+	}
+	// Full drain stays sorted.
+	prev := uint64(0)
+	for {
+		k, _, ok := q.DeleteMin()
+		if !ok {
+			break
+		}
+		if k < prev {
+			t.Fatal("drain unsorted after churn")
+		}
+		prev = k
+	}
+}

@@ -1,0 +1,198 @@
+// Package ostat implements an order-statistic treap over uint64 keys with
+// duplicates.
+//
+// The rank-error (quality) harness needs, for every delete-min a queue
+// performs, the rank of the returned key among all currently live keys —
+// i.e. "how many strictly smaller keys were skipped". A treap with subtree
+// sizes answers Rank, Insert and Delete in O(log n) expected time, keeping
+// the measurement overhead far below the queue operations being measured.
+package ostat
+
+import "klsm/internal/xrand"
+
+type node struct {
+	key         uint64
+	prio        uint64
+	count       int // multiplicity of key
+	size        int // total keys (with multiplicity) in subtree
+	left, right *node
+}
+
+func (n *node) sz() int {
+	if n == nil {
+		return 0
+	}
+	return n.size
+}
+
+func (n *node) update() {
+	n.size = n.count + n.left.sz() + n.right.sz()
+}
+
+// Tree is an order-statistic multiset. Not safe for concurrent use.
+type Tree struct {
+	root *node
+	rng  *xrand.Source
+}
+
+// New returns an empty tree with a deterministic priority stream.
+func New(seed uint64) *Tree {
+	return &Tree{rng: xrand.NewSeeded(seed)}
+}
+
+// Len returns the number of stored keys, counting multiplicity.
+func (t *Tree) Len() int { return t.root.sz() }
+
+// Insert adds one occurrence of key.
+func (t *Tree) Insert(key uint64) {
+	t.root = t.insert(t.root, key)
+}
+
+func (t *Tree) insert(n *node, key uint64) *node {
+	if n == nil {
+		return &node{key: key, prio: t.rng.Uint64(), count: 1, size: 1}
+	}
+	switch {
+	case key == n.key:
+		n.count++
+	case key < n.key:
+		n.left = t.insert(n.left, key)
+		if n.left.prio > n.prio {
+			n = rotateRight(n)
+		}
+	default:
+		n.right = t.insert(n.right, key)
+		if n.right.prio > n.prio {
+			n = rotateLeft(n)
+		}
+	}
+	n.update()
+	return n
+}
+
+// Delete removes one occurrence of key, reporting whether it was present.
+func (t *Tree) Delete(key uint64) bool {
+	var deleted bool
+	t.root, deleted = t.delete(t.root, key)
+	return deleted
+}
+
+func (t *Tree) delete(n *node, key uint64) (*node, bool) {
+	if n == nil {
+		return nil, false
+	}
+	var deleted bool
+	switch {
+	case key < n.key:
+		n.left, deleted = t.delete(n.left, key)
+	case key > n.key:
+		n.right, deleted = t.delete(n.right, key)
+	default:
+		deleted = true
+		if n.count > 1 {
+			n.count--
+		} else {
+			// Rotate the node down to a leaf and drop it.
+			if n.left == nil {
+				return n.right, true
+			}
+			if n.right == nil {
+				return n.left, true
+			}
+			if n.left.prio > n.right.prio {
+				n = rotateRight(n)
+				n.right, _ = t.delete(n.right, key)
+			} else {
+				n = rotateLeft(n)
+				n.left, _ = t.delete(n.left, key)
+			}
+		}
+	}
+	n.update()
+	return n, deleted
+}
+
+// Rank returns the number of stored keys strictly smaller than key.
+func (t *Tree) Rank(key uint64) int {
+	rank := 0
+	n := t.root
+	for n != nil {
+		switch {
+		case key < n.key:
+			n = n.left
+		case key > n.key:
+			rank += n.left.sz() + n.count
+			n = n.right
+		default:
+			return rank + n.left.sz()
+		}
+	}
+	return rank
+}
+
+// Contains reports whether at least one occurrence of key is stored.
+func (t *Tree) Contains(key uint64) bool {
+	n := t.root
+	for n != nil {
+		switch {
+		case key < n.key:
+			n = n.left
+		case key > n.key:
+			n = n.right
+		default:
+			return true
+		}
+	}
+	return false
+}
+
+// Min returns the smallest stored key.
+func (t *Tree) Min() (uint64, bool) {
+	n := t.root
+	if n == nil {
+		return 0, false
+	}
+	for n.left != nil {
+		n = n.left
+	}
+	return n.key, true
+}
+
+// Kth returns the k-th smallest key (0-based, counting multiplicity).
+func (t *Tree) Kth(k int) (uint64, bool) {
+	n := t.root
+	if k < 0 || k >= n.sz() {
+		return 0, false
+	}
+	for n != nil {
+		ls := n.left.sz()
+		switch {
+		case k < ls:
+			n = n.left
+		case k < ls+n.count:
+			return n.key, true
+		default:
+			k -= ls + n.count
+			n = n.right
+		}
+	}
+	return 0, false
+}
+
+func rotateRight(n *node) *node {
+	l := n.left
+	n.left = l.right
+	l.right = n
+	n.update()
+	l.update()
+	return l
+}
+
+func rotateLeft(n *node) *node {
+	r := n.right
+	n.right = r.left
+	r.left = n
+	n.update()
+	r.update()
+	return r
+}

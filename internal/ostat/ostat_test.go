@@ -1,0 +1,160 @@
+package ostat
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"klsm/internal/xrand"
+)
+
+func TestEmpty(t *testing.T) {
+	tr := New(1)
+	if tr.Len() != 0 {
+		t.Fatal("fresh tree non-empty")
+	}
+	if _, ok := tr.Min(); ok {
+		t.Fatal("Min on empty succeeded")
+	}
+	if tr.Delete(5) {
+		t.Fatal("Delete on empty succeeded")
+	}
+	if tr.Rank(100) != 0 {
+		t.Fatal("Rank on empty non-zero")
+	}
+	if _, ok := tr.Kth(0); ok {
+		t.Fatal("Kth on empty succeeded")
+	}
+}
+
+func TestInsertDeleteRank(t *testing.T) {
+	tr := New(2)
+	keys := []uint64{5, 3, 9, 3, 7}
+	for _, k := range keys {
+		tr.Insert(k)
+	}
+	if tr.Len() != 5 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	cases := []struct {
+		key  uint64
+		want int
+	}{
+		{0, 0}, {3, 0}, {4, 2}, {5, 2}, {6, 3}, {7, 3}, {8, 4}, {9, 4}, {10, 5},
+	}
+	for _, c := range cases {
+		if got := tr.Rank(c.key); got != c.want {
+			t.Errorf("Rank(%d) = %d, want %d", c.key, got, c.want)
+		}
+	}
+	if !tr.Delete(3) || tr.Len() != 4 {
+		t.Fatal("Delete of duplicate failed")
+	}
+	if got := tr.Rank(4); got != 1 {
+		t.Fatalf("Rank(4) after one delete = %d, want 1", got)
+	}
+	if !tr.Contains(3) {
+		t.Fatal("second occurrence of 3 lost")
+	}
+	tr.Delete(3)
+	if tr.Contains(3) {
+		t.Fatal("3 still present after deleting both")
+	}
+}
+
+func TestMinAndKth(t *testing.T) {
+	tr := New(3)
+	for _, k := range []uint64{50, 10, 30, 10, 20} {
+		tr.Insert(k)
+	}
+	if m, ok := tr.Min(); !ok || m != 10 {
+		t.Fatalf("Min = %d (%v)", m, ok)
+	}
+	want := []uint64{10, 10, 20, 30, 50}
+	for i, w := range want {
+		if got, ok := tr.Kth(i); !ok || got != w {
+			t.Fatalf("Kth(%d) = %d (%v), want %d", i, got, ok, w)
+		}
+	}
+	if _, ok := tr.Kth(5); ok {
+		t.Fatal("Kth out of range succeeded")
+	}
+}
+
+// TestPropMatchesSortedSlice compares the treap against a sorted-slice
+// reference over random operation sequences.
+func TestPropMatchesSortedSlice(t *testing.T) {
+	f := func(ops []uint64) bool {
+		tr := New(7)
+		var ref []uint64
+		for _, op := range ops {
+			key := op >> 1 % 64
+			if op&1 == 0 || len(ref) == 0 {
+				tr.Insert(key)
+				i := sort.Search(len(ref), func(i int) bool { return ref[i] >= key })
+				ref = append(ref, 0)
+				copy(ref[i+1:], ref[i:])
+				ref[i] = key
+			} else {
+				wantOK := false
+				i := sort.Search(len(ref), func(i int) bool { return ref[i] >= key })
+				if i < len(ref) && ref[i] == key {
+					wantOK = true
+					ref = append(ref[:i], ref[i+1:]...)
+				}
+				if tr.Delete(key) != wantOK {
+					return false
+				}
+			}
+			if tr.Len() != len(ref) {
+				return false
+			}
+			// Spot-check ranks.
+			probe := key
+			wantRank := sort.Search(len(ref), func(i int) bool { return ref[i] >= probe })
+			if tr.Rank(probe) != wantRank {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLargeRandom(t *testing.T) {
+	tr := New(11)
+	src := xrand.NewSeeded(13)
+	const n = 50000
+	for i := 0; i < n; i++ {
+		tr.Insert(src.Uint64() % 100000)
+	}
+	if tr.Len() != n {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	// Kth must be non-decreasing.
+	prev := uint64(0)
+	for i := 0; i < n; i += 997 {
+		k, ok := tr.Kth(i)
+		if !ok || k < prev {
+			t.Fatalf("Kth(%d) = %d (%v), prev %d", i, k, ok, prev)
+		}
+		prev = k
+	}
+}
+
+func BenchmarkInsertDeleteRank(b *testing.B) {
+	tr := New(17)
+	src := xrand.NewSeeded(19)
+	for i := 0; i < 10000; i++ {
+		tr.Insert(src.Uint64() % 1000000)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := src.Uint64() % 1000000
+		tr.Insert(k)
+		tr.Rank(k)
+		tr.Delete(k)
+	}
+}

@@ -1,0 +1,56 @@
+// Package heaplock implements the "Heap + Lock" baseline of the paper's
+// Figure 3: a sequential binary heap protected by a single test-and-test-
+// and-set spinlock.
+//
+// It provides exact (globally linearizable) priority queue semantics with
+// the obvious scalability ceiling: every operation serializes on one lock,
+// so throughput per thread decays roughly as 1/T. The paper uses it both as
+// the sequential performance yardstick (the DLSM is "close to the binary
+// heap" at one thread) and as the simplest contended baseline.
+package heaplock
+
+import (
+	"klsm/internal/binheap"
+	"klsm/internal/pqs"
+	"klsm/internal/spin"
+)
+
+// Queue is a spinlock-protected binary min-heap.
+type Queue struct {
+	mu   spin.Mutex
+	heap *binheap.Heap
+}
+
+// New returns an empty queue.
+func New() *Queue {
+	return &Queue{heap: binheap.New(2)}
+}
+
+// NewHandle implements pqs.Queue. All handles share the single global heap.
+func (q *Queue) NewHandle() pqs.Handle { return handle{q} }
+
+type handle struct{ q *Queue }
+
+// Insert implements pqs.Handle.
+func (h handle) Insert(key uint64) {
+	h.q.mu.Lock()
+	h.q.heap.Push(key)
+	h.q.mu.Unlock()
+}
+
+// TryDeleteMin implements pqs.Handle. It is exact: ok=false means the queue
+// was empty at the linearization point.
+func (h handle) TryDeleteMin() (uint64, bool) {
+	h.q.mu.Lock()
+	k, ok := h.q.heap.Pop()
+	h.q.mu.Unlock()
+	return k, ok
+}
+
+// Len returns the current size (takes the lock; for tests).
+func (q *Queue) Len() int {
+	q.mu.Lock()
+	n := q.heap.Len()
+	q.mu.Unlock()
+	return n
+}

@@ -1,0 +1,49 @@
+package heaplock
+
+import (
+	"testing"
+
+	"klsm/internal/pqs"
+	"klsm/internal/pqs/pqtest"
+)
+
+func TestConformance(t *testing.T) {
+	pqtest.Run(t, "HeapLock", func(threads int) pqs.Queue { return New() }, pqtest.Options{
+		Exact:               true,
+		SequentialRankBound: 0,
+	})
+}
+
+func TestLen(t *testing.T) {
+	q := New()
+	h := q.NewHandle()
+	h.Insert(1)
+	h.Insert(2)
+	if q.Len() != 2 {
+		t.Fatalf("Len = %d", q.Len())
+	}
+	h.TryDeleteMin()
+	if q.Len() != 1 {
+		t.Fatalf("Len = %d", q.Len())
+	}
+}
+
+func BenchmarkContended(b *testing.B) {
+	q := New()
+	h := q.NewHandle()
+	for i := 0; i < 1024; i++ {
+		h.Insert(uint64(i))
+	}
+	b.RunParallel(func(pb *testing.PB) {
+		h := q.NewHandle()
+		i := uint64(0)
+		for pb.Next() {
+			if i%2 == 0 {
+				h.Insert(i)
+			} else {
+				h.TryDeleteMin()
+			}
+			i++
+		}
+	})
+}

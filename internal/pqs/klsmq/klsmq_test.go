@@ -1,0 +1,66 @@
+package klsmq
+
+import (
+	"testing"
+
+	"klsm/internal/pqs"
+	"klsm/internal/pqs/pqtest"
+)
+
+func TestConformanceK0(t *testing.T) {
+	pqtest.Run(t, "kLSM0", func(threads int) pqs.Queue { return New(0) }, pqtest.Options{
+		// Single handle with k=0 is exact (local ordering + strict shared).
+		Exact:               true,
+		SequentialRankBound: 0,
+	})
+}
+
+func TestConformanceK256(t *testing.T) {
+	pqtest.Run(t, "kLSM256", func(threads int) pqs.Queue { return New(256) }, pqtest.Options{
+		// Single handle is still exact thanks to local ordering.
+		Exact:               true,
+		SequentialRankBound: 256,
+	})
+}
+
+func TestConformanceK4096NoLocalOrdering(t *testing.T) {
+	pqtest.Run(t, "kLSM4096nlo", func(threads int) pqs.Queue { return NewNoLocalOrdering(4096) }, pqtest.Options{
+		Exact:               false,
+		SequentialRankBound: 4096,
+	})
+}
+
+func TestConformanceDLSM(t *testing.T) {
+	pqtest.Run(t, "DLSM", func(threads int) pqs.Queue { return NewDLSM() }, pqtest.Options{
+		// Single handle: local ordering makes the DLSM exact sequentially.
+		Exact:               true,
+		SequentialRankBound: 0,
+	})
+}
+
+func TestNewWithDropFiltersStale(t *testing.T) {
+	q := NewWithDrop(4, func(key uint64) bool { return key >= 100 })
+	h := q.NewHandle()
+	for i := uint64(0); i < 50; i++ {
+		h.Insert(i)
+		h.Insert(100 + i)
+	}
+	for {
+		k, ok := h.TryDeleteMin()
+		if !ok {
+			break
+		}
+		if k >= 100 {
+			t.Fatalf("dropped key %d surfaced", k)
+		}
+	}
+}
+
+func TestNewWithNilDrop(t *testing.T) {
+	q := NewWithDrop(4, nil)
+	h := q.NewHandle()
+	h.Insert(1)
+	if k, ok := h.TryDeleteMin(); !ok || k != 1 {
+		t.Fatalf("nil-drop queue broken: %d %v", k, ok)
+	}
+}

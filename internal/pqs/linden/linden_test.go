@@ -1,0 +1,53 @@
+package linden
+
+import (
+	"testing"
+
+	"klsm/internal/pqs"
+	"klsm/internal/pqs/pqtest"
+)
+
+func TestConformance(t *testing.T) {
+	pqtest.Run(t, "Linden", func(threads int) pqs.Queue { return New(0) }, pqtest.Options{
+		Exact:               true,
+		SequentialRankBound: 0,
+	})
+}
+
+func TestConformanceSmallBoundOffset(t *testing.T) {
+	// Aggressive restructuring (bound 1) stresses the excision path.
+	pqtest.Run(t, "LindenBound1", func(threads int) pqs.Queue { return New(1) }, pqtest.Options{
+		Exact:               true,
+		SequentialRankBound: 0,
+	})
+}
+
+func TestLen(t *testing.T) {
+	q := New(0)
+	h := q.NewHandle()
+	h.Insert(3)
+	h.Insert(1)
+	if q.Len() != 2 {
+		t.Fatalf("Len = %d", q.Len())
+	}
+}
+
+func BenchmarkMixParallel(b *testing.B) {
+	q := New(0)
+	h := q.NewHandle()
+	for i := 0; i < 4096; i++ {
+		h.Insert(uint64(i) * 7)
+	}
+	b.RunParallel(func(pb *testing.PB) {
+		h := q.NewHandle()
+		i := uint64(0)
+		for pb.Next() {
+			if i%2 == 0 {
+				h.Insert(i)
+			} else {
+				h.TryDeleteMin()
+			}
+			i++
+		}
+	})
+}

@@ -1,0 +1,94 @@
+package multiq
+
+import (
+	"testing"
+
+	"klsm/internal/pqs"
+	"klsm/internal/pqs/pqtest"
+)
+
+func TestConformance(t *testing.T) {
+	pqtest.Run(t, "MultiQueue", func(threads int) pqs.Queue {
+		return New(Config{C: 2, Threads: threads, Arity: 8})
+	}, pqtest.Options{
+		Exact:               false,
+		SequentialRankBound: -1, // no worst-case bound, as the paper stresses
+	})
+}
+
+func TestDefaults(t *testing.T) {
+	q := New(Config{})
+	if len(q.locals) != 2 {
+		t.Fatalf("default C*Threads = %d, want 2", len(q.locals))
+	}
+	h := q.NewHandle()
+	h.Insert(5)
+	if k, ok := h.TryDeleteMin(); !ok || k != 5 {
+		t.Fatalf("got %d (%v)", k, ok)
+	}
+}
+
+// TestTwoChoiceQuality: with one thread and c=2 (2 queues), the returned key
+// should usually be near the front. This is a smoke test of relaxation
+// quality, not a bound (none exists).
+func TestTwoChoiceQuality(t *testing.T) {
+	q := New(Config{C: 2, Threads: 4})
+	h := q.NewHandle()
+	const n = 8192
+	for i := uint64(0); i < n; i++ {
+		h.Insert(i)
+	}
+	worst := uint64(0)
+	for i := 0; i < 100; i++ {
+		k, ok := h.TryDeleteMin()
+		if !ok {
+			t.Fatal("unexpected empty")
+		}
+		if k > worst {
+			worst = k
+		}
+	}
+	// 8 queues: the first 100 deletions should stay well inside the first
+	// ~100 + slack ranks. Allow a generous factor to keep this non-flaky.
+	if worst > 100*8*4 {
+		t.Fatalf("two-choice deletion returned key %d among first 100 deletions", worst)
+	}
+}
+
+func TestEmptyKeySentinelHarmless(t *testing.T) {
+	q := New(Config{C: 1, Threads: 1})
+	h := q.NewHandle()
+	h.Insert(^uint64(0)) // the sentinel value as a real key
+	h.Insert(3)
+	seen := map[uint64]bool{}
+	for {
+		k, ok := h.TryDeleteMin()
+		if !ok {
+			break
+		}
+		seen[k] = true
+	}
+	if !seen[3] || !seen[^uint64(0)] {
+		t.Fatalf("lost keys with sentinel value present: %v", seen)
+	}
+}
+
+func BenchmarkMixParallel(b *testing.B) {
+	q := New(Config{C: 2, Threads: 8})
+	h := q.NewHandle()
+	for i := 0; i < 4096; i++ {
+		h.Insert(uint64(i))
+	}
+	b.RunParallel(func(pb *testing.PB) {
+		h := q.NewHandle()
+		i := uint64(0)
+		for pb.Next() {
+			if i%2 == 0 {
+				h.Insert(i)
+			} else {
+				h.TryDeleteMin()
+			}
+			i++
+		}
+	})
+}

@@ -1,0 +1,42 @@
+// Package pqs defines the uniform concurrent priority queue interface the
+// benchmark harness drives, and the registry of implementations compared in
+// the paper's evaluation (Figure 3 and Figure 4).
+//
+// All benchmark queues operate on bare uint64 keys: the paper's benchmarks
+// store keys only, and the SSSP application packs its payload (node ID) into
+// the key's low bits so that every queue — relaxed or exact — is exercised
+// through the identical interface.
+package pqs
+
+// Queue is a concurrent priority queue under test.
+type Queue interface {
+	// NewHandle returns this goroutine's access point. Handles must not be
+	// shared between concurrently running goroutines.
+	NewHandle() Handle
+}
+
+// Handle is a single goroutine's view of a Queue.
+type Handle interface {
+	// Insert adds a key. It always succeeds.
+	Insert(key uint64)
+	// TryDeleteMin removes and returns a small key per the queue's
+	// semantics (exact or relaxed). ok=false means no key was found, which
+	// for some queues can be spurious under concurrency.
+	TryDeleteMin() (key uint64, ok bool)
+}
+
+// Flusher is implemented by handles that buffer inserted keys privately
+// (the Wimmer et al. queues): Flush publishes any buffered keys so other
+// handles can reach them. Workers must call Flush before abandoning a
+// handle, mirroring scheduler threads flushing at termination. Flush is a
+// no-op for queues whose items are always globally reachable.
+type Flusher interface {
+	Flush()
+}
+
+// FlushHandle calls Flush if h buffers privately.
+func FlushHandle(h Handle) {
+	if f, ok := h.(Flusher); ok {
+		f.Flush()
+	}
+}

@@ -1,0 +1,32 @@
+package pqs
+
+import "testing"
+
+// fakeHandle implements Handle without Flusher.
+type fakeHandle struct{ flushed bool }
+
+func (f *fakeHandle) Insert(uint64)                {}
+func (f *fakeHandle) TryDeleteMin() (uint64, bool) { return 0, false }
+
+// flushingHandle also implements Flusher.
+type flushingHandle struct {
+	fakeHandle
+}
+
+func (f *flushingHandle) Flush() { f.flushed = true }
+
+func TestFlushHandleNoop(t *testing.T) {
+	h := &fakeHandle{}
+	FlushHandle(h) // must not panic
+	if h.flushed {
+		t.Fatal("non-flusher marked flushed")
+	}
+}
+
+func TestFlushHandleCallsFlush(t *testing.T) {
+	h := &flushingHandle{}
+	FlushHandle(h)
+	if !h.flushed {
+		t.Fatal("Flush not called on Flusher")
+	}
+}

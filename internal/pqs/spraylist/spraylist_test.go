@@ -1,0 +1,87 @@
+package spraylist
+
+import (
+	"testing"
+
+	"klsm/internal/pqs"
+	"klsm/internal/pqs/pqtest"
+)
+
+func TestConformance(t *testing.T) {
+	pqtest.Run(t, "SprayList", func(threads int) pqs.Queue {
+		return New(Config{Threads: threads})
+	}, pqtest.Options{
+		Exact:               false,
+		SequentialRankBound: -1, // probabilistic relaxation, no hard bound
+	})
+}
+
+func TestSprayParamsScaleWithThreads(t *testing.T) {
+	small := New(Config{Threads: 1})
+	big := New(Config{Threads: 64})
+	if big.height <= small.height {
+		t.Fatalf("spray height does not grow with T: %d vs %d", small.height, big.height)
+	}
+}
+
+// TestSprayQuality: single-threaded sprays on a sorted range should land
+// near the front. Statistical smoke test with a generous bound.
+func TestSprayQuality(t *testing.T) {
+	q := New(Config{Threads: 8})
+	h := q.NewHandle()
+	const n = 1 << 14
+	for i := uint64(0); i < n; i++ {
+		h.Insert(i)
+	}
+	var worst uint64
+	for i := 0; i < 200; i++ {
+		k, ok := h.TryDeleteMin()
+		if !ok {
+			t.Fatal("unexpected empty")
+		}
+		if k > worst {
+			worst = k
+		}
+	}
+	// T=8: O(T log^3 T) ≈ 8*9^3 ≈ 6k. The walk is approximate, so just
+	// require the landings to stay in the first half of the list.
+	if worst > n/2 {
+		t.Fatalf("spray landed at rank ~%d of %d", worst, n)
+	}
+}
+
+func TestCleanerRestructures(t *testing.T) {
+	q := New(Config{Threads: 2, BoundOffset: 4})
+	h := q.NewHandle()
+	for i := uint64(0); i < 200; i++ {
+		h.Insert(i)
+	}
+	for i := 0; i < 150; i++ {
+		if _, ok := h.TryDeleteMin(); !ok {
+			t.Fatal("premature empty")
+		}
+	}
+	if q.Len() != 50 {
+		t.Fatalf("Len = %d, want 50", q.Len())
+	}
+}
+
+func BenchmarkMixParallel(b *testing.B) {
+	q := New(Config{Threads: 8})
+	h := q.NewHandle()
+	for i := 0; i < 4096; i++ {
+		h.Insert(uint64(i) * 3)
+	}
+	b.RunParallel(func(pb *testing.PB) {
+		h := q.NewHandle()
+		i := uint64(0)
+		for pb.Next() {
+			if i%2 == 0 {
+				h.Insert(i)
+			} else {
+				h.TryDeleteMin()
+			}
+			i++
+		}
+	})
+}

@@ -1,0 +1,118 @@
+package wimmer
+
+import (
+	"testing"
+
+	"klsm/internal/pqs"
+	"klsm/internal/pqs/pqtest"
+)
+
+func TestCentralizedConformanceK0(t *testing.T) {
+	pqtest.Run(t, "CentralizedK0", func(threads int) pqs.Queue { return NewCentralized(0) }, pqtest.Options{
+		Exact:               true, // k=0: plain locked heap
+		SequentialRankBound: 0,
+	})
+}
+
+func TestCentralizedConformanceK64(t *testing.T) {
+	pqtest.Run(t, "CentralizedK64", func(threads int) pqs.Queue { return NewCentralized(64) }, pqtest.Options{
+		Exact:               false,
+		SequentialRankBound: 64,
+	})
+}
+
+func TestHybridConformanceK0(t *testing.T) {
+	pqtest.Run(t, "HybridK0", func(threads int) pqs.Queue { return NewHybrid(0) }, pqtest.Options{
+		Exact:               true,
+		SequentialRankBound: 0,
+	})
+}
+
+func TestHybridConformanceK64(t *testing.T) {
+	pqtest.Run(t, "HybridK64", func(threads int) pqs.Queue { return NewHybrid(64) }, pqtest.Options{
+		Exact:               false,
+		SequentialRankBound: 64,
+	})
+}
+
+func TestCentralizedFlushPublishes(t *testing.T) {
+	q := NewCentralized(100)
+	a := q.NewHandle()
+	b := q.NewHandle()
+	for i := uint64(0); i < 10; i++ {
+		a.Insert(i) // stays in a's buffer (k=100)
+	}
+	if _, ok := b.TryDeleteMin(); ok {
+		t.Fatal("b saw a's buffered items before flush")
+	}
+	pqs.FlushHandle(a)
+	if k, ok := b.TryDeleteMin(); !ok || k != 0 {
+		t.Fatalf("after flush b got %d (%v)", k, ok)
+	}
+}
+
+func TestHybridSpillsAtK(t *testing.T) {
+	q := NewHybrid(4)
+	a := q.NewHandle()
+	b := q.NewHandle()
+	// 5 inserts exceed k=4, forcing a spill of the larger half.
+	for i := uint64(10); i < 15; i++ {
+		a.Insert(i)
+	}
+	k, ok := b.TryDeleteMin()
+	if !ok {
+		t.Fatal("nothing spilled to global heap")
+	}
+	// b must see one of the spilled (larger-half) keys.
+	if k < 10 || k > 14 {
+		t.Fatalf("b got phantom key %d", k)
+	}
+}
+
+func TestNegativeKPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"centralized": func() { NewCentralized(-1) },
+		"hybrid":      func() { NewHybrid(-1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: negative k did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func BenchmarkCentralizedMix(b *testing.B) {
+	q := NewCentralized(256)
+	b.RunParallel(func(pb *testing.PB) {
+		h := q.NewHandle()
+		i := uint64(0)
+		for pb.Next() {
+			if i%2 == 0 {
+				h.Insert(i)
+			} else {
+				h.TryDeleteMin()
+			}
+			i++
+		}
+	})
+}
+
+func BenchmarkHybridMix(b *testing.B) {
+	q := NewHybrid(256)
+	b.RunParallel(func(pb *testing.PB) {
+		h := q.NewHandle()
+		i := uint64(0)
+		for pb.Next() {
+			if i%2 == 0 {
+				h.Insert(i)
+			} else {
+				h.TryDeleteMin()
+			}
+			i++
+		}
+	})
+}

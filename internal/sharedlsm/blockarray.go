@@ -1,0 +1,392 @@
+// Package sharedlsm implements the shared k-LSM priority queue of paper §4.1
+// (Listings 2 and 3).
+//
+// All threads see one atomic pointer to an immutable BlockArray. Updates are
+// copy-on-write: a thread copies the array into a private snapshot, mutates
+// the snapshot (insert, consolidate, pivot recalculation), and publishes it
+// with a single compare-and-swap. Blocks themselves are shared between
+// snapshots; they are never mutated after publication except for their
+// filled counter, which may only shrink (trimming logically deleted tails),
+// so every snapshot remains internally consistent.
+//
+// Delete-min relaxation: each BlockArray carries pivot offsets separating,
+// per block, the keys guaranteed to be among the k+1 smallest of the whole
+// array. find-min draws uniformly from that candidate set, falling back to
+// the exact block minimum when the drawn item was already taken — this is
+// the "any of the k+1 smallest" relaxation of the paper. Local ordering is
+// layered on top through per-block Bloom filters: the minimum of every block
+// that may contain the calling handle's items is compared against the random
+// choice and the smaller key wins, so a handle never skips its own items.
+//
+// Go-specific note: the paper stamps the shared pointer with truncated
+// version numbers to defeat ABA under manual memory reuse (§4.4). Go's GC
+// cannot recycle a BlockArray while any handle still references it as
+// `observed`, so the raw pointer CAS is ABA-safe here.
+package sharedlsm
+
+import (
+	"sort"
+
+	"klsm/internal/block"
+	"klsm/internal/item"
+	"klsm/internal/xrand"
+)
+
+// BlockArray is the immutable-once-published array of blocks (Listing 2).
+// Mutating methods must only be called while the instance is private to one
+// thread.
+type BlockArray[V any] struct {
+	// blocks is sorted by strictly decreasing level.
+	blocks []*block.Block[V]
+	// pivots[i] is the first index in blocks[i] whose key is <= the pivot
+	// key; the suffix [pivots[i], filled) is the block's slice of the global
+	// k+1-smallest candidate set. Offsets are computed against a filled
+	// value read at calculation time and are clamped by readers, because
+	// filled may shrink concurrently.
+	pivots []int
+	// k is the relaxation parameter the pivots were computed for.
+	k int
+}
+
+// newBlockArray returns an empty private array for relaxation parameter k.
+func newBlockArray[V any](k int) *BlockArray[V] {
+	return &BlockArray[V]{k: k}
+}
+
+// copy returns a private deep copy (block pointers are shared, the slices
+// are not), as in Listing 2.
+func (a *BlockArray[V]) copy() *BlockArray[V] {
+	nb := &BlockArray[V]{
+		blocks: append([]*block.Block[V](nil), a.blocks...),
+		pivots: append([]int(nil), a.pivots...),
+		k:      a.k,
+	}
+	return nb
+}
+
+// empty reports whether the array holds no blocks.
+func (a *BlockArray[V]) empty() bool { return len(a.blocks) == 0 }
+
+// Blocks exposes the block count for tests.
+func (a *BlockArray[V]) Blocks() int { return len(a.blocks) }
+
+// BlockAt returns the block at index i, or nil when out of range. Callers
+// must treat the block as read-only.
+func (a *BlockArray[V]) BlockAt(i int) *block.Block[V] {
+	if i < 0 || i >= len(a.blocks) {
+		return nil
+	}
+	return a.blocks[i]
+}
+
+// insert adds nb at its level position and consolidates (Listing 2: "insert
+// adds a block to the BlockArray at its correct level position, and calls
+// consolidate to ensure that the levels of blocks in the array are strictly
+// decreasing").
+func (a *BlockArray[V]) insert(nb *block.Block[V], drop block.DropFunc[V]) {
+	pos := len(a.blocks)
+	for pos > 0 && a.blocks[pos-1].Level() <= nb.Level() {
+		pos--
+	}
+	a.blocks = append(a.blocks, nil)
+	copy(a.blocks[pos+1:], a.blocks[pos:])
+	a.blocks[pos] = nb
+	a.consolidate(drop, true)
+}
+
+// consolidate shrinks blocks, merges level collisions, and compacts the
+// array (Listing 2's two passes, expressed as one merge-stack pass). It
+// reports whether the array changed structurally — the signal that
+// publishing the snapshot is worthwhile.
+//
+// Pivots are recalculated only when the structure changed or the caller
+// demands it (needPivots; used when the candidate window is exhausted):
+// the O(k log B) selection would otherwise dominate large-k delete-min.
+func (a *BlockArray[V]) consolidate(drop block.DropFunc[V], needPivots bool) bool {
+	changed := false
+	runs := make([]*block.Block[V], 0, len(a.blocks))
+	for idx, b := range a.blocks {
+		if b == nil || b.Filled() == 0 {
+			changed = true
+			continue
+		}
+		// Shrink only trims the logically deleted *tail*; with large k,
+		// deletions land uniformly in the candidate suffix and dead items
+		// accumulate mid-block, degrading every subsequent find-min. When
+		// the candidate suffix is mostly dead (and big enough for the copy
+		// to amortize), compact the whole block.
+		if idx < len(a.pivots) {
+			f := b.Filled()
+			p := a.pivots[idx]
+			if p > f {
+				p = f
+			}
+			const minCompact = 64
+			if f-p >= minCompact {
+				dead := 0
+				for j := p; j < f; j++ {
+					if b.Item(j).Taken() {
+						dead++
+					}
+				}
+				if dead*2 >= f-p {
+					b = b.Copy(b.Level())
+					changed = true
+				}
+			}
+		}
+		s := b.Shrink()
+		if s != b {
+			changed = true
+		}
+		if s.Empty() {
+			changed = true
+			continue
+		}
+		for len(runs) > 0 && runs[len(runs)-1].Level() <= s.Level() {
+			s = block.Merge(runs[len(runs)-1], s, drop)
+			runs = runs[:len(runs)-1]
+			changed = true
+		}
+		if s.Empty() {
+			changed = true
+			continue
+		}
+		runs = append(runs, s)
+	}
+	if len(runs) != len(a.blocks) {
+		changed = true
+	}
+	a.blocks = runs
+	if changed || needPivots {
+		a.calculatePivots()
+	}
+	return changed
+}
+
+// calculatePivots selects a pivot key that is one of the k+1 smallest keys
+// present and records, per block, the offset of the first key <= pivot
+// (Listing 2). Logically deleted items participate: including them only
+// tightens the candidate set, and find-min's fallback handles them.
+func (a *BlockArray[V]) calculatePivots() {
+	n := len(a.blocks)
+	if cap(a.pivots) < n {
+		a.pivots = make([]int, n)
+	} else {
+		a.pivots = a.pivots[:n]
+	}
+	if n == 0 {
+		return
+	}
+
+	// Multiway selection of the (k+1)-th smallest key: walk each block from
+	// its tail (minimum) toward its head with a cursor, always advancing the
+	// block whose cursor key is globally smallest, k+1 times. A tiny manual
+	// heap keyed by cursor key keeps this O(k log B).
+	type cur struct {
+		key uint64
+		blk int
+		idx int // current cursor position within the block
+	}
+	heapArr := make([]cur, 0, n)
+	filled := make([]int, n)
+	heapPush := func(c cur) {
+		heapArr = append(heapArr, c)
+		i := len(heapArr) - 1
+		for i > 0 {
+			p := (i - 1) / 2
+			if heapArr[p].key <= heapArr[i].key {
+				break
+			}
+			heapArr[p], heapArr[i] = heapArr[i], heapArr[p]
+			i = p
+		}
+	}
+	heapPop := func() cur {
+		top := heapArr[0]
+		last := len(heapArr) - 1
+		heapArr[0] = heapArr[last]
+		heapArr = heapArr[:last]
+		i := 0
+		for {
+			l, r := 2*i+1, 2*i+2
+			small := i
+			if l < last && heapArr[l].key < heapArr[small].key {
+				small = l
+			}
+			if r < last && heapArr[r].key < heapArr[small].key {
+				small = r
+			}
+			if small == i {
+				break
+			}
+			heapArr[i], heapArr[small] = heapArr[small], heapArr[i]
+			i = small
+		}
+		return top
+	}
+
+	for i, b := range a.blocks {
+		f := b.Filled()
+		filled[i] = f
+		a.pivots[i] = f // default: empty candidate range
+		if f > 0 {
+			heapPush(cur{key: b.Item(f - 1).Key(), blk: i, idx: f - 1})
+		}
+	}
+
+	pivot := uint64(0)
+	for taken := 0; taken <= a.k && len(heapArr) > 0; taken++ {
+		c := heapPop()
+		pivot = c.key
+		if c.idx > 0 {
+			ni := c.idx - 1
+			heapPush(cur{key: a.blocks[c.blk].Item(ni).Key(), blk: c.blk, idx: ni})
+		}
+	}
+
+	// Per block, find the first index whose key is <= pivot. Blocks are
+	// sorted descending, so this is a standard binary search.
+	for i, b := range a.blocks {
+		f := filled[i]
+		a.pivots[i] = sort.Search(f, func(j int) bool {
+			return b.Item(j).Key() <= pivot
+		})
+	}
+}
+
+// findMin draws one item uniformly from the candidate set (Listing 2's
+// find_min). It returns nil when no candidates remain (all ranges consumed),
+// signalling the caller to consolidate. The returned item may be logically
+// deleted — per the paper, the caller reacts to that by consolidating.
+//
+// With localID >= 0, local ordering is enforced: the minima of all blocks
+// whose Bloom filter may contain localID compete with the random choice and
+// the smaller key wins.
+func (a *BlockArray[V]) findMin(rng *xrand.Source, localID int64) *item.Item[V] {
+	n := len(a.blocks)
+	if n == 0 {
+		return nil
+	}
+	// Snapshot filled once per block: it may shrink concurrently and the
+	// two-pass selection below must agree with the totals.
+	var rangesBuf [block.MaxLevel + 2]int
+	var filledBuf [block.MaxLevel + 2]int
+	ranges := rangesBuf[:n]
+	filled := filledBuf[:n]
+	total := 0
+	for i, b := range a.blocks {
+		f := b.Filled()
+		p := a.pivots[i]
+		if p > f {
+			p = f
+		}
+		filled[i] = f
+		ranges[i] = f - p
+		total += f - p
+	}
+
+	// Draw uniformly from the candidate set. Every live item in the set has
+	// a key <= pivot, so *any* of them preserves the k+1 bound; when a draw
+	// lands on a logically deleted item we re-draw a few times and try a
+	// bounded backward scan near the tail (trimming the dead tail in place
+	// via the paper's benign only-shrinking race on filled) before giving
+	// up. Only when the set appears mostly dead do we hand back a dead item
+	// to trigger the caller's consolidation — without the bounds on the
+	// salvage work, large-k configurations degrade to O(dead) per delete.
+	const (
+		redraws  = 4
+		tailScan = 64
+	)
+	var candidate *item.Item[V]
+	if total > 0 {
+	attempts:
+		for attempt := 0; attempt < redraws; attempt++ {
+			r := rng.Intn(total)
+			for i, b := range a.blocks {
+				if ranges[i] <= 0 {
+					continue
+				}
+				if r >= ranges[i] {
+					r -= ranges[i]
+					continue
+				}
+				// Candidate set of block i is the suffix [filled-ranges, filled).
+				if r != ranges[i]-1 {
+					it := b.Item(filled[i] - ranges[i] + r)
+					if !it.Taken() {
+						candidate = it
+						break attempts
+					}
+					candidate = it // dead; remember as consolidate signal
+					continue attempts
+				}
+				// Tail draw: trim the dead tail, then scan a bounded window
+				// backwards for a live minimum.
+				b.ShrinkInPlace()
+				lo := filled[i] - ranges[i]
+				if bounded := filled[i] - tailScan; bounded > lo {
+					lo = bounded
+				}
+				for j := filled[i] - 1; j >= lo; j-- {
+					it := b.Item(j)
+					if !it.Taken() {
+						candidate = it
+						break attempts
+					}
+				}
+				candidate = b.Item(filled[i] - 1) // dead; consolidate signal
+				continue attempts
+			}
+			break // r exhausted all ranges (concurrent shrink); bail out
+		}
+	}
+
+	if localID >= 0 {
+		id := uint64(localID)
+		for i, b := range a.blocks {
+			if !b.Bloom().MayContain(id) {
+				continue
+			}
+			if filled[i] == 0 {
+				continue
+			}
+			it := b.Item(filled[i] - 1)
+			if candidate == nil || it.Key() < candidate.Key() {
+				candidate = it
+			}
+		}
+	}
+	return candidate
+}
+
+// LiveCount scans all blocks for live items (tests and diagnostics only).
+func (a *BlockArray[V]) LiveCount() int {
+	n := 0
+	for _, b := range a.blocks {
+		n += b.LiveCount()
+	}
+	return n
+}
+
+// CheckInvariants validates structure for tests: strictly decreasing levels,
+// sorted blocks, pivot offsets within bounds.
+func (a *BlockArray[V]) CheckInvariants() bool {
+	prev := block.MaxLevel + 2
+	for i, b := range a.blocks {
+		if b == nil || b.Empty() {
+			return false
+		}
+		if b.Level() >= prev {
+			return false
+		}
+		if !b.SortedDesc() {
+			return false
+		}
+		if i < len(a.pivots) && a.pivots[i] < 0 {
+			return false
+		}
+		prev = b.Level()
+	}
+	return true
+}

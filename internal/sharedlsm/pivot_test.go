@@ -1,0 +1,106 @@
+package sharedlsm
+
+import (
+	"testing"
+
+	"klsm/internal/xrand"
+)
+
+// TestLargeKDrainCompletes is the regression test for the large-k
+// performance collapse: draining a large prefill at k=4096 must terminate
+// promptly (the original code paid O(dead) per delete and O(k) pivot
+// recalculation per stale candidate, which turns this drain quadratic).
+func TestLargeKDrainCompletes(t *testing.T) {
+	n := 200000
+	if testing.Short() {
+		n = 20000
+	}
+	s := New[int](4096, true)
+	c := newCursor(s, 1)
+	src := xrand.NewSeeded(5)
+	// Insert in chunks of 512 to mimic DistLSM overflow blocks.
+	chunk := make([]uint64, 0, 512)
+	for i := 0; i < n; i++ {
+		chunk = append(chunk, src.Uint64())
+		if len(chunk) == 512 {
+			s.Insert(c, blockOf(chunk...))
+			chunk = chunk[:0]
+		}
+	}
+	if len(chunk) > 0 {
+		s.Insert(c, blockOf(chunk...))
+	}
+	got := 0
+	for {
+		if _, ok := deleteMin(s, c); !ok {
+			break
+		}
+		got++
+	}
+	if got != n {
+		t.Fatalf("drained %d of %d", got, n)
+	}
+}
+
+// TestSetKTakesEffect verifies run-time reconfiguration: after SetK(0) the
+// next snapshots behave exactly.
+func TestSetKTakesEffect(t *testing.T) {
+	s := New[int](1<<16, false) // huge k, no local ordering
+	c := newCursor(s, 1)
+	for i := uint64(0); i < 512; i++ {
+		s.Insert(c, blockOf(512-i))
+	}
+	s.SetK(0)
+	if s.K() != 0 {
+		t.Fatalf("K = %d", s.K())
+	}
+	// Force a fresh snapshot + pivot recalculation through an insert.
+	s.Insert(c, blockOf(100000))
+	// With k=0 every subsequent delete must be the exact minimum.
+	want := uint64(1)
+	for i := 0; i < 512; i++ {
+		k, ok := deleteMin(s, c)
+		if !ok {
+			t.Fatalf("empty after %d deletes", i)
+		}
+		if k != want {
+			t.Fatalf("after SetK(0): got %d, want %d", k, want)
+		}
+		want++
+	}
+}
+
+func TestSetKNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	New[int](4, true).SetK(-2)
+}
+
+// TestWindowExhaustionRecovers: consume the whole candidate window and
+// verify find-min recalculates pivots rather than reporting empty (the
+// needPivots path).
+func TestWindowExhaustionRecovers(t *testing.T) {
+	s := New[int](8, true)
+	c := newCursor(s, 1)
+	s.Insert(c, blockOf(func() []uint64 {
+		keys := make([]uint64, 1024)
+		for i := range keys {
+			keys[i] = uint64(i)
+		}
+		return keys
+	}()...))
+	// Delete more keys than one pivot window holds; every delete must
+	// succeed and stay within the bound.
+	for i := 0; i < 1024; i++ {
+		k, ok := deleteMin(s, c)
+		if !ok {
+			t.Fatalf("spurious empty after %d deletes", i)
+		}
+		if k >= uint64(i+1+8) {
+			t.Fatalf("delete %d returned %d, beyond k-bound window", i, k)
+		}
+	}
+}

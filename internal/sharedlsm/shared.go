@@ -1,0 +1,172 @@
+package sharedlsm
+
+import (
+	"sync/atomic"
+
+	"klsm/internal/block"
+	"klsm/internal/item"
+	"klsm/internal/xrand"
+)
+
+// Shared is the shared k-LSM priority queue (Listing 3): one atomic pointer
+// to the current BlockArray, updated copy-on-write.
+type Shared[V any] struct {
+	ptr atomic.Pointer[BlockArray[V]]
+	// k is the relaxation parameter. It is atomic because the paper allows
+	// reconfiguring k at run time (§1); each BlockArray snapshot carries
+	// the k its pivots were computed with, so a change takes effect on the
+	// next snapshot mutation.
+	k    atomic.Int64
+	drop block.DropFunc[V]
+	// localOrdering enables the Bloom-filter check that guarantees a handle
+	// never skips its own items. On by default; the ablation benchmark
+	// switches it off.
+	localOrdering bool
+}
+
+// New returns an empty shared k-LSM with relaxation parameter k >= 0.
+func New[V any](k int, localOrdering bool) *Shared[V] {
+	if k < 0 {
+		panic("sharedlsm: negative k")
+	}
+	s := &Shared[V]{localOrdering: localOrdering}
+	s.k.Store(int64(k))
+	return s
+}
+
+// SetDrop installs the lazy-deletion callback used during merges. Must be
+// called before the queue is shared.
+func (s *Shared[V]) SetDrop(drop block.DropFunc[V]) { s.drop = drop }
+
+// K returns the current relaxation parameter.
+func (s *Shared[V]) K() int { return int(s.k.Load()) }
+
+// SetK changes the relaxation parameter at run time (paper §1). Snapshots
+// taken before the change keep their old pivot sets, so the new bound takes
+// full effect once in-flight snapshots are superseded.
+func (s *Shared[V]) SetK(k int) {
+	if k < 0 {
+		panic("sharedlsm: negative k")
+	}
+	s.k.Store(int64(k))
+}
+
+// Cursor carries one handle's thread-local view (the paper's thread_local
+// observed/snapshot pointers) plus its RNG and identity. A Cursor must only
+// be used by its owning goroutine.
+type Cursor[V any] struct {
+	observed *BlockArray[V]
+	snapshot *BlockArray[V]
+	id       uint64
+	rng      *xrand.Source
+
+	// ConsolidatePushes counts published consolidations, for the ablation
+	// benchmarks. Atomic so diagnostics can read counters concurrently.
+	ConsolidatePushes atomic.Int64
+	// InsertRetries counts failed insert CAS attempts.
+	InsertRetries atomic.Int64
+}
+
+// NewCursor returns a cursor for handle id.
+func (s *Shared[V]) NewCursor(id uint64, rng *xrand.Source) *Cursor[V] {
+	return &Cursor[V]{id: id, rng: rng}
+}
+
+// refresh re-reads the shared pointer and takes a private snapshot
+// (Listing 3's refresh_snapshot).
+func (s *Shared[V]) refresh(c *Cursor[V]) {
+	c.observed = s.ptr.Load()
+	if c.observed == nil {
+		c.snapshot = nil
+	} else {
+		c.snapshot = c.observed.copy()
+		// Pick up run-time k changes: the next pivot recalculation on this
+		// snapshot uses the current parameter.
+		c.snapshot.k = s.K()
+	}
+}
+
+// push attempts to publish the cursor's snapshot (Listing 3's
+// push_snapshot). After success the cursor's observed pointer is stale by
+// design: the next operation re-snapshots before mutating, so a published
+// array is never written again.
+func (s *Shared[V]) push(c *Cursor[V]) bool {
+	return s.ptr.CompareAndSwap(c.observed, c.snapshot)
+}
+
+// Insert publishes a block of items. It loops refresh → mutate snapshot →
+// CAS until it wins; failure implies another thread published first
+// (lock-freedom: someone always progresses).
+func (s *Shared[V]) Insert(c *Cursor[V], nb *block.Block[V]) {
+	if nb == nil || nb.Empty() {
+		return
+	}
+	for {
+		s.refresh(c)
+		if c.snapshot == nil {
+			c.snapshot = newBlockArray[V](s.K())
+		}
+		c.snapshot.insert(nb, s.drop)
+		if c.snapshot.empty() {
+			// Everything (including nb) was consumed by the drop callback
+			// or concurrent deletion; publish the empty state as nil.
+			c.snapshot = nil
+		}
+		if s.push(c) {
+			return
+		}
+		c.InsertRetries.Add(1)
+	}
+}
+
+// FindMin returns a live item that is one of the k+1 smallest keys in the
+// shared k-LSM, or nil if the queue is (relaxed-)empty. The item is not
+// taken; callers race on item.TryTake and call FindMin again on failure.
+//
+// This is Listing 3's find_min loop: stale candidates trigger consolidation
+// of the private snapshot, and structural changes are pushed so other
+// threads benefit from the cleanup.
+func (s *Shared[V]) FindMin(c *Cursor[V]) *item.Item[V] {
+	for {
+		if s.ptr.Load() != c.observed {
+			s.refresh(c)
+		}
+		if c.snapshot == nil {
+			return nil
+		}
+		localID := int64(-1)
+		if s.localOrdering {
+			localID = int64(c.id)
+		}
+		it := c.snapshot.findMin(c.rng, localID)
+		if it != nil && !it.Taken() {
+			return it
+		}
+		// Candidate stale (or no candidates): clean up. When the candidate
+		// window is exhausted (nil), pivots must be recalculated to extend
+		// it; for a merely-stale candidate the recalculation is only worth
+		// it if the pass changes the structure (consolidate decides).
+		push := c.snapshot.consolidate(s.drop, it == nil)
+		if c.snapshot.empty() {
+			c.snapshot = nil
+			push = true
+		}
+		if push {
+			if s.push(c) {
+				c.ConsolidatePushes.Add(1)
+			}
+			// Regardless of CAS outcome the next iteration refreshes:
+			// either we published (observed is stale now) or someone else
+			// did (shared moved).
+		}
+	}
+}
+
+// Empty reports whether the shared pointer is nil. A false result does not
+// guarantee live items exist (they may all be logically deleted); it is a
+// fast-path hint only.
+func (s *Shared[V]) Empty() bool { return s.ptr.Load() == nil }
+
+// Snapshot returns the current BlockArray for tests and diagnostics; callers
+// must treat it as read-only.
+func (s *Shared[V]) Snapshot() *BlockArray[V] { return s.ptr.Load() }

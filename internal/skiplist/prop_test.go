@@ -1,0 +1,99 @@
+package skiplist
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"klsm/internal/xrand"
+)
+
+// TestPropSequentialMatchesSortedMultiset: arbitrary insert/delete-min
+// sequences agree with a sorted-slice oracle.
+func TestPropSequentialMatchesSortedMultiset(t *testing.T) {
+	rng := xrand.NewSeeded(17)
+	f := func(ops []uint16) bool {
+		l := New(8)
+		var ref []uint64
+		for _, op := range ops {
+			if op&1 == 0 || len(ref) == 0 {
+				key := uint64(op >> 1)
+				l.Insert(rng, key)
+				i := sort.Search(len(ref), func(i int) bool { return ref[i] >= key })
+				ref = append(ref, 0)
+				copy(ref[i+1:], ref[i:])
+				ref[i] = key
+			} else {
+				got, ok := l.DeleteMin()
+				if !ok || got != ref[0] {
+					return false
+				}
+				ref = ref[1:]
+			}
+			if !l.CheckSorted() {
+				return false
+			}
+		}
+		return l.LiveLen() == len(ref)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropClaimAnyNodeConserves: claiming arbitrary nodes via TryClaim (the
+// SprayList's access pattern) never loses or duplicates keys.
+func TestPropClaimAnyNodeConserves(t *testing.T) {
+	rng := xrand.NewSeeded(23)
+	f := func(keys []uint64, picks []uint8) bool {
+		l := New(4)
+		for _, k := range keys {
+			l.Insert(rng, k)
+		}
+		claimed := 0
+		for _, p := range picks {
+			// Walk p nodes in from the head and claim the landing node.
+			cur := l.Next(l.Head(), 0)
+			for i := 0; i < int(p) && cur != nil; i++ {
+				cur = l.Next(cur, 0)
+			}
+			if cur != nil && !l.Deleted(cur) && l.TryClaim(cur) {
+				claimed++
+			}
+		}
+		// Remaining live + claimed must equal inserted.
+		return l.LiveLen()+claimed == len(keys)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropRestructurePreservesLive: restructuring after arbitrary deletion
+// patterns never drops a live key.
+func TestPropRestructurePreservesLive(t *testing.T) {
+	rng := xrand.NewSeeded(29)
+	f := func(keys []uint64, deletions uint8) bool {
+		if len(keys) == 0 {
+			return true
+		}
+		l := New(1 << 30) // manual restructure only
+		for _, k := range keys {
+			l.Insert(rng, k)
+		}
+		want := len(keys)
+		for i := 0; i < int(deletions)%len(keys); i++ {
+			if _, ok := l.DeleteMin(); ok {
+				want--
+			}
+		}
+		l.Restructure()
+		if l.LiveLen() != want {
+			return false
+		}
+		return l.CheckSorted()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

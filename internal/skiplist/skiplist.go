@@ -1,0 +1,342 @@
+// Package skiplist implements the lock-free skiplist priority queue
+// substrate shared by the Lindén & Jonsson baseline and the SprayList
+// baseline (the two skiplist-based comparison queues of the paper's
+// Figure 3).
+//
+// The design follows Lindén & Jonsson ("A skiplist-based concurrent
+// priority queue with minimal memory contention", OPODIS 2013): delete-min
+// logically deletes the front node with a *single* CAS that marks the
+// node's bottom-level next pointer, leaving the deleted prefix physically
+// linked; the prefix is excised in batch (one CAS on the head per level)
+// only when it grows past a configurable bound. Marking the next pointer —
+// rather than a flag on the node — is essential: it simultaneously blocks
+// insertions after deleted nodes, which is what makes batched physical
+// removal safe.
+//
+// Go cannot steal mark bits from pointers safely, so a mark is represented
+// by pointing next[0] at a dedicated marker Node that wraps the true
+// successor. Tests and both queue packages only observe this through the
+// helpers (Next, Deleted, TryClaim).
+//
+// Keys may repeat; each Insert creates its own node. Claimed (logically
+// deleted) nodes are reclaimed by Go's garbage collector once the batch
+// excision unlinks them — the GC also makes the head CASes ABA-safe.
+package skiplist
+
+import (
+	"sync/atomic"
+
+	"klsm/internal/xrand"
+)
+
+// MaxHeight bounds skiplist towers; 2^24 expected items is far beyond the
+// benchmark sizes.
+const MaxHeight = 24
+
+// Node is a skiplist node. Exported (opaquely) so that the SprayList can
+// navigate the structure; only Key is public state.
+type Node struct {
+	key    uint64
+	marker bool
+	next   []atomic.Pointer[Node]
+}
+
+// Key returns the node's key. Undefined for head/marker nodes, which
+// callers never observe through the public helpers.
+func (n *Node) Key() uint64 { return n.key }
+
+// List is the lock-free skiplist.
+type List struct {
+	head *Node
+	// boundOffset is the deleted-prefix length that triggers batch physical
+	// removal (Lindén & Jonsson's BoundOffset parameter).
+	boundOffset int
+}
+
+// New returns an empty list with the given restructuring bound (<= 0 picks
+// the default of 32, in the range the original evaluation found best).
+func New(boundOffset int) *List {
+	if boundOffset <= 0 {
+		boundOffset = 32
+	}
+	h := &Node{next: make([]atomic.Pointer[Node], MaxHeight)}
+	return &List{head: h, boundOffset: boundOffset}
+}
+
+// Head returns the head sentinel for navigation (SprayList sprays from it).
+func (l *List) Head() *Node { return l.head }
+
+// Deleted reports whether n has been logically deleted (claimed).
+func (l *List) Deleted(n *Node) bool {
+	if n == l.head {
+		return false
+	}
+	r := n.next[0].Load()
+	return r != nil && r.marker
+}
+
+// succ0 returns n's true bottom-level successor, skipping the marker
+// wrapper if n is deleted.
+func (l *List) succ0(n *Node) *Node {
+	r := n.next[0].Load()
+	if r != nil && r.marker {
+		return r.next[0].Load()
+	}
+	return r
+}
+
+// Next returns n's successor at the given level for navigation. At level 0
+// it skips marker wrappers; deleted nodes themselves are returned (callers
+// skip them via Deleted).
+func (l *List) Next(n *Node, level int) *Node {
+	if level == 0 {
+		return l.succ0(n)
+	}
+	if level >= len(n.next) {
+		return nil
+	}
+	return n.next[level].Load()
+}
+
+// TryClaim attempts to logically delete n by marking its bottom-level next
+// pointer. Exactly one claimer over n's lifetime succeeds. n must not be
+// the head.
+func (l *List) TryClaim(n *Node) bool {
+	for {
+		raw := n.next[0].Load()
+		if raw != nil && raw.marker {
+			return false // already claimed
+		}
+		m := &Node{marker: true, next: make([]atomic.Pointer[Node], 1)}
+		m.next[0].Store(raw)
+		if n.next[0].CompareAndSwap(raw, m) {
+			return true
+		}
+	}
+}
+
+// randomHeight draws a geometric(1/2) tower height in [1, MaxHeight].
+func randomHeight(rng *xrand.Source) int {
+	h := 1
+	for h < MaxHeight && rng.Bool() {
+		h++
+	}
+	return h
+}
+
+// Insert adds key to the list. rng supplies the tower height; it must be
+// owned by the calling goroutine.
+func (l *List) Insert(rng *xrand.Source, key uint64) {
+	height := randomHeight(rng)
+	n := &Node{key: key, next: make([]atomic.Pointer[Node], height)}
+
+	for {
+		preds, succs, bottomExpected, ok := l.find(key, height)
+		if !ok {
+			continue // a pred was deleted under us; retry
+		}
+		n.next[0].Store(bottomExpected)
+		if !preds[0].next[0].CompareAndSwap(bottomExpected, n) {
+			continue // contention at the insertion point; retry
+		}
+		// Bottom-level link is the linearization point. Now link the upper
+		// levels best-effort: if n has been claimed already, stop — the
+		// restructuring pass will never need the tower.
+		for level := 1; level < height; level++ {
+			for {
+				if l.Deleted(n) {
+					return
+				}
+				n.next[level].Store(succs[level])
+				if preds[level].next[level].CompareAndSwap(succs[level], n) {
+					break
+				}
+				// Re-find this level's neighborhood and retry.
+				p, s := l.findAtLevel(key, level)
+				preds[level], succs[level] = p, s
+			}
+		}
+		return
+	}
+}
+
+// find locates, for levels 0..height-1, the last node with key <= the
+// target (preds) and its raw successor (succs). At the bottom level it
+// returns the exact raw pointer read from preds[0] so the caller's CAS
+// validates atomicity. Deleted nodes encountered at upper levels are helped
+// out of the way; at the bottom they are skipped without unlinking (batch
+// restructuring owns physical removal there). Returns ok=false when the
+// walk ran into a node deleted mid-traversal and should restart.
+func (l *List) find(key uint64, height int) (preds, succs [MaxHeight]*Node, bottomExpected *Node, ok bool) {
+	x := l.head
+	for level := MaxHeight - 1; level >= 1; level-- {
+		for {
+			nxt := x.next[level].Load()
+			if nxt == nil {
+				break
+			}
+			if l.Deleted(nxt) {
+				// Help unlink the deleted node at this level.
+				after := nxt.next[level].Load()
+				if !x.next[level].CompareAndSwap(nxt, after) {
+					// Someone else changed the neighborhood; re-read.
+					if l.Deleted(x) {
+						return preds, succs, nil, false
+					}
+					continue
+				}
+				continue
+			}
+			if nxt.key <= key {
+				x = nxt
+				continue
+			}
+			break
+		}
+		if level < height {
+			preds[level] = x
+			succs[level] = x.next[level].Load()
+		}
+	}
+
+	// Bottom level: advance only across live nodes with key <= target; the
+	// raw successor chain (which may start with deleted nodes) is preserved
+	// as the CAS-expected value.
+	for {
+		raw := x.next[0].Load()
+		if raw != nil && raw.marker {
+			// x itself was claimed during the walk; restart.
+			return preds, succs, nil, false
+		}
+		// First live node at or after raw.
+		z := raw
+		for z != nil && l.Deleted(z) {
+			z = l.succ0(z)
+		}
+		if z != nil && z.key <= key {
+			x = z
+			continue
+		}
+		preds[0] = x
+		return preds, succs, raw, true
+	}
+}
+
+// findAtLevel re-finds the insertion neighborhood at one upper level. It
+// never advances into deleted nodes; the resulting pred may therefore be
+// conservative (further left than necessary), which only costs an extra CAS
+// retry, never correctness — upper levels are navigation hints and searches
+// only advance to nodes whose key is <= the target.
+func (l *List) findAtLevel(key uint64, level int) (pred, succ *Node) {
+	x := l.head
+	for lv := MaxHeight - 1; lv >= level; lv-- {
+		for {
+			nxt := x.next[lv].Load()
+			if nxt == nil || nxt.key > key || l.Deleted(nxt) {
+				break
+			}
+			x = nxt
+		}
+	}
+	return x, x.next[level].Load()
+}
+
+// DeleteMin claims and returns the minimum live key (Lindén & Jonsson's
+// delete-min: scan the bottom level from the head, counting the deleted
+// prefix; claim the first live node with one CAS; trigger batch physical
+// removal when the prefix exceeds the bound). ok=false means the list was
+// observed empty.
+func (l *List) DeleteMin() (uint64, bool) {
+	offset := 0
+	cur := l.head.next[0].Load() // head is never marked
+	for cur != nil {
+		raw := cur.next[0].Load()
+		if raw != nil && raw.marker {
+			// cur is already deleted; step over it.
+			offset++
+			cur = raw.next[0].Load()
+			continue
+		}
+		m := &Node{marker: true, next: make([]atomic.Pointer[Node], 1)}
+		m.next[0].Store(raw)
+		if cur.next[0].CompareAndSwap(raw, m) {
+			if offset >= l.boundOffset {
+				l.Restructure()
+			}
+			return cur.key, true
+		}
+		// CAS failed: cur was claimed or a node was inserted right after
+		// it; re-examine cur.
+	}
+	return 0, false
+}
+
+// Restructure batch-excises the deleted prefix: per level, one CAS swings
+// the head pointer past the dead nodes. Exported so the SprayList's cleaner
+// role can invoke it.
+func (l *List) Restructure() {
+	// Upper levels first so searches never descend into a region the bottom
+	// excision already removed.
+	for level := MaxHeight - 1; level >= 1; level-- {
+		first := l.head.next[level].Load()
+		if first == nil || !l.Deleted(first) {
+			continue
+		}
+		x := first
+		for x != nil && l.Deleted(x) {
+			x = x.next[level].Load()
+		}
+		l.head.next[level].CompareAndSwap(first, x)
+	}
+	first := l.head.next[0].Load()
+	if first == nil || !l.Deleted(first) {
+		return
+	}
+	x := first
+	for x != nil && l.Deleted(x) {
+		x = l.succ0(x)
+	}
+	l.head.next[0].CompareAndSwap(first, x)
+}
+
+// DeletedPrefixLen counts the deleted prefix at the bottom level (tests and
+// the SprayList cleaner heuristic).
+func (l *List) DeletedPrefixLen() int {
+	n := 0
+	cur := l.head.next[0].Load()
+	for cur != nil && l.Deleted(cur) {
+		n++
+		cur = l.succ0(cur)
+	}
+	return n
+}
+
+// CheckSorted verifies that live keys appear in non-decreasing order along
+// the bottom level (quiescent tests only).
+func (l *List) CheckSorted() bool {
+	prev := uint64(0)
+	cur := l.head.next[0].Load()
+	for cur != nil {
+		if !l.Deleted(cur) {
+			if cur.key < prev {
+				return false
+			}
+			prev = cur.key
+		}
+		cur = l.succ0(cur)
+	}
+	return true
+}
+
+// LiveLen counts live nodes (quiescent tests only).
+func (l *List) LiveLen() int {
+	n := 0
+	cur := l.head.next[0].Load()
+	for cur != nil {
+		if !l.Deleted(cur) {
+			n++
+		}
+		cur = l.succ0(cur)
+	}
+	return n
+}

@@ -1,0 +1,303 @@
+package skiplist
+
+import (
+	"sort"
+	"sync"
+	"testing"
+
+	"klsm/internal/xrand"
+)
+
+func TestEmptyList(t *testing.T) {
+	l := New(0)
+	if k, ok := l.DeleteMin(); ok {
+		t.Fatalf("DeleteMin on empty = %d", k)
+	}
+	if l.LiveLen() != 0 || !l.CheckSorted() {
+		t.Fatal("empty list inconsistent")
+	}
+}
+
+func TestInsertDeleteSequential(t *testing.T) {
+	l := New(0)
+	rng := xrand.NewSeeded(1)
+	keys := []uint64{5, 3, 9, 1, 7, 3, 5}
+	for _, k := range keys {
+		l.Insert(rng, k)
+	}
+	if !l.CheckSorted() {
+		t.Fatal("list unsorted after inserts")
+	}
+	sorted := append([]uint64(nil), keys...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	for i, want := range sorted {
+		got, ok := l.DeleteMin()
+		if !ok || got != want {
+			t.Fatalf("pop %d: got %d (%v), want %d", i, got, ok, want)
+		}
+	}
+	if _, ok := l.DeleteMin(); ok {
+		t.Fatal("drained list returned a key")
+	}
+}
+
+func TestSortedExtractionLarge(t *testing.T) {
+	l := New(16)
+	rng := xrand.NewSeeded(2)
+	const n = 20000
+	keys := make([]uint64, n)
+	for i := range keys {
+		keys[i] = rng.Uint64() % 1_000_000
+		l.Insert(rng, keys[i])
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	for i, want := range keys {
+		got, ok := l.DeleteMin()
+		if !ok || got != want {
+			t.Fatalf("pop %d: got %d (%v), want %d", i, got, ok, want)
+		}
+	}
+}
+
+func TestInterleavedInsertDeleteMin(t *testing.T) {
+	l := New(8)
+	rng := xrand.NewSeeded(3)
+	// Repeatedly insert keys below the current minimum region to stress
+	// insertion into/around the deleted prefix.
+	for round := 0; round < 200; round++ {
+		for i := 0; i < 10; i++ {
+			l.Insert(rng, rng.Uint64()%1000)
+		}
+		for i := 0; i < 8; i++ {
+			l.DeleteMin()
+		}
+		if !l.CheckSorted() {
+			t.Fatalf("round %d: unsorted", round)
+		}
+	}
+}
+
+func TestTryClaimExactlyOnce(t *testing.T) {
+	l := New(0)
+	rng := xrand.NewSeeded(4)
+	l.Insert(rng, 42)
+	n := l.Next(l.Head(), 0)
+	if n == nil || n.Key() != 42 {
+		t.Fatalf("navigation broken: %v", n)
+	}
+	if !l.TryClaim(n) {
+		t.Fatal("first claim failed")
+	}
+	if l.TryClaim(n) {
+		t.Fatal("second claim succeeded")
+	}
+	if !l.Deleted(n) {
+		t.Fatal("claimed node not Deleted")
+	}
+	if _, ok := l.DeleteMin(); ok {
+		t.Fatal("DeleteMin returned the externally claimed key")
+	}
+}
+
+func TestRestructureExcisesPrefix(t *testing.T) {
+	l := New(1 << 30) // never auto-restructure
+	rng := xrand.NewSeeded(5)
+	for i := uint64(0); i < 100; i++ {
+		l.Insert(rng, i)
+	}
+	for i := 0; i < 60; i++ {
+		l.DeleteMin()
+	}
+	if p := l.DeletedPrefixLen(); p != 60 {
+		t.Fatalf("deleted prefix = %d, want 60", p)
+	}
+	l.Restructure()
+	if p := l.DeletedPrefixLen(); p != 0 {
+		t.Fatalf("deleted prefix after restructure = %d", p)
+	}
+	if l.LiveLen() != 40 {
+		t.Fatalf("live = %d, want 40", l.LiveLen())
+	}
+	// Remaining keys still extract in order.
+	for want := uint64(60); want < 100; want++ {
+		got, ok := l.DeleteMin()
+		if !ok || got != want {
+			t.Fatalf("got %d (%v), want %d", got, ok, want)
+		}
+	}
+}
+
+func TestInsertSmallerThanDeletedPrefix(t *testing.T) {
+	l := New(1 << 30)
+	rng := xrand.NewSeeded(6)
+	for i := uint64(10); i < 20; i++ {
+		l.Insert(rng, i)
+	}
+	// Delete 10..14, leaving a deleted prefix with keys 10-14.
+	for i := 0; i < 5; i++ {
+		l.DeleteMin()
+	}
+	// Insert keys smaller than the deleted prefix keys.
+	l.Insert(rng, 3)
+	l.Insert(rng, 7)
+	got1, _ := l.DeleteMin()
+	got2, _ := l.DeleteMin()
+	if got1 != 3 || got2 != 7 {
+		t.Fatalf("got %d,%d, want 3,7", got1, got2)
+	}
+	if got3, _ := l.DeleteMin(); got3 != 15 {
+		t.Fatalf("got %d, want 15", got3)
+	}
+}
+
+// TestConcurrentConservation: disjoint ranges inserted and drained by many
+// goroutines; every key exactly once.
+func TestConcurrentConservation(t *testing.T) {
+	const workers = 8
+	n := 4000
+	if testing.Short() {
+		n = 600
+	}
+	l := New(32)
+	var wg sync.WaitGroup
+	results := make([][]uint64, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			rng := xrand.NewSeeded(uint64(id) + 1)
+			base := uint64(id * n)
+			for i := 0; i < n; i++ {
+				l.Insert(rng, base+uint64(i))
+			}
+			for {
+				k, ok := l.DeleteMin()
+				if !ok {
+					return
+				}
+				results[id] = append(results[id], k)
+			}
+		}(w)
+	}
+	wg.Wait()
+	seen := make(map[uint64]int)
+	total := 0
+	for _, keys := range results {
+		total += len(keys)
+		for _, k := range keys {
+			seen[k]++
+		}
+	}
+	// Workers may exit on an empty observation while others still insert;
+	// drain the remainder.
+	for {
+		k, ok := l.DeleteMin()
+		if !ok {
+			break
+		}
+		seen[k]++
+		total++
+	}
+	if total != workers*n {
+		t.Fatalf("extracted %d of %d", total, workers*n)
+	}
+	for k, c := range seen {
+		if c != 1 {
+			t.Fatalf("key %d extracted %d times", k, c)
+		}
+	}
+}
+
+// TestConcurrentMixedSmallKeys hammers the deleted-prefix insertion race:
+// all keys drawn from a tiny range so inserts constantly land inside the
+// prefix delete-min is consuming.
+func TestConcurrentMixedSmallKeys(t *testing.T) {
+	const workers = 8
+	ops := 30000
+	if testing.Short() {
+		ops = 5000
+	}
+	l := New(16)
+	var wg sync.WaitGroup
+	var inserted, deleted [workers]int64
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			rng := xrand.NewSeeded(uint64(id) * 13)
+			for i := 0; i < ops; i++ {
+				if rng.Bool() {
+					l.Insert(rng, rng.Uint64()%64)
+					inserted[id]++
+				} else if _, ok := l.DeleteMin(); ok {
+					deleted[id]++
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	var ins, del int64
+	for w := 0; w < workers; w++ {
+		ins += inserted[w]
+		del += deleted[w]
+	}
+	rest := int64(l.LiveLen())
+	if del+rest != ins {
+		t.Fatalf("conservation violated: inserted %d, deleted %d, remaining %d", ins, del, rest)
+	}
+	if !l.CheckSorted() {
+		t.Fatal("unsorted after stress")
+	}
+}
+
+func TestNavigationLevels(t *testing.T) {
+	l := New(0)
+	rng := xrand.NewSeeded(7)
+	for i := uint64(0); i < 1000; i++ {
+		l.Insert(rng, i)
+	}
+	// Some upper level must be populated with 1000 geometric towers.
+	populated := 0
+	for lvl := 1; lvl < MaxHeight; lvl++ {
+		if l.Next(l.Head(), lvl) != nil {
+			populated++
+		}
+	}
+	if populated < 5 {
+		t.Fatalf("only %d upper levels populated for 1000 nodes", populated)
+	}
+	// Walking level 3 must visit keys in increasing order (live nodes).
+	prev := uint64(0)
+	first := true
+	for n := l.Next(l.Head(), 3); n != nil; n = l.Next(n, 3) {
+		if l.Deleted(n) {
+			continue
+		}
+		if !first && n.Key() < prev {
+			t.Fatalf("level 3 order violated: %d after %d", n.Key(), prev)
+		}
+		prev, first = n.Key(), false
+	}
+}
+
+func BenchmarkInsert(b *testing.B) {
+	l := New(32)
+	rng := xrand.NewSeeded(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.Insert(rng, rng.Uint64())
+	}
+}
+
+func BenchmarkInsertDeletePair(b *testing.B) {
+	l := New(32)
+	rng := xrand.NewSeeded(1)
+	for i := 0; i < 1024; i++ {
+		l.Insert(rng, rng.Uint64())
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.Insert(rng, rng.Uint64())
+		l.DeleteMin()
+	}
+}

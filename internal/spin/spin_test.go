@@ -1,0 +1,120 @@
+package spin
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+)
+
+func TestLockUnlock(t *testing.T) {
+	var m Mutex
+	m.Lock()
+	m.Unlock()
+	m.Lock()
+	m.Unlock()
+}
+
+func TestTryLock(t *testing.T) {
+	var m Mutex
+	if !m.TryLock() {
+		t.Fatal("TryLock on free mutex failed")
+	}
+	if m.TryLock() {
+		t.Fatal("TryLock on held mutex succeeded")
+	}
+	m.Unlock()
+	if !m.TryLock() {
+		t.Fatal("TryLock after Unlock failed")
+	}
+	m.Unlock()
+}
+
+func TestUnlockOfUnlockedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Unlock of unlocked mutex did not panic")
+		}
+	}()
+	var m Mutex
+	m.Unlock()
+}
+
+// TestMutualExclusion increments a plain int under the lock from many
+// goroutines; run with -race to let the race detector verify the
+// happens-before edges of the CAS/Swap pair.
+func TestMutualExclusion(t *testing.T) {
+	const goroutines = 8
+	iters := 20000
+	if testing.Short() {
+		iters = 2000
+	}
+	var m Mutex
+	counter := 0
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				m.Lock()
+				counter++
+				m.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if want := goroutines * iters; counter != want {
+		t.Fatalf("counter = %d, want %d (lost updates => lock broken)", counter, want)
+	}
+}
+
+func TestTryLockUnderContention(t *testing.T) {
+	var m Mutex
+	var wg sync.WaitGroup
+	counter := 0
+	acquired := make([]int, 4)
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for i := 0; i < 5000; i++ {
+				if m.TryLock() {
+					counter++
+					acquired[id]++
+					m.Unlock()
+				} else {
+					runtime.Gosched()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	total := 0
+	for _, a := range acquired {
+		total += a
+	}
+	if counter != total {
+		t.Fatalf("counter %d != total acquisitions %d", counter, total)
+	}
+}
+
+func BenchmarkUncontendedLock(b *testing.B) {
+	var m Mutex
+	for i := 0; i < b.N; i++ {
+		m.Lock()
+		m.Unlock()
+	}
+}
+
+func BenchmarkContendedLock(b *testing.B) {
+	var m Mutex
+	var shared int
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			m.Lock()
+			shared++
+			m.Unlock()
+		}
+	})
+	_ = shared
+}

@@ -1,0 +1,163 @@
+// Package sssp implements the paper's SSSP benchmark (§6, Figure 4): a
+// label-correcting variant of Dijkstra's algorithm parallelized in the
+// straightforward way over a concurrent priority queue.
+//
+// Instead of decrease-key, improved distance labels are re-inserted and
+// stale queue entries are discarded when popped (lazy deletion). Because
+// relaxed queues may return entries out of order, workers must tolerate
+// both stale entries and re-expansion; the algorithm remains correct for
+// any queue that loses no entries, and terminates because labels strictly
+// decrease.
+//
+// Termination uses idle consensus rather than an in-flight counter: a
+// worker that observes the queue empty registers as idle and keeps
+// re-probing; only when every worker is simultaneously idle — so nobody is
+// processing an entry that could spawn new ones, and the queue looks empty
+// from every handle — do workers exit. A counter of queued entries would be
+// simpler, but it breaks under the lazy-deletion extension: entries the
+// queue drops during internal maintenance are never popped, so a count of
+// inserts minus pops never returns to zero. Idle consensus is insensitive
+// to how entries leave the queue. It relies on every live entry being
+// reachable from at least its inserting handle (true for all queues here:
+// k-LSM local ordering/spying, MultiQueue sweeps, exact global structures,
+// and the Wimmer buffers after the pre-idle Flush).
+//
+// (dist, node) pairs are packed into the uint64 key — dist in the high
+// bits, node in the low bits — so every benchmarked queue, relaxed or
+// exact, runs the identical workload through the bare-key interface.
+package sssp
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"klsm/internal/graph"
+	"klsm/internal/pqs"
+)
+
+// Result of a parallel SSSP run.
+type Result struct {
+	// Dist[v] is the computed shortest distance from the source
+	// (graph.Unreached if none).
+	Dist []uint64
+	// Processed counts queue entries popped in total; Processed minus the
+	// sequential baseline's pop count is the "additional iterations" metric
+	// the paper reports for Figure 4 (right).
+	Processed int64
+	// Stale counts popped entries discarded because a better label existed.
+	Stale int64
+	// Elapsed is the wall-clock execution time (the Figure 4 metric).
+	Elapsed time.Duration
+}
+
+// QueueFactory builds the queue for one run. drop is the lazy-deletion
+// predicate over packed keys (true = the entry is stale and may be
+// discarded during queue maintenance); factories for queues without lazy
+// deletion support simply ignore it.
+type QueueFactory func(workers int, drop func(key uint64) bool) pqs.Queue
+
+// Run computes SSSP from src over g with the given number of workers.
+func Run(g *graph.CSR, src uint32, workers int, factory QueueFactory) Result {
+	if workers <= 0 {
+		workers = 1
+	}
+	shift := graph.NodeShift(g.N)
+	mask := uint64(1)<<shift - 1
+
+	dist := make([]atomic.Uint64, g.N)
+	for i := range dist {
+		dist[i].Store(graph.Unreached)
+	}
+	dist[src].Store(0)
+
+	drop := func(key uint64) bool {
+		return key>>shift > dist[key&mask].Load()
+	}
+	q := factory(workers, drop)
+
+	var idle atomic.Int64
+	var processed, stale atomic.Int64
+
+	seed := q.NewHandle()
+	seed.Insert(0<<shift | uint64(src))
+	pqs.FlushHandle(seed)
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			h := q.NewHandle()
+			var localProcessed, localStale int64
+			defer func() {
+				processed.Add(localProcessed)
+				stale.Add(localStale)
+			}()
+
+			process := func(key uint64) {
+				localProcessed++
+				d := key >> shift
+				u := key & mask
+				if d > dist[u].Load() {
+					localStale++
+					return
+				}
+				targets, weights := g.Neighbors(uint32(u))
+				for i, v := range targets {
+					nd := d + uint64(weights[i])
+					for {
+						cur := dist[v].Load()
+						if nd >= cur {
+							break
+						}
+						if dist[v].CompareAndSwap(cur, nd) {
+							h.Insert(nd<<shift | uint64(v))
+							break
+						}
+					}
+				}
+			}
+
+			for {
+				if key, ok := h.TryDeleteMin(); ok {
+					process(key)
+					continue
+				}
+				// Observed empty: publish anything we hold, register idle,
+				// and keep probing until either work appears or everyone is
+				// idle at once.
+				pqs.FlushHandle(h)
+				idle.Add(1)
+				for {
+					if key, ok := h.TryDeleteMin(); ok {
+						idle.Add(-1)
+						process(key)
+						break
+					}
+					if idle.Load() == int64(workers) {
+						// Every worker sees an empty queue and none is
+						// processing: no entry exists and none can appear.
+						return
+					}
+					runtime.Gosched()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	out := make([]uint64, g.N)
+	for i := range out {
+		out[i] = dist[i].Load()
+	}
+	return Result{
+		Dist:      out,
+		Processed: processed.Load(),
+		Stale:     stale.Load(),
+		Elapsed:   elapsed,
+	}
+}

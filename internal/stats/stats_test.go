@@ -1,0 +1,93 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func close(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestSummarizeBasics(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || s.Mean != 3 || s.Min != 1 || s.Max != 5 || s.Median != 3 {
+		t.Fatalf("bad summary: %+v", s)
+	}
+	// Sample stddev of 1..5 is sqrt(2.5).
+	if !close(s.StdDev, math.Sqrt(2.5), 1e-9) {
+		t.Fatalf("StdDev = %v", s.StdDev)
+	}
+	// CI95 = t(4) * sd/sqrt(5) = 2.776 * 1.5811/2.2360 ≈ 1.9630
+	if !close(s.CI95, 2.776*math.Sqrt(2.5)/math.Sqrt(5), 1e-6) {
+		t.Fatalf("CI95 = %v", s.CI95)
+	}
+}
+
+func TestSummarizeSingle(t *testing.T) {
+	s := Summarize([]float64{7})
+	if s.Mean != 7 || s.StdDev != 0 || s.CI95 != 0 || s.Median != 7 {
+		t.Fatalf("single sample summary wrong: %+v", s)
+	}
+}
+
+func TestSummarizeEvenMedian(t *testing.T) {
+	s := Summarize([]float64{4, 1, 3, 2})
+	if s.Median != 2.5 {
+		t.Fatalf("Median = %v", s.Median)
+	}
+}
+
+func TestSummarizeEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on empty sample")
+		}
+	}()
+	Summarize(nil)
+}
+
+func TestConstantSample(t *testing.T) {
+	s := Summarize([]float64{5, 5, 5, 5})
+	if s.StdDev != 0 || s.CI95 != 0 {
+		t.Fatalf("constant sample has spread: %+v", s)
+	}
+}
+
+func TestTQuantileFallback(t *testing.T) {
+	if tQuantile(100) != 1.96 {
+		t.Fatal("large-df fallback wrong")
+	}
+	if tQuantile(1) != 12.706 {
+		t.Fatal("df=1 wrong")
+	}
+	if tQuantile(0) != 0 {
+		t.Fatal("df=0 wrong")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{10, 20, 30, 40, 50}
+	cases := []struct{ p, want float64 }{
+		{0, 10}, {100, 50}, {50, 30}, {25, 20}, {75, 40}, {90, 46},
+	}
+	for _, c := range cases {
+		if got := Percentile(xs, c.p); !close(got, c.want, 1e-9) {
+			t.Errorf("Percentile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestPercentileEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on empty sample")
+		}
+	}()
+	Percentile(nil, 50)
+}
+
+func TestStringFormat(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3})
+	if s.String() == "" {
+		t.Fatal("empty String()")
+	}
+}

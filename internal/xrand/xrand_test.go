@@ -1,0 +1,167 @@
+package xrand
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterministicStreams(t *testing.T) {
+	a := NewSeeded(42)
+	b := NewSeeded(42)
+	for i := 0; i < 1000; i++ {
+		if av, bv := a.Uint64(), b.Uint64(); av != bv {
+			t.Fatalf("streams diverged at step %d: %d vs %d", i, av, bv)
+		}
+	}
+}
+
+func TestDistinctSeedsDistinctStreams(t *testing.T) {
+	a := NewSeeded(1)
+	b := NewSeeded(2)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("streams from different seeds collide %d/1000 times", same)
+	}
+}
+
+func TestNewGivesDistinctStreams(t *testing.T) {
+	a, b := New(), New()
+	if a.Uint64() == b.Uint64() && a.Uint64() == b.Uint64() && a.Uint64() == b.Uint64() {
+		t.Fatal("two auto-seeded sources produced identical prefixes")
+	}
+}
+
+func TestZeroSeedValid(t *testing.T) {
+	s := NewSeeded(0)
+	seen := map[uint64]bool{}
+	for i := 0; i < 100; i++ {
+		seen[s.Uint64()] = true
+	}
+	if len(seen) < 90 {
+		t.Fatalf("zero-seeded stream looks degenerate: %d distinct of 100", len(seen))
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	s := NewSeeded(7)
+	for _, n := range []int{1, 2, 3, 7, 100, 1 << 20} {
+		for i := 0; i < 2000; i++ {
+			v := s.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	NewSeeded(1).Intn(0)
+}
+
+func TestUint64nPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Uint64n(0) did not panic")
+		}
+	}()
+	NewSeeded(1).Uint64n(0)
+}
+
+// TestIntnUniform checks a chi-squared-ish bound on bucket counts: with
+// 60000 draws over 6 buckets each bucket expects 10000; allow 5% deviation.
+func TestIntnUniform(t *testing.T) {
+	s := NewSeeded(99)
+	const buckets, draws = 6, 60000
+	var count [buckets]int
+	for i := 0; i < draws; i++ {
+		count[s.Intn(buckets)]++
+	}
+	for b, c := range count {
+		if math.Abs(float64(c)-draws/buckets) > 0.05*draws/buckets {
+			t.Fatalf("bucket %d count %d deviates more than 5%% from %d", b, c, draws/buckets)
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	s := NewSeeded(3)
+	sum := 0.0
+	for i := 0; i < 100000; i++ {
+		f := s.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", f)
+		}
+		sum += f
+	}
+	if mean := sum / 100000; mean < 0.49 || mean > 0.51 {
+		t.Fatalf("Float64 mean %v far from 0.5", mean)
+	}
+}
+
+func TestPerm(t *testing.T) {
+	s := NewSeeded(5)
+	p := make([]int, 64)
+	s.Perm(p)
+	seen := make([]bool, len(p))
+	for _, v := range p {
+		if v < 0 || v >= len(p) || seen[v] {
+			t.Fatalf("Perm produced invalid permutation: %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestUint64nProperty(t *testing.T) {
+	s := NewSeeded(11)
+	f := func(n uint64) bool {
+		if n == 0 {
+			n = 1
+		}
+		return s.Uint64n(n) < n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBoolBalanced(t *testing.T) {
+	s := NewSeeded(21)
+	trues := 0
+	for i := 0; i < 100000; i++ {
+		if s.Bool() {
+			trues++
+		}
+	}
+	if trues < 48000 || trues > 52000 {
+		t.Fatalf("Bool heavily biased: %d/100000 true", trues)
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	s := New()
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += s.Uint64()
+	}
+	_ = sink
+}
+
+func BenchmarkIntn(b *testing.B) {
+	s := New()
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sink += s.Intn(1000)
+	}
+	_ = sink
+}

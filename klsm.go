@@ -1,0 +1,131 @@
+package klsm
+
+import (
+	"klsm/internal/core"
+)
+
+// Queue is a lock-free relaxed concurrent priority queue over uint64 keys
+// with payloads of type V. Create one with New and access it through
+// per-goroutine Handles.
+type Queue[V any] struct {
+	q *core.Queue[V]
+}
+
+// Handle is one goroutine's access point to a Queue. A Handle must not be
+// used by two goroutines concurrently; create one Handle per worker.
+type Handle[V any] struct {
+	h *core.Handle[V]
+}
+
+// DropFunc is the lazy-deletion callback (paper §4.5): return true for items
+// that have become irrelevant (for example, stale distance labels in SSSP)
+// and the queue discards them during its next maintenance pass over them
+// instead of returning them from TryDeleteMin.
+type DropFunc[V any] func(key uint64, value V) bool
+
+// New returns an empty queue configured by opts. The default configuration
+// is the paper's recommended general-purpose setting: the combined k-LSM
+// with k = 256 and local ordering enabled.
+func New[V any](opts ...Option) *Queue[V] {
+	cfg := options{
+		k:             256,
+		mode:          core.Combined,
+		localOrdering: true,
+	}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	ccfg := core.Config[V]{
+		K:             cfg.k,
+		Mode:          cfg.mode,
+		LocalOrdering: cfg.localOrdering,
+	}
+	return &Queue[V]{q: core.NewQueue(ccfg)}
+}
+
+// NewWithDrop is New with a lazy-deletion callback; the callback type is
+// generic, so it cannot be passed through Option.
+func NewWithDrop[V any](drop DropFunc[V], opts ...Option) *Queue[V] {
+	cfg := options{
+		k:             256,
+		mode:          core.Combined,
+		localOrdering: true,
+	}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	ccfg := core.Config[V]{
+		K:             cfg.k,
+		Mode:          cfg.mode,
+		LocalOrdering: cfg.localOrdering,
+	}
+	if drop != nil {
+		ccfg.Drop = func(key uint64, value V) bool { return drop(key, value) }
+	}
+	return &Queue[V]{q: core.NewQueue(ccfg)}
+}
+
+// NewHandle registers a new handle. Handles count toward the relaxation
+// bound: with T handles, TryDeleteMin returns one of the T·k+1 smallest
+// keys.
+func (q *Queue[V]) NewHandle() *Handle[V] {
+	return &Handle[V]{h: q.q.NewHandle()}
+}
+
+// Size returns the number of keys in the queue. Like the paper's size
+// operation it is approximate: the result may deviate from the exact count
+// by up to the relaxation bound ρ = T·k while operations are in flight.
+func (q *Queue[V]) Size() int { return q.q.Size() }
+
+// K returns the current relaxation parameter.
+func (q *Queue[V]) K() int { return q.q.K() }
+
+// SetRelaxation reconfigures k at run time (paper §1). The change takes
+// effect promptly but not atomically: the shared structure adopts the new
+// bound on its next update, and each handle applies it on its next insert.
+// During the transition the effective per-handle bound is the larger of the
+// old and new k. No-op for queues created WithDistributedOnly.
+func (q *Queue[V]) SetRelaxation(k int) { q.q.SetRelaxation(k) }
+
+// Rho returns the current worst-case relaxation bound T·k, where T is the
+// number of handles created so far.
+func (q *Queue[V]) Rho() int { return q.q.Rho() }
+
+// Meld absorbs all items of other into q through handle h. Exactly-once
+// deletion holds throughout, but the operation is not linearizable (see
+// paper §4.5): concurrent observers may see intermediate states. other must
+// be quiescent for inserts during the meld and should be discarded
+// afterwards.
+func (h *Handle[V]) Meld(other *Queue[V]) {
+	if other == nil {
+		return
+	}
+	h.h.Meld(other.q)
+}
+
+// Close retires the handle: locally batched items move to the shared
+// structure (staying reachable without it) and the handle stops counting
+// toward ρ = T·k. Call it when a worker goroutine exits for good; the
+// handle must not be used afterwards. Closing is optional for short-lived
+// queues but prevents unbounded victim-list growth under handle churn.
+func (h *Handle[V]) Close() { h.h.Close() }
+
+// Insert adds key with the given payload. Insert always succeeds and is
+// lock-free.
+func (h *Handle[V]) Insert(key uint64, value V) { h.h.Insert(key, value) }
+
+// TryDeleteMin removes and returns a key among the ρ+1 smallest in the
+// queue (ρ = T·k), preferring this handle's own minimal key (local
+// ordering). ok is false when no key was found; under concurrent
+// modification this can be spurious, so callers with external knowledge
+// that items remain should retry.
+func (h *Handle[V]) TryDeleteMin() (key uint64, value V, ok bool) {
+	return h.h.TryDeleteMin()
+}
+
+// PeekMin returns a key TryDeleteMin could return, without removing it. The
+// result is relaxed exactly like TryDeleteMin's and may be stale by the
+// time the caller acts on it.
+func (h *Handle[V]) PeekMin() (key uint64, value V, ok bool) {
+	return h.h.PeekMin()
+}

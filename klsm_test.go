@@ -1,0 +1,175 @@
+package klsm
+
+import (
+	"sort"
+	"sync"
+	"testing"
+
+	"klsm/internal/xrand"
+)
+
+func TestPublicAPIQuickstart(t *testing.T) {
+	q := New[string]()
+	h := q.NewHandle()
+	h.Insert(3, "three")
+	h.Insert(1, "one")
+	h.Insert(2, "two")
+	if q.Size() != 3 {
+		t.Fatalf("Size = %d", q.Size())
+	}
+	k, v, ok := h.TryDeleteMin()
+	if !ok || k != 1 || v != "one" {
+		t.Fatalf("TryDeleteMin = (%d, %q, %v)", k, v, ok)
+	}
+}
+
+func TestOptionsCompose(t *testing.T) {
+	q := New[int](WithRelaxation(16), WithoutLocalOrdering())
+	if q.K() != 16 {
+		t.Fatalf("K = %d", q.K())
+	}
+	q.NewHandle()
+	q.NewHandle()
+	if q.Rho() != 32 {
+		t.Fatalf("Rho = %d", q.Rho())
+	}
+}
+
+func TestNegativeKPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative k did not panic")
+		}
+	}()
+	New[int](WithRelaxation(-1))
+}
+
+func TestDistributedOnlyOption(t *testing.T) {
+	q := New[int](WithDistributedOnly())
+	h := q.NewHandle()
+	for i := uint64(0); i < 100; i++ {
+		h.Insert(100-i, 0)
+	}
+	var got []uint64
+	for {
+		k, _, ok := h.TryDeleteMin()
+		if !ok {
+			break
+		}
+		got = append(got, k)
+	}
+	if len(got) != 100 || !sort.SliceIsSorted(got, func(i, j int) bool { return got[i] < got[j] }) {
+		t.Fatalf("DLSM drain incorrect: %d items", len(got))
+	}
+}
+
+func TestSharedOnlyOption(t *testing.T) {
+	q := New[int](WithSharedOnly(), WithRelaxation(0))
+	h := q.NewHandle()
+	h.Insert(2, 0)
+	h.Insert(1, 0)
+	if k, _, ok := h.TryDeleteMin(); !ok || k != 1 {
+		t.Fatalf("got %d (%v), want 1", k, ok)
+	}
+}
+
+func TestPeekMin(t *testing.T) {
+	q := New[int](WithRelaxation(0))
+	h := q.NewHandle()
+	h.Insert(7, 70)
+	k, v, ok := h.PeekMin()
+	if !ok || k != 7 || v != 70 {
+		t.Fatalf("PeekMin = (%d,%d,%v)", k, v, ok)
+	}
+	if q.Size() != 1 {
+		t.Fatal("PeekMin removed the item")
+	}
+}
+
+func TestNewWithDrop(t *testing.T) {
+	stale := func(key uint64, _ int) bool { return key >= 1000 }
+	q := NewWithDrop(stale, WithRelaxation(2))
+	h := q.NewHandle()
+	for i := uint64(0); i < 20; i++ {
+		h.Insert(i, 0)
+		h.Insert(1000+i, 0)
+	}
+	for {
+		k, _, ok := h.TryDeleteMin()
+		if !ok {
+			break
+		}
+		if k >= 1000 {
+			t.Fatalf("stale key %d returned", k)
+		}
+	}
+}
+
+func TestMeldPublic(t *testing.T) {
+	a, b := New[int](), New[int]()
+	ha, hb := a.NewHandle(), b.NewHandle()
+	ha.Insert(1, 0)
+	hb.Insert(2, 0)
+	ha.Meld(b)
+	ha.Meld(nil) // no-op
+	count := 0
+	for {
+		if _, _, ok := ha.TryDeleteMin(); !ok {
+			break
+		}
+		count++
+	}
+	if count != 2 {
+		t.Fatalf("drained %d after meld, want 2", count)
+	}
+}
+
+// TestEndToEndConcurrent is the public-API version of the conservation test.
+func TestEndToEndConcurrent(t *testing.T) {
+	const workers = 8
+	n := 3000
+	if testing.Short() {
+		n = 500
+	}
+	q := New[int](WithRelaxation(256))
+	var wg sync.WaitGroup
+	var deleted [workers][]uint64
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			h := q.NewHandle()
+			src := xrand.NewSeeded(uint64(id))
+			for i := 0; i < n; i++ {
+				h.Insert(uint64(id*n+i), id)
+				if src.Intn(3) == 0 {
+					if k, _, ok := h.TryDeleteMin(); ok {
+						deleted[id] = append(deleted[id], k)
+					}
+				}
+			}
+			for {
+				k, _, ok := h.TryDeleteMin()
+				if !ok {
+					return
+				}
+				deleted[id] = append(deleted[id], k)
+			}
+		}(w)
+	}
+	wg.Wait()
+	seen := map[uint64]bool{}
+	total := 0
+	for _, keys := range deleted {
+		total += len(keys)
+		for _, k := range keys {
+			if seen[k] {
+				t.Fatalf("key %d deleted twice", k)
+			}
+			seen[k] = true
+		}
+	}
+	if total != workers*n {
+		t.Fatalf("deleted %d of %d inserted", total, workers*n)
+	}
+}

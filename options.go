@@ -1,0 +1,44 @@
+package klsm
+
+import "klsm/internal/core"
+
+// options collects the non-generic configuration set by Option values.
+type options struct {
+	k             int
+	mode          core.Mode
+	localOrdering bool
+}
+
+// Option configures New.
+type Option func(*options)
+
+// WithRelaxation sets the relaxation parameter k: TryDeleteMin returns one
+// of the T·k+1 smallest keys, T being the number of handles. k = 0 yields
+// the strictest ordering (and the least scalability). Panics are deferred
+// to New for negative k.
+func WithRelaxation(k int) Option {
+	return func(o *options) { o.k = k }
+}
+
+// WithDistributedOnly selects the standalone distributed LSM (the DLSM
+// configuration in the paper's Figure 3): thread-local queues with
+// non-destructive spying. It scales best but provides only local ordering —
+// no global relaxation bound.
+func WithDistributedOnly() Option {
+	return func(o *options) { o.mode = core.DistOnly }
+}
+
+// WithSharedOnly bypasses insertion batching: every insert goes directly to
+// the shared k-LSM. Mostly useful for benchmarking the shared component in
+// isolation.
+func WithSharedOnly() Option {
+	return func(o *options) { o.mode = core.SharedOnly }
+}
+
+// WithoutLocalOrdering disables the Bloom-filter check that guarantees a
+// handle never skips its own keys. The ρ = T·k bound still holds. This
+// exists for the ablation benchmarks; applications should keep local
+// ordering on.
+func WithoutLocalOrdering() Option {
+	return func(o *options) { o.localOrdering = false }
+}
