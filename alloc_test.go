@@ -1,0 +1,73 @@
+package klsm
+
+import (
+	"testing"
+
+	"klsm/internal/xrand"
+)
+
+// TestPooledAllocationBudget is the §4.4 acceptance bar: with pooling on
+// (the default), steady-state insert + try-delete-min must average at most
+// one heap allocation per operation on a warmed-up queue. The remaining
+// trickle is the item slab (1/256 inserts) plus rare free-list growth; the
+// block-per-insert and slice-per-merge garbage of the unpooled path must be
+// gone.
+func TestPooledAllocationBudget(t *testing.T) {
+	q := New[struct{}]()
+	h := q.NewHandle()
+	rng := xrand.NewSeeded(3)
+
+	// Prefill and churn enough to reach the steady state: the LSM levels
+	// the mix touches exist, the free lists are warm, and overflow to the
+	// shared k-LSM happens on its regular cadence.
+	const prefill = 50_000
+	for i := 0; i < prefill; i++ {
+		h.Insert(rng.Uint64(), struct{}{})
+	}
+	for i := 0; i < 100_000; i++ {
+		if rng.Bool() {
+			h.Insert(rng.Uint64(), struct{}{})
+		} else {
+			h.TryDeleteMin()
+		}
+	}
+
+	const opsPerRun = 2000
+	allocs := testing.AllocsPerRun(10, func() {
+		for i := 0; i < opsPerRun/2; i++ {
+			h.Insert(rng.Uint64(), struct{}{})
+			h.TryDeleteMin()
+		}
+	})
+	perOp := allocs / opsPerRun
+	t.Logf("steady-state allocations: %.4f per op (%.0f per %d ops)", perOp, allocs, opsPerRun)
+	if perOp > 1.0 {
+		t.Fatalf("pooled steady state allocates %.3f per op, budget is <= 1", perOp)
+	}
+}
+
+// TestPoolingToggleSemantics: WithPooling(false) must change only the
+// allocation profile, never observable behavior.
+func TestPoolingToggleSemantics(t *testing.T) {
+	on := New[int]()
+	off := New[int](WithPooling(false))
+	hOn, hOff := on.NewHandle(), off.NewHandle()
+	rng := xrand.NewSeeded(11)
+	for op := 0; op < 20_000; op++ {
+		if rng.Bool() {
+			k := rng.Uint64n(1 << 30)
+			hOn.Insert(k, int(k))
+			hOff.Insert(k, int(k))
+		} else {
+			k1, v1, ok1 := hOn.TryDeleteMin()
+			k2, v2, ok2 := hOff.TryDeleteMin()
+			if ok1 != ok2 || k1 != k2 || v1 != v2 {
+				t.Fatalf("op %d: pooled (%d,%d,%v) != unpooled (%d,%d,%v)",
+					op, k1, v1, ok1, k2, v2, ok2)
+			}
+		}
+	}
+	if on.Size() != off.Size() {
+		t.Fatalf("Size %d != %d", on.Size(), off.Size())
+	}
+}

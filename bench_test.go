@@ -57,6 +57,10 @@ func benchGraphNodes() int {
 // counts with -cpu 1,2,4,8,... so ns/op at -cpu T is per-thread op latency
 // (the reciprocal of Figure 3's throughput/thread/s).
 func runMix(b *testing.B, q pqs.Queue) {
+	if testing.Short() {
+		b.Skip("multi-second throughput loop; skipped with -short")
+	}
+	b.ReportAllocs()
 	prefill := benchPrefill()
 	h := q.NewHandle()
 	rng := xrand.NewSeeded(42)
@@ -94,6 +98,9 @@ func BenchmarkFig3Throughput(b *testing.B) {
 var fig4Cache *graph.CSR
 
 func fig4Graph(b *testing.B) *graph.CSR {
+	if testing.Short() {
+		b.Skip("multi-second SSSP benchmark; skipped with -short")
+	}
 	if fig4Cache == nil {
 		n := benchGraphNodes()
 		fig4Cache = graph.ErdosRenyi(n, 0.5, 100_000_000, 42)
@@ -109,6 +116,7 @@ func BenchmarkFig4SSSPThreads(b *testing.B) {
 		for _, spec := range harness.Figure4Specs(256) {
 			spec := spec
 			b.Run(fmt.Sprintf("%s/workers=%d", spec.Name, workers), func(b *testing.B) {
+				b.ReportAllocs()
 				for i := 0; i < b.N; i++ {
 					res := sssp.Run(g, 0, workers, spec.NewSSSP)
 					b.ReportMetric(float64(res.Processed), "pops/run")
@@ -128,6 +136,7 @@ func BenchmarkFig4SSSPK(b *testing.B) {
 		for _, spec := range harness.Figure4Specs(k) {
 			spec := spec
 			b.Run(fmt.Sprintf("%s/k=%d", spec.Name, k), func(b *testing.B) {
+				b.ReportAllocs()
 				for i := 0; i < b.N; i++ {
 					res := sssp.Run(g, 0, workers, spec.NewSSSP)
 					b.ReportMetric(float64(res.Processed-seqPops), "extra-iters")
@@ -169,12 +178,25 @@ func BenchmarkAblationLazyDeletion(b *testing.B) {
 	})
 }
 
+// BenchmarkAblationPooling measures the §4.4 block/item recycling: the same
+// Figure 3 mix with the per-handle pools on (default) and off. The headline
+// metric is allocs/op — pooling must cut it by well over half — with the
+// ns/op delta showing what that garbage costs.
+func BenchmarkAblationPooling(b *testing.B) {
+	b.Run("on", func(b *testing.B) { runMix(b, klsmq.New(256)) })
+	b.Run("off", func(b *testing.B) { runMix(b, klsmq.NewNoPooling(256)) })
+}
+
 // BenchmarkAblationSpy isolates the spy path (DESIGN.md E8): consumers
 // delete far more than they insert, so their DistLSMs run dry and most
 // delete-mins must spy — the DLSM's known scalability limit (§7). A trickle
 // of inserts (1 in 8 ops) keeps the structure live; without it the
 // benchmark degenerates into scanning permanently dead producer blocks.
 func BenchmarkAblationSpy(b *testing.B) {
+	if testing.Short() {
+		b.Skip("throughput loop; skipped with -short")
+	}
+	b.ReportAllocs()
 	q := klsmq.NewDLSM()
 	producer := q.NewHandle()
 	rng := xrand.NewSeeded(7)
@@ -209,6 +231,9 @@ func BenchmarkAblationKSweep(b *testing.B) {
 // BenchmarkQualityRankError reports the empirical rank-error statistics of
 // the relaxed queues as benchmark metrics (DESIGN.md E5).
 func BenchmarkQualityRankError(b *testing.B) {
+	if testing.Short() {
+		b.Skip("sequential quality replay; skipped with -short")
+	}
 	for _, k := range []int{4, 256, 4096} {
 		k := k
 		b.Run(fmt.Sprintf("kLSM-nolocal-k=%d", k), func(b *testing.B) {

@@ -38,4 +38,16 @@
 // on the shared structure; the paper's evaluation finds k = 256 a good
 // general-purpose setting and uses k up to 4096 for maximum throughput.
 // See the benchmarks in bench_test.go, which regenerate the paper's figures.
+//
+// # Memory pooling (§4.4)
+//
+// By default the queue recycles its internal blocks and item wrappers
+// through per-handle free lists, the Go translation of the paper's §4.4
+// memory-management scheme: items carry versioned deletion flags (so reuse
+// is ABA-safe), private blocks recycle the moment a merge retires them, and
+// published blocks are reclaimed once epoch stamps and a reader guard prove
+// no spying thread can still hold a pointer — anything unprovable is simply
+// left to the garbage collector. Steady-state Insert/TryDeleteMin run
+// nearly allocation-free (see BenchmarkAblationPooling). WithPooling(false)
+// disables the scheme; semantics are identical either way.
 package klsm

@@ -1,0 +1,3 @@
+module klsm
+
+go 1.24

@@ -62,7 +62,13 @@ func New[V any](level int) *Block[V] {
 }
 
 // LevelForCount returns the smallest level whose capacity holds n items.
+// Counts beyond the MaxLevel capacity (or negative ones) panic: the shift in
+// the naive loop would overflow int for n > 2^62 — Go defines the over-wide
+// shift as 0 — and never terminate.
 func LevelForCount(n int) int {
+	if n < 0 || n > 1<<uint(MaxLevel) {
+		panic("block: item count out of range")
+	}
 	level := 0
 	for 1<<uint(level) < n {
 		level++
@@ -129,12 +135,22 @@ func (b *Block[V]) appendDrop(it *item.Item[V], drop DropFunc[V]) {
 // items (logically deleted ones are filtered out, Listing 1). The Bloom
 // filter is carried over.
 func (b *Block[V]) Copy(level int) *Block[V] {
-	return b.CopyDrop(level, nil)
+	return b.CopyDropIn(nil, level, nil)
 }
 
 // CopyDrop is Copy with the lazy-deletion callback applied.
 func (b *Block[V]) CopyDrop(level int, drop DropFunc[V]) *Block[V] {
-	nb := New[V](level)
+	return b.CopyDropIn(nil, level, drop)
+}
+
+// CopyIn is Copy allocating the destination from p (nil p allocates).
+func (b *Block[V]) CopyIn(p *Pool[V], level int) *Block[V] {
+	return b.CopyDropIn(p, level, nil)
+}
+
+// CopyDropIn is CopyDrop allocating the destination from p.
+func (b *Block[V]) CopyDropIn(p *Pool[V], level int, drop DropFunc[V]) *Block[V] {
+	nb := p.Get(level)
 	nb.filter = b.filter
 	for _, it := range b.Items() {
 		nb.appendDrop(it, drop)
@@ -172,13 +188,24 @@ func MergeInto[V any](dst, b1, b2 *Block[V], drop DropFunc[V]) {
 // b2 into it, then shrinks it to the smallest fitting level. This is the
 // "merge then shrink" step shared by all LSM insert paths.
 func Merge[V any](b1, b2 *Block[V], drop DropFunc[V]) *Block[V] {
+	return MergeIn[V](nil, b1, b2, drop)
+}
+
+// MergeIn is Merge drawing the destination (and any shrink copy) from p and
+// returning intermediates to it. The inputs are untouched: whether they can
+// be recycled is the caller's call (it knows which ones are private).
+func MergeIn[V any](p *Pool[V], b1, b2 *Block[V], drop DropFunc[V]) *Block[V] {
 	level := b1.level
 	if b2.level > level {
 		level = b2.level
 	}
-	dst := New[V](level + 1)
+	dst := p.Get(level + 1)
 	MergeInto(dst, b1, b2, drop)
-	return dst.Shrink()
+	s := dst.ShrinkIn(p)
+	if s != dst {
+		p.Put(dst) // dst never left this function: private by construction
+	}
+	return s
 }
 
 // Shrink returns a block holding b's live items at the smallest adequate
@@ -188,6 +215,13 @@ func Merge[V any](b1, b2 *Block[V], drop DropFunc[V]) *Block[V] {
 // Must only be called on private blocks (use ShrinkInPlace for published
 // ones).
 func (b *Block[V]) Shrink() *Block[V] {
+	return b.ShrinkIn(nil)
+}
+
+// ShrinkIn is Shrink drawing compaction copies from p and returning its
+// intermediates to it. Whether b itself (when replaced) can be recycled is
+// the caller's decision.
+func (b *Block[V]) ShrinkIn(p *Pool[V]) *Block[V] {
 	f := b.filled.Load()
 	for f > 0 && b.items[f-1].Taken() {
 		f--
@@ -200,7 +234,12 @@ func (b *Block[V]) Shrink() *Block[V] {
 		// Copy may clean out further items mid-array, so recurse as the
 		// paper does.
 		b.filled.Store(f)
-		return b.Copy(l).Shrink()
+		c := b.CopyIn(p, l)
+		s := c.ShrinkIn(p)
+		if s != c {
+			p.Put(c) // c never escaped: private
+		}
+		return s
 	}
 	b.filled.Store(f)
 	return b

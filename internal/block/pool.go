@@ -1,0 +1,208 @@
+// Block and item recycling (paper §4.4).
+//
+// The C++ k-LSM's performance depends on never allocating in the hot paths:
+// blocks and items are recycled through free lists, with versioned flags
+// defeating ABA. Go's garbage collector changes the trade-off — safety never
+// requires recycling — but the allocation rate still does: every insert
+// creates a level-0 block and every merge a 2^level pointer slice, and that
+// garbage dominates the operation cost. This file implements the Go
+// translation of §4.4:
+//
+//   - Pool is a per-handle, level-indexed free list of blocks. It is owned
+//     by exactly one goroutine (like the paper's thread-local free lists)
+//     and never locked.
+//   - Private blocks — created by the owner and not yet published — are
+//     recycled immediately via Put the moment they are merged away.
+//   - Published blocks — reachable through a DistLSM slot until the owner
+//     unlinks them — go through Retire, which parks them in a limbo list
+//     until the Guard proves no spy that might still hold the pointer is
+//     active. This is the "reuse contract": a retired block re-enters the
+//     free list only once it is unreachable from every published structure.
+//   - Anything the contract cannot prove reusable is simply dropped and the
+//     garbage collector reclaims it — the backstop the C++ version lacks.
+package block
+
+import "sync/atomic"
+
+// Guard counts concurrently active readers of published blocks (spies and
+// melds). Owners consult it before recycling a retired published block: if
+// no reader is active at or after the moment the block became unreachable,
+// no reader can still hold a pointer to it.
+//
+// The quiescence argument: readers obtain block pointers only through
+// atomic slots (DistLSM block slots guarded by the size counter). An owner
+// first unlinks a block (stores the replacement and the new size), then
+// observes active == 0. Under Go's sequentially consistent atomics, any
+// reader that enters afterwards loads the post-unlink state and cannot see
+// the old pointer; any reader that entered before is counted, so the
+// observation fails and the block stays in limbo.
+//
+// A nil *Guard is always quiescent — correct for single-threaded structures
+// (the sequential LSM), where Retire degenerates to an immediate Put.
+type Guard struct {
+	active atomic.Int64
+}
+
+// Enter marks a reader active. Pair with Exit.
+func (g *Guard) Enter() {
+	if g != nil {
+		g.active.Add(1)
+	}
+}
+
+// Exit marks the reader inactive.
+func (g *Guard) Exit() {
+	if g != nil {
+		g.active.Add(-1)
+	}
+}
+
+// Quiescent reports whether no reader is currently active.
+func (g *Guard) Quiescent() bool {
+	return g == nil || g.active.Load() == 0
+}
+
+const (
+	// freeCapLevel0 and freeCap bound the free list per level; level 0 is
+	// the per-insert allocation and much hotter than the rest.
+	freeCapLevel0 = 64
+	freeCap       = 4
+	// maxPoolLevel bounds which blocks are pooled at all: clearing a
+	// retired block's slot array is O(capacity), which stops amortizing
+	// against the merge that filled it somewhere around a few MB.
+	maxPoolLevel = 20
+	// limboCap bounds the not-yet-quiescent retired list; overflow is
+	// dropped to the garbage collector.
+	limboCap = 64
+)
+
+// PoolStats is a snapshot of pool counters for tests and diagnostics.
+type PoolStats struct {
+	Gets    int64 // total Get calls
+	Hits    int64 // Gets served from the free list
+	Puts    int64 // blocks recycled (immediately or via limbo)
+	Retired int64 // Retire calls
+	Dropped int64 // blocks abandoned to the GC (caps or level bound)
+}
+
+// Pool is a per-handle, level-indexed block free list (§4.4). Not safe for
+// concurrent use: all methods are owner-only. A nil *Pool is valid and makes
+// Get allocate, Put and Retire no-ops — the pooling-disabled mode.
+type Pool[V any] struct {
+	guard *Guard
+	free  [maxPoolLevel + 1][]*Block[V]
+	limbo []*Block[V]
+	stats PoolStats
+}
+
+// NewPool returns an empty pool whose Retire path is guarded by g. g may be
+// nil for single-threaded use (Retire recycles immediately).
+func NewPool[V any](g *Guard) *Pool[V] {
+	return &Pool[V]{guard: g}
+}
+
+// Get returns an empty private block of the given level, recycled when
+// possible.
+func (p *Pool[V]) Get(level int) *Block[V] {
+	if p == nil {
+		return New[V](level)
+	}
+	p.stats.Gets++
+	p.reapLimbo()
+	if level <= maxPoolLevel {
+		if fl := p.free[level]; len(fl) > 0 {
+			b := fl[len(fl)-1]
+			fl[len(fl)-1] = nil
+			p.free[level] = fl[:len(fl)-1]
+			p.stats.Hits++
+			return b
+		}
+	}
+	return New[V](level)
+}
+
+// Put recycles a block immediately. Contract: b is private — it was never
+// published, or this call site can otherwise prove no other goroutine can
+// reach it (single-threaded structures). The block's item references are
+// dropped so pooled blocks do not pin items for the GC.
+func (p *Pool[V]) Put(b *Block[V]) {
+	if p == nil || b == nil {
+		return
+	}
+	level := b.level
+	if level > maxPoolLevel || len(p.free[level]) >= p.freeCap(level) {
+		p.stats.Dropped++
+		return
+	}
+	clear(b.items)
+	b.filled.Store(0)
+	b.filter = 0
+	p.stats.Puts++
+	p.free[level] = append(p.free[level], b)
+}
+
+// Retire recycles a block that was published and has now been unlinked by
+// the owner (stores making it unreachable for new readers must precede this
+// call). If the guard is quiescent the block is recycled immediately —
+// together with any blocks parked earlier — otherwise it joins the limbo
+// list until a later quiescent observation.
+func (p *Pool[V]) Retire(b *Block[V]) {
+	if p == nil || b == nil {
+		return
+	}
+	p.stats.Retired++
+	if p.guard.Quiescent() {
+		p.drainLimbo()
+		p.Put(b)
+		return
+	}
+	if len(p.limbo) >= limboCap {
+		p.stats.Dropped++
+		return
+	}
+	p.limbo = append(p.limbo, b)
+}
+
+// reapLimbo opportunistically recycles parked blocks once quiescence is
+// observed.
+func (p *Pool[V]) reapLimbo() {
+	if len(p.limbo) > 0 && p.guard.Quiescent() {
+		p.drainLimbo()
+	}
+}
+
+// drainLimbo moves every parked block to the free lists. Caller has observed
+// quiescence.
+func (p *Pool[V]) drainLimbo() {
+	for i, b := range p.limbo {
+		p.limbo[i] = nil
+		p.Put(b)
+	}
+	p.limbo = p.limbo[:0]
+}
+
+// freeCap returns the free-list bound for a level.
+func (p *Pool[V]) freeCap(level int) int {
+	if level == 0 {
+		return freeCapLevel0
+	}
+	return freeCap
+}
+
+// Guard returns the guard retire operations are gated on (nil for a nil or
+// unguarded pool). Readers of published blocks bracket themselves with it.
+func (p *Pool[V]) Guard() *Guard {
+	if p == nil {
+		return nil
+	}
+	return p.guard
+}
+
+// Stats returns a snapshot of the pool counters (owner-only, like every
+// other method).
+func (p *Pool[V]) Stats() PoolStats {
+	if p == nil {
+		return PoolStats{}
+	}
+	return p.stats
+}

@@ -19,6 +19,10 @@ func (h *Handle[V]) Meld(other *Queue[V]) {
 	if other == nil || other.Queue() == h.q {
 		return
 	}
+	// Announce this reader to other's guard for the §4.4 reuse contract:
+	// while active, none of other's handles recycles a retired published
+	// block, so every block pointer read below stays valid.
+	other.guard.Enter()
 	// Move the contents of every handle-local DistLSM of other. Spy gives a
 	// consistent-enough copy (it never misses an item that was present when
 	// other went quiescent); inserting the copied blocks into q's shared
@@ -46,6 +50,7 @@ func (h *Handle[V]) Meld(other *Queue[V]) {
 			h.q.shared.Insert(h.cursor, nb.Shrink())
 		}
 	}
+	other.guard.Exit()
 	// Account the moved items on this handle so Size stays within its
 	// relaxed bound: melded items were counted in other's handles; transfer
 	// the balance.

@@ -61,6 +61,10 @@ type Config[V any] struct {
 	// which it returns true are discarded during block maintenance and
 	// never returned from delete-min.
 	Drop block.DropFunc[V]
+	// DisablePooling turns off the §4.4 block/item recycling free lists.
+	// The zero value (pooling on) is the paper's configuration; disabling
+	// exists for the allocation ablation benchmarks and as an escape hatch.
+	DisablePooling bool
 }
 
 // Queue is the combined k-LSM relaxed priority queue. Create handles with
@@ -87,6 +91,12 @@ type Queue[V any] struct {
 	// (DistOnly mode only, where no shared structure can absorb them); they
 	// must stay spy-able. Guarded by mu.
 	zombies []*distlsm.Dist[V]
+
+	// guard is the queue-wide reader guard of the §4.4 recycling scheme:
+	// spies and melds announce themselves here, and no handle recycles a
+	// retired published block while a reader is active. One guard per queue
+	// — every handle pool and the shared k-LSM share it.
+	guard block.Guard
 }
 
 // rebuildVictims refreshes the copy-on-write spy-victim snapshot from the
@@ -110,6 +120,9 @@ func NewQueue[V any](cfg Config[V]) *Queue[V] {
 	q.shared = sharedlsm.New[V](cfg.K, cfg.LocalOrdering)
 	if cfg.Drop != nil {
 		q.shared.SetDrop(cfg.Drop)
+	}
+	if !cfg.DisablePooling {
+		q.shared.SetGuard(&q.guard)
 	}
 	empty := []*distlsm.Dist[V]{}
 	q.victims.Store(&empty)
@@ -191,6 +204,14 @@ func (q *Queue[V]) NewHandle() *Handle[V] {
 		h.dist.SetDrop(q.cfg.Drop)
 	}
 	h.cursor = q.shared.NewCursor(id, xrand.NewSeeded(id*0xbf58476d1ce4e5b9+0x3c6ef372))
+	if !q.cfg.DisablePooling {
+		// §4.4 recycling: one block pool and one item pool per handle, all
+		// block pools gated by the queue-wide guard.
+		h.pool = block.NewPool[V](&q.guard)
+		h.items = item.NewPool[V]()
+		h.dist.SetPool(h.pool)
+		h.cursor.SetPool(h.pool)
+	}
 	h.overflow = func(b *block.Block[V]) {
 		h.q.shared.Insert(h.cursor, b)
 	}
@@ -212,6 +233,10 @@ type Handle[V any] struct {
 	rng      *xrand.Source
 	id       uint64
 	overflow func(*block.Block[V])
+
+	// pool and items are the handle's §4.4 free lists (nil: pooling off).
+	pool  *block.Pool[V]
+	items *item.Pool[V]
 
 	// inserted/deleted are owner-incremented, read by Queue.Size.
 	inserted atomic.Int64
@@ -260,21 +285,28 @@ func (h *Handle[V]) Close() {
 	// Preserve the operation totals for Size.
 	q.closedInserted += h.inserted.Load()
 	q.closedDeleted += h.deleted.Load()
+	// Withdraw the cursor from the reclamation epoch scheme so an idle
+	// closed handle does not pin retired blocks forever.
+	q.shared.RetireCursor(h.cursor)
 }
 
 // DistStats exposes the handle's DistLSM counters for benchmarks.
 func (h *Handle[V]) DistStats() distlsm.Stats { return h.dist.Stats() }
 
+// PoolStats exposes the handle's block-pool counters (zero value when
+// pooling is disabled). Owner-only, like all pool operations.
+func (h *Handle[V]) PoolStats() block.PoolStats { return h.pool.Stats() }
+
 // Insert adds key with its payload to the queue (Listing 5). It always
 // succeeds and is lock-free.
 func (h *Handle[V]) Insert(key uint64, value V) {
-	it := item.New(key, value)
+	it := h.items.Get(key, value)
 	h.inserted.Add(1)
 	switch h.q.cfg.Mode {
 	case DistOnly:
 		h.dist.Insert(it, nil)
 	case SharedOnly:
-		nb := block.New[V](0)
+		nb := h.pool.Get(0)
 		nb.AddOwner(h.id)
 		nb.Append(it)
 		h.q.shared.Insert(h.cursor, nb)

@@ -72,6 +72,19 @@ type Dist[V any] struct {
 
 	drop  block.DropFunc[V]
 	stats statCounters
+
+	// pool is the owner handle's §4.4 block free list (nil: pooling off).
+	// Private blocks (the per-insert level-0 block, merge intermediates)
+	// recycle immediately; published blocks that the owner unlinks go
+	// through Retire, whose guard keeps them parked while any spy that
+	// might still hold their pointer is active. All pools of one queue
+	// share that queue's guard, which Spy brackets.
+	pool *block.Pool[V]
+	// retireScratch and consolidation scratch buffers avoid per-call slice
+	// allocations on the owner's hot paths.
+	retireScratch []*block.Block[V]
+	runScratch    []*block.Block[V]
+	freshScratch  []bool
 }
 
 // UnboundedLevel disables overflow: the Dist keeps every block locally.
@@ -115,6 +128,11 @@ func (d *Dist[V]) SetK(k int) {
 // SetDrop installs the lazy-deletion callback applied during merges.
 func (d *Dist[V]) SetDrop(drop block.DropFunc[V]) { d.drop = drop }
 
+// SetPool installs the owner handle's block free list (§4.4). Must be set
+// before the Dist is used; the pool's guard must be shared by every pool of
+// the queue so Spy and Retire agree on reader quiescence.
+func (d *Dist[V]) SetPool(p *block.Pool[V]) { d.pool = p }
+
 // Stats returns a snapshot of the structural event counters. Safe to call
 // from any goroutine.
 func (d *Dist[V]) Stats() Stats {
@@ -131,26 +149,41 @@ func (d *Dist[V]) Stats() Stats {
 func (d *Dist[V]) MaxLevel() int { return int(d.maxLevel.Load()) }
 
 // evictOversized transfers blocks at or above maxLevel to the shared k-LSM
-// (owner only). Blocks are published to the overflow target before their
-// local slots are compacted, so reachability is never interrupted.
+// (owner only). A private copy is published to the overflow target before
+// the local slots are compacted, so reachability is never interrupted — and
+// because the overflow target receives a block nothing else references, it
+// is free to recycle it (Shared.Insert assumes exactly that). The evicted
+// originals go through the guard-gated Retire once unlinked.
 func (d *Dist[V]) evictOversized(maxLevel int, overflow func(*block.Block[V])) {
 	sz := int(d.size.Load())
 	if sz == 0 {
 		return
 	}
 	// Blocks are sorted by strictly decreasing level; oversized ones form a
-	// prefix.
+	// prefix. Remember the originals: compaction overwrites their slots.
+	unlinked := d.retireScratch[:0]
 	evict := 0
 	for evict < sz {
 		b := d.blocks[evict].Load()
 		if b == nil || b.Level() < maxLevel {
 			break
 		}
-		overflow(b)
-		d.stats.overflows.Add(1)
+		nb := b.CopyIn(d.pool, b.Level())
+		if nb.Empty() {
+			d.pool.Put(nb) // only taken items: nothing to publish
+		} else {
+			s := nb.ShrinkIn(d.pool)
+			if s != nb {
+				d.pool.Put(nb)
+			}
+			overflow(s)
+			d.stats.overflows.Add(1)
+		}
+		unlinked = append(unlinked, b)
 		evict++
 	}
 	if evict == 0 {
+		d.retireScratch = unlinked[:0]
 		return
 	}
 	// Compact left; transient duplicates are fine, lost items are not.
@@ -158,6 +191,13 @@ func (d *Dist[V]) evictOversized(maxLevel int, overflow func(*block.Block[V])) {
 		d.blocks[i-evict].Store(d.blocks[i].Load())
 	}
 	d.size.Store(int64(sz - evict))
+	// The originals are now unreachable to new spies: recycle under the
+	// reuse contract.
+	for j, b := range unlinked {
+		unlinked[j] = nil
+		d.pool.Retire(b)
+	}
+	d.retireScratch = unlinked[:0]
 }
 
 // Insert adds it to the Dist (owner only). Following Listing 4, a level-0
@@ -167,17 +207,18 @@ func (d *Dist[V]) evictOversized(maxLevel int, overflow func(*block.Block[V])) {
 // are unlinked, so the items never become unreachable. Insert reports
 // whether the item was kept locally (false means it overflowed).
 func (d *Dist[V]) Insert(it *item.Item[V], overflow func(*block.Block[V])) bool {
-	b := block.New[V](0)
+	b := d.pool.Get(0)
 	b.SetBloom(d.ownerMask)
 	b.Append(it)
 	if b.Empty() {
-		return true // item was concurrently taken; nothing to do
+		d.pool.Put(b) // never published: recycle immediately
+		return true   // item was concurrently taken; nothing to do
 	}
 	return d.insertBlock(b, overflow)
 }
 
 // insertBlock runs the merge loop for a prepared block. Exposed within the
-// package for spy-assisted bulk moves.
+// package for spy-assisted bulk moves. b must be private to the owner.
 func (d *Dist[V]) insertBlock(b *block.Block[V], overflow func(*block.Block[V])) bool {
 	maxLevel := int(d.maxLevel.Load())
 	if overflow != nil {
@@ -187,11 +228,19 @@ func (d *Dist[V]) insertBlock(b *block.Block[V], overflow func(*block.Block[V]))
 	}
 	sz := int(d.size.Load())
 	i := sz
+	// unlinked collects published blocks this operation merges away; they
+	// are retired only after the publication stores below make them
+	// unreachable to new spies (§4.4 reuse contract).
+	unlinked := d.retireScratch[:0]
 	for i > 0 {
 		prev := d.blocks[i-1].Load()
 		if prev == nil || prev.Empty() {
 			// Empty slots can appear after consolidation races with nothing:
-			// the owner wrote them; just absorb.
+			// the owner wrote them; just absorb (the publication below
+			// unlinks them).
+			if prev != nil {
+				unlinked = append(unlinked, prev)
+			}
 			i--
 			continue
 		}
@@ -200,27 +249,37 @@ func (d *Dist[V]) insertBlock(b *block.Block[V], overflow func(*block.Block[V]))
 		}
 		// Merge is non-destructive: prev stays reachable in its slot until
 		// the final publication below.
-		b = block.Merge(prev, b, d.drop)
+		merged := block.MergeIn(d.pool, prev, b, d.drop)
+		d.pool.Put(b) // b never escaped this thread: recycle immediately
+		unlinked = append(unlinked, prev)
+		b = merged
 		d.stats.merges.Add(1)
 		i--
 	}
-	if b.Empty() {
+	keptLocal := true
+	switch {
+	case b.Empty():
 		// Everything merged away (drop callback / logical deletions).
 		d.size.Store(int64(i))
-		return true
-	}
-	if overflow != nil && b.Level() >= maxLevel {
+		d.pool.Put(b)
+	case overflow != nil && b.Level() >= maxLevel:
 		// Publish to the shared k-LSM first; only then drop local
 		// references (reachability is never interrupted, items are briefly
-		// duplicated instead).
+		// duplicated instead). Ownership of b moves to the shared k-LSM.
 		overflow(b)
 		d.stats.overflows.Add(1)
 		d.size.Store(int64(i))
-		return false
+		keptLocal = false
+	default:
+		d.blocks[i].Store(b)
+		d.size.Store(int64(i + 1))
 	}
-	d.blocks[i].Store(b)
-	d.size.Store(int64(i + 1))
-	return true
+	for j, ub := range unlinked {
+		unlinked[j] = nil
+		d.pool.Retire(ub)
+	}
+	d.retireScratch = unlinked[:0]
+	return keptLocal
 }
 
 // FindMin returns the live minimum item without removing it (owner only), or
@@ -261,33 +320,74 @@ func (d *Dist[V]) FindMin() *item.Item[V] {
 // the paper's consolidate. References to old blocks are only dropped after
 // their replacements are published (left-to-right overwrite, size last), so
 // spying threads never lose sight of a live item.
+//
+// Recycling (§4.4): blocks created during this pass are private until the
+// final publication, so the ones merged away again recycle immediately;
+// original published blocks that do not survive are retired after the
+// publication stores unlink them.
 func (d *Dist[V]) Consolidate() {
 	d.stats.consolidates.Add(1)
 	sz := int(d.size.Load())
-	var runs []*block.Block[V]
+	runs := d.runScratch[:0]
+	fresh := d.freshScratch[:0]
+	unlinked := d.retireScratch[:0]
 	for i := 0; i < sz; i++ {
 		b := d.blocks[i].Load()
 		if b == nil || b.Empty() {
+			if b != nil {
+				unlinked = append(unlinked, b)
+			}
 			continue
 		}
-		s := b.Shrink() // may copy; mutation of b is limited to lowering filled
+		s := b.ShrinkIn(d.pool) // may copy; mutation of b is limited to lowering filled
+		sFresh := s != b
+		if sFresh {
+			unlinked = append(unlinked, b) // replaced by the compacted copy
+		}
 		if s.Empty() {
+			if sFresh {
+				d.pool.Put(s)
+			} else {
+				unlinked = append(unlinked, s)
+			}
 			continue
 		}
 		// Restore strictly decreasing levels with a merge stack.
 		for len(runs) > 0 && runs[len(runs)-1].Level() <= s.Level() {
-			s = block.Merge(runs[len(runs)-1], s, d.drop)
+			top, topFresh := runs[len(runs)-1], fresh[len(fresh)-1]
+			m := block.MergeIn(d.pool, top, s, d.drop)
 			d.stats.merges.Add(1)
-			runs = runs[:len(runs)-1]
+			if topFresh {
+				d.pool.Put(top)
+			} else {
+				unlinked = append(unlinked, top)
+			}
+			if sFresh {
+				d.pool.Put(s)
+			} else {
+				unlinked = append(unlinked, s)
+			}
+			s, sFresh = m, true
+			runs, fresh = runs[:len(runs)-1], fresh[:len(fresh)-1]
 		}
 		if !s.Empty() {
-			runs = append(runs, s)
+			runs, fresh = append(runs, s), append(fresh, sFresh)
+		} else if sFresh {
+			d.pool.Put(s)
 		}
 	}
 	for i, r := range runs {
 		d.blocks[i].Store(r)
 	}
 	d.size.Store(int64(len(runs)))
+	for j, ub := range unlinked {
+		unlinked[j] = nil
+		d.pool.Retire(ub)
+	}
+	clear(runs)
+	d.runScratch = runs[:0]
+	d.freshScratch = fresh[:0]
+	d.retireScratch = unlinked[:0]
 }
 
 // Spy copies the victim's blocks into d (owner of d only; victim may be
@@ -298,6 +398,12 @@ func (d *Dist[V]) Spy(victim *Dist[V]) bool {
 	if victim == nil || victim == d {
 		return d.size.Load() != 0
 	}
+	// Announce this reader to the queue-wide guard: while active, no owner
+	// recycles a retired published block, so every pointer read below stays
+	// valid even if the victim unlinks it mid-copy (§4.4).
+	g := d.pool.Guard()
+	g.Enter()
+	defer g.Exit()
 	vsz := int(victim.size.Load())
 	copied := int64(0)
 	for i := 0; i < vsz; i++ {
@@ -316,8 +422,9 @@ func (d *Dist[V]) Spy(victim *Dist[V]) bool {
 				continue
 			}
 		}
-		nb := b.Copy(level)
+		nb := b.CopyIn(d.pool, level)
 		if nb.Empty() {
+			d.pool.Put(nb)
 			continue
 		}
 		d.blocks[sz].Store(nb)
@@ -344,13 +451,20 @@ func (d *Dist[V]) DrainTo(overflow func(*block.Block[V])) {
 		if b == nil || b.Empty() {
 			continue
 		}
-		nb := b.Copy(b.Level())
+		nb := b.CopyIn(d.pool, b.Level())
 		if nb.Empty() {
+			d.pool.Put(nb)
 			continue
 		}
-		overflow(nb.Shrink())
+		s := nb.ShrinkIn(d.pool)
+		if s != nb {
+			d.pool.Put(nb)
+		}
+		overflow(s)
 		d.stats.overflows.Add(1)
 	}
+	// The drained blocks themselves are not retired: the handle is closing,
+	// so its pool is about to become garbage anyway — the GC reclaims both.
 	d.size.Store(0)
 }
 

@@ -1,0 +1,179 @@
+package distlsm
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"klsm/internal/block"
+	"klsm/internal/item"
+	"klsm/internal/xrand"
+)
+
+// TestPooledDistSequential checks that a pooled Dist behaves like an
+// unpooled one and actually recycles blocks.
+func TestPooledDistSequential(t *testing.T) {
+	plain := New[int](1, -1)
+	pooled := New[int](2, -1)
+	pooled.SetPool(block.NewPool[int](nil)) // single-threaded: nil guard
+
+	rng := xrand.NewSeeded(21)
+	var keys []uint64
+	for i := 0; i < 4000; i++ {
+		k := rng.Uint64n(1 << 30)
+		keys = append(keys, k)
+		plain.Insert(item.New(k, int(k)), nil)
+		pooled.Insert(item.New(k, int(k)), nil)
+	}
+	for i := 0; i < len(keys); i++ {
+		a, b := plain.FindMin(), pooled.FindMin()
+		if (a == nil) != (b == nil) {
+			t.Fatalf("FindMin presence diverged at %d", i)
+		}
+		if a == nil {
+			break
+		}
+		if a.Key() != b.Key() {
+			t.Fatalf("FindMin key diverged at %d: %d vs %d", i, a.Key(), b.Key())
+		}
+		if !a.TryTake() || !b.TryTake() {
+			t.Fatal("sequential take failed")
+		}
+	}
+	if plain.FindMin() != nil || pooled.FindMin() != nil {
+		t.Fatal("queues not drained")
+	}
+	if !pooled.CheckInvariants() {
+		t.Fatal("pooled invariants violated")
+	}
+}
+
+// TestPooledEvictionPrivateCopies is the regression test for the eviction
+// recycling bug: evictOversized must hand the overflow target a private
+// copy (Shared.Insert may recycle what it receives) and retire the
+// still-published originals through the guard, never directly. A spy runs
+// concurrently throughout a run-time k reduction to give -race a shot at
+// any premature reuse.
+func TestPooledEvictionPrivateCopies(t *testing.T) {
+	var g block.Guard
+	d := New[int](1, -1) // unbounded: grow big local blocks first
+	d.SetPool(block.NewPool[int](&g))
+
+	rng := xrand.NewSeeded(41)
+	inserted := 0
+	for i := 0; i < 500; i++ {
+		d.Insert(item.New(rng.Uint64n(1<<30), i), nil)
+		inserted++
+	}
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for !stop.Load() {
+			// A fresh spy each round keeps copying the full structure.
+			spy := New[int](7, -1)
+			spy.SetPool(block.NewPool[int](&g))
+			spy.Spy(d)
+			if !spy.CheckInvariants() {
+				panic("spy invariants violated during eviction")
+			}
+		}
+	}()
+
+	// Reduce k at run time: the next inserts evict the oversized prefix.
+	d.SetK(3)
+	var overflowed []*block.Block[int]
+	overflow := func(b *block.Block[int]) { overflowed = append(overflowed, b) }
+	for i := 0; i < 200; i++ {
+		if d.Insert(item.New(rng.Uint64n(1<<30), i), overflow) {
+			// kept locally
+		}
+		inserted++
+	}
+	stop.Store(true)
+	wg.Wait()
+
+	if len(overflowed) == 0 {
+		t.Fatal("k reduction evicted nothing — test exercises nothing")
+	}
+	if !d.CheckInvariants() {
+		t.Fatal("victim invariants violated after eviction")
+	}
+	// Overflowed blocks must be private copies: none of them may alias a
+	// block still published in the Dist.
+	for _, ob := range overflowed {
+		for i := 0; i < d.Blocks(); i++ {
+			if d.BlockAt(i) == ob {
+				t.Fatal("overflow received a block still published in the Dist")
+			}
+		}
+		if !ob.SortedDesc() {
+			t.Fatal("overflowed block unsorted")
+		}
+	}
+	// Conservation: every live item is reachable exactly once across the
+	// local blocks and the overflowed copies (duplicates would show up as
+	// a surplus; lost items as a deficit).
+	live := d.LiveCount()
+	for _, ob := range overflowed {
+		live += ob.LiveCount()
+	}
+	if live != inserted {
+		t.Fatalf("conservation violated: %d live of %d inserted", live, inserted)
+	}
+}
+
+// TestPooledSpyConcurrent is the §4.4 distlsm safety check: a victim owner
+// inserts and deletes (retiring published blocks into its pool) while
+// spies copy from it through the shared guard. Under -race this verifies
+// retired blocks are never recycled while a spy can still read them.
+func TestPooledSpyConcurrent(t *testing.T) {
+	if testing.Short() {
+		t.Skip("concurrency stress; skipped with -short")
+	}
+	var g block.Guard
+	victim := New[int](1, -1)
+	victim.SetPool(block.NewPool[int](&g))
+
+	const ops = 30000
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for s := 0; s < 3; s++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			spy := New[int](uint64(id)+10, -1)
+			spy.SetPool(block.NewPool[int](&g))
+			for !stop.Load() {
+				spy.Spy(victim)
+				// Drain the copies so the spy's own structure keeps cycling.
+				for it := spy.FindMin(); it != nil; it = spy.FindMin() {
+					it.TryTake()
+				}
+				if !spy.CheckInvariants() {
+					panic("spy invariants violated")
+				}
+			}
+		}(s)
+	}
+
+	rng := xrand.NewSeeded(31)
+	for i := 0; i < ops; i++ {
+		victim.Insert(item.New(rng.Uint64n(1<<28), i), nil)
+		if i%3 == 0 {
+			if it := victim.FindMin(); it != nil {
+				it.TryTake()
+			}
+		}
+	}
+	stop.Store(true)
+	wg.Wait()
+	if !victim.CheckInvariants() {
+		t.Fatal("victim invariants violated")
+	}
+	if victim.pool.Stats().Retired == 0 {
+		t.Fatal("victim never retired a published block — test exercises nothing")
+	}
+}

@@ -9,12 +9,21 @@ import (
 	"klsm/internal/pqs/multiq"
 )
 
+// smokeDuration keeps the wall-clock loops short under -short while still
+// exercising the timed phase.
+func smokeDuration(d time.Duration) time.Duration {
+	if testing.Short() {
+		return 10 * time.Millisecond
+	}
+	return d
+}
+
 func TestThroughputSmoke(t *testing.T) {
 	res := Throughput(ThroughputConfig{
 		Queue:    klsmq.New(256),
 		Threads:  4,
 		Prefill:  10000,
-		Duration: 50 * time.Millisecond,
+		Duration: smokeDuration(50 * time.Millisecond),
 		Seed:     1,
 	})
 	if res.Ops <= 0 {
@@ -23,7 +32,7 @@ func TestThroughputSmoke(t *testing.T) {
 	if res.PerThreadPerSec <= 0 {
 		t.Fatalf("bad metric: %+v", res)
 	}
-	if res.Elapsed < 50*time.Millisecond {
+	if res.Elapsed < smokeDuration(50*time.Millisecond) {
 		t.Fatalf("elapsed %v shorter than configured duration", res.Elapsed)
 	}
 }
@@ -33,7 +42,7 @@ func TestThroughputDefaultsAndKeyRange(t *testing.T) {
 		Queue:    linden.New(0),
 		Threads:  0, // defaults to 1
 		Prefill:  100,
-		Duration: 20 * time.Millisecond,
+		Duration: smokeDuration(20 * time.Millisecond),
 		KeyRange: 1000,
 		Seed:     2,
 	})

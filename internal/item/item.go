@@ -9,20 +9,28 @@
 // exactly one delete-min ever returns it. Pointers to taken Items are lazily
 // purged whenever blocks are copied, merged, or shrunk.
 //
-// The paper's C++ version widens the flag to a versioned integer for ABA
-// safety under manual memory reuse (§4.4); under Go's garbage collector an
-// Item is never recycled while reachable, so a plain one-shot flag suffices.
+// Following the paper's §4.4 memory-management scheme, the flag is a
+// versioned counter rather than a plain boolean: even values mean live, odd
+// values mean taken, and the value only ever increases. This makes item
+// reuse ABA-safe: TryTake compare-and-swaps against the exact version it
+// observed, so a take attempt that raced with a recycle (take → Reset to a
+// new even version) fails instead of deleting the item's next incarnation.
+// Reuse itself is governed by the pool contract (see Pool): an Item may only
+// be Reset once it is unreachable from every published LSM structure.
 package item
 
 import "sync/atomic"
 
-// Item wraps a key and payload with a logical-deletion flag. Items are
-// created by insert, shared freely between blocks and queues, and never
-// mutated except for the flag.
+// Item wraps a key and payload with a versioned logical-deletion flag. Items
+// are created by insert and shared freely between blocks and queues; between
+// Reset calls (which require exclusive ownership) only the flag mutates.
 type Item[V any] struct {
 	key   uint64
 	value V
-	taken atomic.Bool
+	// flag is the §4.4 versioned deletion flag: even = live, odd = taken.
+	// It increments monotonically — TryTake bumps even→odd, Reset bumps
+	// odd→even — so stale CAS attempts from a previous incarnation fail.
+	flag atomic.Uint64
 }
 
 // New returns a live Item holding key and value.
@@ -39,11 +47,33 @@ func (it *Item[V]) Value() V { return it.value }
 // Taken reports whether the item has been logically deleted. A false result
 // may be stale by the time the caller acts on it; callers that need to claim
 // the item must use TryTake.
-func (it *Item[V]) Taken() bool { return it.taken.Load() }
+func (it *Item[V]) Taken() bool { return it.flag.Load()&1 == 1 }
+
+// Version returns the current flag value, for tests and diagnostics. The
+// version increments once per take and once per reuse.
+func (it *Item[V]) Version() uint64 { return it.flag.Load() }
 
 // TryTake attempts to logically delete the item and reports whether this
-// caller won. At most one TryTake over the item's lifetime returns true;
-// this is the linearization point of a successful delete-min.
+// caller won. At most one TryTake per incarnation (Reset-to-Reset lifetime)
+// returns true; this is the linearization point of a successful delete-min.
+// The CAS is against the exact observed version, so a concurrent recycle
+// (which bumps the version past it) makes the attempt fail rather than
+// deleting the reused item.
 func (it *Item[V]) TryTake() bool {
-	return !it.taken.Load() && it.taken.CompareAndSwap(false, true)
+	v := it.flag.Load()
+	return v&1 == 0 && it.flag.CompareAndSwap(v, v+1)
+}
+
+// Reset revives a taken item with a new key and payload for reuse (§4.4).
+// The caller must guarantee exclusive ownership: the item must be taken and
+// unreachable from every published block. Panics if the item is still live,
+// which would indicate a pool-contract violation.
+func (it *Item[V]) Reset(key uint64, value V) {
+	v := it.flag.Load()
+	if v&1 == 0 {
+		panic("item: Reset of a live item")
+	}
+	it.key = key
+	it.value = value
+	it.flag.Store(v + 1) // odd → even: live again, new incarnation
 }

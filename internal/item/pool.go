@@ -1,0 +1,82 @@
+package item
+
+// slabSize is the number of Items allocated per slab. One slab allocation
+// amortizes over slabSize inserts, taking the steady-state insert path to
+// ~1/slabSize heap allocations per wrapped key.
+const slabSize = 256
+
+// Pool is a per-handle allocator and free list for Items (§4.4). It is not
+// safe for concurrent use: every handle owns exactly one.
+//
+// Get prefers recycled items, then carves from a slab, allocating a new slab
+// only when both run dry. Put recycles an item under the §4.4 reuse
+// contract: the item must be taken AND unreachable from every published
+// block — in the concurrent structures that proof is only available in
+// special places (e.g. the sequential LSM, where each item lives in exactly
+// one block), so most taken items are simply left to the garbage collector,
+// which is the Go backstop the paper's C++ implementation lacks.
+//
+// A nil *Pool is valid and falls back to plain allocation, so pooling can be
+// disabled by simply not creating pools.
+type Pool[V any] struct {
+	free []*Item[V]
+	slab []Item[V]
+
+	// allocs counts slab allocations, reuses counts Get calls served from
+	// the free list; exposed for tests and diagnostics.
+	allocs int64
+	reuses int64
+}
+
+// NewPool returns an empty item pool.
+func NewPool[V any]() *Pool[V] { return &Pool[V]{} }
+
+// Get returns a live item holding key and value, recycling a retired item
+// when one is available.
+func (p *Pool[V]) Get(key uint64, value V) *Item[V] {
+	if p == nil {
+		return New(key, value)
+	}
+	if n := len(p.free); n > 0 {
+		it := p.free[n-1]
+		p.free[n-1] = nil
+		p.free = p.free[:n-1]
+		p.reuses++
+		it.Reset(key, value)
+		return it
+	}
+	if len(p.slab) == 0 {
+		p.slab = make([]Item[V], slabSize)
+		p.allocs++
+	}
+	it := &p.slab[0]
+	p.slab = p.slab[1:]
+	it.key = key
+	it.value = value
+	return it
+}
+
+// Put recycles an item. Contract: the item is taken and unreachable from
+// every published structure (the caller owns the only remaining reference).
+// Panics on a live item — that is always a contract violation.
+func (p *Pool[V]) Put(it *Item[V]) {
+	if p == nil || it == nil {
+		return
+	}
+	if !it.Taken() {
+		panic("item: Put of a live item")
+	}
+	// Drop the payload so recycled items do not pin caller memory while they
+	// sit in the free list.
+	var zero V
+	it.value = zero
+	p.free = append(p.free, it)
+}
+
+// Stats returns (slab allocations, recycled Gets) for tests and diagnostics.
+func (p *Pool[V]) Stats() (allocs, reuses int64) {
+	if p == nil {
+		return 0, 0
+	}
+	return p.allocs, p.reuses
+}

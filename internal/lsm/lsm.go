@@ -27,11 +27,35 @@ type LSM[V any] struct {
 	// live tracks the exact number of live items: inserts minus delete-mins
 	// minus items removed by the drop callback during maintenance.
 	live int
+
+	// pool/items are the §4.4 recycling free lists (NewPooled). The
+	// sequential LSM is the one structure where the full scheme applies:
+	// with a single thread and no spies, every item lives in exactly one
+	// reachable block, so a block is recyclable the moment it is merged
+	// away and an item the moment DeleteMin trims it — no guard needed
+	// (a nil-guard pool treats Retire as an immediate Put).
+	pool  *block.Pool[V]
+	items *item.Pool[V]
+	// scratch backs shrinkAt's suffix rebuild without a per-call allocation.
+	scratch []*block.Block[V]
 }
 
 // New returns an empty sequential LSM priority queue.
 func New[V any]() *LSM[V] {
 	return &LSM[V]{}
+}
+
+// NewPooled returns an empty sequential LSM that recycles blocks and items
+// through §4.4-style free lists. Items returned by DeleteMin are reused by
+// later Inserts, so callers must not retain references into the queue across
+// operations (InsertItem-provided items are exempt: the LSM never recycles
+// items it did not allocate... it cannot tell them apart, so with pooling
+// enabled InsertItem is disallowed and panics).
+func NewPooled[V any]() *LSM[V] {
+	return &LSM[V]{
+		pool:  block.NewPool[V](nil),
+		items: item.NewPool[V](),
+	}
 }
 
 // SetDrop installs the lazy-deletion callback (paper §4.5). Items for which
@@ -41,15 +65,25 @@ func (l *LSM[V]) SetDrop(drop block.DropFunc[V]) { l.drop = drop }
 
 // Insert adds key with its payload.
 func (l *LSM[V]) Insert(key uint64, value V) {
-	l.InsertItem(item.New(key, value))
+	l.insertItem(l.items.Get(key, value))
 }
 
 // InsertItem adds a pre-wrapped item (paper Figure 2: create a level-0 block,
-// then merge from the tail until no two blocks share a level).
+// then merge from the tail until no two blocks share a level). Disallowed on
+// a pooled LSM: the queue would recycle the item on DeleteMin and clobber
+// the caller's reference.
 func (l *LSM[V]) InsertItem(it *item.Item[V]) {
-	nb := block.New[V](0)
+	if l.items != nil {
+		panic("lsm: InsertItem on a pooled LSM (the item would be recycled)")
+	}
+	l.insertItem(it)
+}
+
+func (l *LSM[V]) insertItem(it *item.Item[V]) {
+	nb := l.pool.Get(0)
 	nb.Append(it)
 	if nb.Empty() {
+		l.pool.Put(nb)
 		return // item was already taken
 	}
 	l.live++
@@ -75,12 +109,18 @@ func (l *LSM[V]) pushMerging(nb *block.Block[V]) {
 	}
 	i := len(l.blocks)
 	for i > 0 && l.blocks[i-1].Level() <= nb.Level() {
-		nb = block.Merge(l.blocks[i-1], nb, drop)
+		merged := block.MergeIn(l.pool, l.blocks[i-1], nb, drop)
+		// Single-threaded: both inputs are unreachable the moment the merge
+		// replaces them, so they recycle immediately (§4.4).
+		l.pool.Put(l.blocks[i-1])
+		l.pool.Put(nb)
+		nb = merged
 		i--
 	}
 	l.blocks = append(l.blocks[:i], nb)
 	if nb.Empty() {
 		l.blocks = l.blocks[:i]
+		l.pool.Put(nb)
 	}
 }
 
@@ -120,10 +160,17 @@ func (l *LSM[V]) DeleteMin() (key uint64, value V, ok bool) {
 		it.TryTake()
 		l.live--
 		l.shrinkAt(idx)
-		if l.drop != nil && l.drop(it.Key(), it.Value()) {
+		key, value = it.Key(), it.Value()
+		// After shrinkAt the taken item has been trimmed out of the only
+		// block that referenced it (it was that block's live tail minimum),
+		// so it is unreachable and recycles (§4.4). Pooled LSMs allocate
+		// every item themselves (InsertItem is disallowed), so the pointer
+		// is exclusively ours.
+		l.items.Put(it)
+		if l.drop != nil && l.drop(key, value) {
 			continue
 		}
-		return it.Key(), it.Value(), true
+		return key, value, true
 	}
 }
 
@@ -131,23 +178,30 @@ func (l *LSM[V]) DeleteMin() (key uint64, value V, ok bool) {
 // invariant by re-merging the suffix if the block's level dropped.
 func (l *LSM[V]) shrinkAt(idx int) {
 	b := l.blocks[idx]
-	s := b.Shrink()
+	s := b.ShrinkIn(l.pool)
 	if s == b && !s.Empty() {
 		return // level unchanged, invariant intact
+	}
+	if s != b {
+		l.pool.Put(b) // replaced by a compacted copy: b is unreachable
 	}
 	// The block at idx shrank below its old level: it may now collide with
 	// smaller blocks to its right. Rebuild the suffix via the same merging
 	// push used by insert.
-	suffix := append([]*block.Block[V](nil), l.blocks[idx+1:]...)
+	suffix := append(l.scratch[:0], l.blocks[idx+1:]...)
 	l.blocks = l.blocks[:idx]
 	if !s.Empty() {
 		l.pushMerging(s)
+	} else {
+		l.pool.Put(s)
 	}
 	for _, sb := range suffix {
 		if !sb.Empty() {
 			l.pushMerging(sb)
 		}
 	}
+	clear(suffix)
+	l.scratch = suffix[:0]
 }
 
 // Len returns the exact number of live items.

@@ -1,0 +1,97 @@
+package lsm
+
+import (
+	"sort"
+	"testing"
+
+	"klsm/internal/item"
+	"klsm/internal/xrand"
+)
+
+// TestPooledMatchesUnpooled replays an identical random workload on a pooled
+// and an unpooled LSM and demands identical observable behavior.
+func TestPooledMatchesUnpooled(t *testing.T) {
+	plain, pooled := New[int](), NewPooled[int]()
+	rng := xrand.NewSeeded(99)
+	for op := 0; op < 20000; op++ {
+		if rng.Bool() {
+			k := rng.Uint64n(1 << 20)
+			plain.Insert(k, int(k))
+			pooled.Insert(k, int(k))
+		} else {
+			k1, v1, ok1 := plain.DeleteMin()
+			k2, v2, ok2 := pooled.DeleteMin()
+			if k1 != k2 || v1 != v2 || ok1 != ok2 {
+				t.Fatalf("op %d: plain (%d,%d,%v) != pooled (%d,%d,%v)",
+					op, k1, v1, ok1, k2, v2, ok2)
+			}
+		}
+		if plain.Len() != pooled.Len() {
+			t.Fatalf("op %d: Len %d != %d", op, plain.Len(), pooled.Len())
+		}
+	}
+	if !pooled.CheckInvariants() {
+		t.Fatal("pooled LSM invariants violated")
+	}
+	// Drain both and compare the full remaining order.
+	var a, b []uint64
+	for {
+		k, _, ok := plain.DeleteMin()
+		if !ok {
+			break
+		}
+		a = append(a, k)
+	}
+	for {
+		k, _, ok := pooled.DeleteMin()
+		if !ok {
+			break
+		}
+		b = append(b, k)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("drain lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("drain order differs at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+	if !sort.SliceIsSorted(a, func(i, j int) bool { return a[i] < a[j] }) {
+		t.Fatal("drain not ascending")
+	}
+}
+
+// TestPooledSteadyStateAllocs: a warmed-up pooled LSM must run an
+// insert/delete-min cycle without heap allocations — the point of §4.4.
+func TestPooledSteadyStateAllocs(t *testing.T) {
+	l := NewPooled[int]()
+	rng := xrand.NewSeeded(7)
+	for i := 0; i < 4096; i++ {
+		l.Insert(rng.Uint64n(1<<30), i)
+	}
+	// Warm the free lists across the levels the workload touches.
+	for i := 0; i < 4096; i++ {
+		if rng.Bool() {
+			l.Insert(rng.Uint64n(1<<30), i)
+		} else {
+			l.DeleteMin()
+		}
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		l.Insert(rng.Uint64n(1<<30), 1)
+		l.DeleteMin()
+	})
+	if allocs > 0.1 {
+		t.Fatalf("steady-state pooled insert+delete allocates %.2f per cycle, want ~0", allocs)
+	}
+}
+
+func TestPooledInsertItemPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("InsertItem on pooled LSM did not panic")
+		}
+	}()
+	NewPooled[int]().InsertItem(item.New(1, 1))
+}

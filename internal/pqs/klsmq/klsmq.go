@@ -37,6 +37,17 @@ func NewDLSM() *Queue {
 	return &Queue{q: core.NewQueue(core.Config[struct{}]{Mode: core.DistOnly})}
 }
 
+// NewNoPooling returns a combined k-LSM with the §4.4 block/item recycling
+// disabled (allocation ablation).
+func NewNoPooling(k int) *Queue {
+	return &Queue{q: core.NewQueue(core.Config[struct{}]{
+		K:              k,
+		Mode:           core.Combined,
+		LocalOrdering:  true,
+		DisablePooling: true,
+	})}
+}
+
 // NewWithDrop returns a combined k-LSM with the lazy-deletion callback
 // (paper §4.5), used by the SSSP benchmark.
 func NewWithDrop(k int, drop func(key uint64) bool) *Queue {

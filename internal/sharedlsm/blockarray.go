@@ -46,6 +46,11 @@ type BlockArray[V any] struct {
 	pivots []int
 	// k is the relaxation parameter the pivots were computed for.
 	k int
+	// published marks arrays that won their CAS. Set by the owning cursor
+	// just before the publication attempt and cleared on failure, so it is
+	// only ever written while the array is private; cursors use it to
+	// decide whether a superseded snapshot shell may be reused (§4.4).
+	published bool
 }
 
 // newBlockArray returns an empty private array for relaxation parameter k.
@@ -53,15 +58,84 @@ func newBlockArray[V any](k int) *BlockArray[V] {
 	return &BlockArray[V]{k: k}
 }
 
-// copy returns a private deep copy (block pointers are shared, the slices
-// are not), as in Listing 2.
-func (a *BlockArray[V]) copy() *BlockArray[V] {
-	nb := &BlockArray[V]{
-		blocks: append([]*block.Block[V](nil), a.blocks...),
-		pivots: append([]int(nil), a.pivots...),
-		k:      a.k,
+// copyInto takes a private deep copy of a into dst, reusing dst's slices
+// (block pointers are shared, the slices are not), as in Listing 2. dst is
+// either fresh or a recycled never-published snapshot shell.
+func (a *BlockArray[V]) copyInto(dst *BlockArray[V]) {
+	dst.blocks = append(dst.blocks[:0], a.blocks...)
+	dst.pivots = append(dst.pivots[:0], a.pivots...)
+	dst.k = a.k
+	dst.published = false
+}
+
+// alloc is the §4.4 recycling context a cursor threads through snapshot
+// mutations: the owning handle's block pool, the list of blocks created
+// during the current attempt (private until the snapshot wins its CAS, so
+// recyclable if it does not), and scratch buffers for the hot consolidate/
+// pivot paths. A nil *alloc disables pooling and scratch reuse.
+type alloc[V any] struct {
+	pool  *block.Pool[V]
+	fresh []*block.Block[V]
+
+	runScratch  []*block.Block[V]
+	pivotHeap   []pivotCur
+	pivotFilled []int
+}
+
+// blockPool returns the pool, nil-safe.
+func (al *alloc[V]) blockPool() *block.Pool[V] {
+	if al == nil {
+		return nil
 	}
-	return nb
+	return al.pool
+}
+
+// note records a block created during the current attempt.
+func (al *alloc[V]) note(b *block.Block[V]) {
+	if al != nil {
+		al.fresh = append(al.fresh, b)
+	}
+}
+
+// unnote removes b from the fresh list, reporting whether it was there. A
+// true result proves b is private (created this attempt, never published),
+// so the caller may recycle it immediately.
+func (al *alloc[V]) unnote(b *block.Block[V]) bool {
+	if al == nil {
+		return false
+	}
+	for i, f := range al.fresh {
+		if f == b {
+			last := len(al.fresh) - 1
+			al.fresh[i] = al.fresh[last]
+			al.fresh[last] = nil
+			al.fresh = al.fresh[:last]
+			return true
+		}
+	}
+	return false
+}
+
+// discardFresh recycles every block created during a failed attempt.
+func (al *alloc[V]) discardFresh() {
+	if al == nil {
+		return
+	}
+	for i, b := range al.fresh {
+		al.fresh[i] = nil
+		al.pool.Put(b)
+	}
+	al.fresh = al.fresh[:0]
+}
+
+// commitFresh forgets the fresh list after a successful publication (the
+// blocks are now shared and must not be recycled from here).
+func (al *alloc[V]) commitFresh() {
+	if al == nil {
+		return
+	}
+	clear(al.fresh)
+	al.fresh = al.fresh[:0]
 }
 
 // empty reports whether the array holds no blocks.
@@ -82,8 +156,9 @@ func (a *BlockArray[V]) BlockAt(i int) *block.Block[V] {
 // insert adds nb at its level position and consolidates (Listing 2: "insert
 // adds a block to the BlockArray at its correct level position, and calls
 // consolidate to ensure that the levels of blocks in the array are strictly
-// decreasing").
-func (a *BlockArray[V]) insert(nb *block.Block[V], drop block.DropFunc[V]) {
+// decreasing"). nb itself is never recycled here: until the snapshot wins
+// its CAS the caller retries with the same block.
+func (a *BlockArray[V]) insert(nb *block.Block[V], drop block.DropFunc[V], al *alloc[V]) {
 	pos := len(a.blocks)
 	for pos > 0 && a.blocks[pos-1].Level() <= nb.Level() {
 		pos--
@@ -91,7 +166,7 @@ func (a *BlockArray[V]) insert(nb *block.Block[V], drop block.DropFunc[V]) {
 	a.blocks = append(a.blocks, nil)
 	copy(a.blocks[pos+1:], a.blocks[pos:])
 	a.blocks[pos] = nb
-	a.consolidate(drop, true)
+	a.consolidate(drop, true, al)
 }
 
 // consolidate shrinks blocks, merges level collisions, and compacts the
@@ -102,9 +177,15 @@ func (a *BlockArray[V]) insert(nb *block.Block[V], drop block.DropFunc[V]) {
 // Pivots are recalculated only when the structure changed or the caller
 // demands it (needPivots; used when the candidate window is exhausted):
 // the O(k log B) selection would otherwise dominate large-k delete-min.
-func (a *BlockArray[V]) consolidate(drop block.DropFunc[V], needPivots bool) bool {
+func (a *BlockArray[V]) consolidate(drop block.DropFunc[V], needPivots bool, al *alloc[V]) bool {
 	changed := false
-	runs := make([]*block.Block[V], 0, len(a.blocks))
+	pool := al.blockPool()
+	var runs []*block.Block[V]
+	if al != nil {
+		runs = al.runScratch[:0]
+	} else {
+		runs = make([]*block.Block[V], 0, len(a.blocks))
+	}
 	for idx, b := range a.blocks {
 		if b == nil || b.Filled() == 0 {
 			changed = true
@@ -130,25 +211,51 @@ func (a *BlockArray[V]) consolidate(drop block.DropFunc[V], needPivots bool) boo
 					}
 				}
 				if dead*2 >= f-p {
-					b = b.Copy(b.Level())
+					nb := b.CopyIn(pool, b.Level())
+					al.note(nb)
+					b = nb
 					changed = true
 				}
 			}
 		}
-		s := b.Shrink()
+		s := b.ShrinkIn(pool)
 		if s != b {
+			// A compaction copy: fresh this attempt. If b itself was fresh
+			// it just became garbage and is private, so recycle it now.
+			al.note(s)
+			if al.unnote(b) {
+				pool.Put(b)
+			}
 			changed = true
 		}
 		if s.Empty() {
+			if al.unnote(s) {
+				pool.Put(s)
+			}
 			changed = true
 			continue
 		}
 		for len(runs) > 0 && runs[len(runs)-1].Level() <= s.Level() {
-			s = block.Merge(runs[len(runs)-1], s, drop)
+			top := runs[len(runs)-1]
+			m := block.MergeIn(pool, top, s, drop)
+			al.note(m)
+			// Merged-away inputs that were created this attempt are private
+			// garbage; recycle. Published inputs are reclaimed later by the
+			// epoch scheme once the winning snapshot drops them.
+			if al.unnote(top) {
+				pool.Put(top)
+			}
+			if al.unnote(s) {
+				pool.Put(s)
+			}
+			s = m
 			runs = runs[:len(runs)-1]
 			changed = true
 		}
 		if s.Empty() {
+			if al.unnote(s) {
+				pool.Put(s)
+			}
 			changed = true
 			continue
 		}
@@ -157,18 +264,29 @@ func (a *BlockArray[V]) consolidate(drop block.DropFunc[V], needPivots bool) boo
 	if len(runs) != len(a.blocks) {
 		changed = true
 	}
+	if al != nil {
+		// Keep the superseded backing array as scratch for the next pass.
+		al.runScratch = a.blocks
+	}
 	a.blocks = runs
 	if changed || needPivots {
-		a.calculatePivots()
+		a.calculatePivots(al)
 	}
 	return changed
+}
+
+// pivotCur is calculatePivots' per-block tail cursor.
+type pivotCur struct {
+	key uint64
+	blk int
+	idx int // current cursor position within the block
 }
 
 // calculatePivots selects a pivot key that is one of the k+1 smallest keys
 // present and records, per block, the offset of the first key <= pivot
 // (Listing 2). Logically deleted items participate: including them only
 // tightens the candidate set, and find-min's fallback handles them.
-func (a *BlockArray[V]) calculatePivots() {
+func (a *BlockArray[V]) calculatePivots(al *alloc[V]) {
 	n := len(a.blocks)
 	if cap(a.pivots) < n {
 		a.pivots = make([]int, n)
@@ -182,14 +300,27 @@ func (a *BlockArray[V]) calculatePivots() {
 	// Multiway selection of the (k+1)-th smallest key: walk each block from
 	// its tail (minimum) toward its head with a cursor, always advancing the
 	// block whose cursor key is globally smallest, k+1 times. A tiny manual
-	// heap keyed by cursor key keeps this O(k log B).
-	type cur struct {
-		key uint64
-		blk int
-		idx int // current cursor position within the block
+	// heap keyed by cursor key keeps this O(k log B). The heap and filled
+	// scratch come from the cursor's recycling context when available.
+	type cur = pivotCur
+	var heapArr []cur
+	var filled []int
+	if al != nil {
+		if cap(al.pivotHeap) < n {
+			al.pivotHeap = make([]cur, 0, n)
+		}
+		if cap(al.pivotFilled) < n {
+			al.pivotFilled = make([]int, n)
+		}
+		heapArr = al.pivotHeap[:0]
+		filled = al.pivotFilled[:n]
+		defer func() {
+			al.pivotHeap = heapArr[:0]
+		}()
+	} else {
+		heapArr = make([]cur, 0, n)
+		filled = make([]int, n)
 	}
-	heapArr := make([]cur, 0, n)
-	filled := make([]int, n)
 	heapPush := func(c cur) {
 		heapArr = append(heapArr, c)
 		i := len(heapArr) - 1

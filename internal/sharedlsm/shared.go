@@ -1,6 +1,7 @@
 package sharedlsm
 
 import (
+	"sync"
 	"sync/atomic"
 
 	"klsm/internal/block"
@@ -8,8 +9,34 @@ import (
 	"klsm/internal/xrand"
 )
 
+// sharedLimboCap bounds the queue of dropped-but-not-yet-reclaimable blocks;
+// overflow is abandoned to the garbage collector (the Go backstop §4.4's C++
+// original lacks).
+const sharedLimboCap = 256
+
+// retiredBlock is a block dropped from a published BlockArray, tagged with
+// the epoch of the CAS that dropped it.
+type retiredBlock[V any] struct {
+	b     *block.Block[V]
+	epoch uint64
+}
+
 // Shared is the shared k-LSM priority queue (Listing 3): one atomic pointer
 // to the current BlockArray, updated copy-on-write.
+//
+// Memory reclamation (§4.4): the paper stamps the shared pointer with
+// truncated version numbers to defeat ABA under manual reuse; under Go's GC
+// the raw pointer CAS is ABA-safe, but recycling the blocks of superseded
+// arrays still needs a proof that no thread reads them. That proof is epoch
+// based. Shared keeps a global epoch counter; every cursor stamps itself
+// with the current epoch before loading the shared pointer, so any block a
+// cursor can ever reach lives in an array it loaded at-or-after its stamp.
+// A winning CAS that drops blocks bumps the epoch to E and parks the blocks
+// in a limbo list tagged E; they recycle once every stamped cursor has
+// advanced to a stamp >= E (and the queue-wide spy guard is quiescent, which
+// covers non-cursor readers such as melds and spies on blocks that migrated
+// in from a DistLSM eviction). Cursors that never refreshed — or that have
+// been deactivated — carry the ^0 sentinel and pin nothing.
 type Shared[V any] struct {
 	ptr atomic.Pointer[BlockArray[V]]
 	// k is the relaxation parameter. It is atomic because the paper allows
@@ -22,6 +49,22 @@ type Shared[V any] struct {
 	// never skips its own items. On by default; the ablation benchmark
 	// switches it off.
 	localOrdering bool
+
+	// epoch counts winning publications that dropped blocks.
+	epoch atomic.Uint64
+	// guard is the queue-wide reader guard shared with the DistLSM pools;
+	// nil when pooling is disabled.
+	guard *block.Guard
+	// cursors is the copy-on-write registry of stamped cursors, scanned for
+	// the minimum stamp when draining limbo. Registration is rare; regMu
+	// serializes it.
+	regMu   sync.Mutex
+	cursors atomic.Pointer[[]*Cursor[V]]
+	// limbo holds dropped published blocks awaiting epoch quiescence.
+	// limboMu is only ever TryLock'ed: on contention the block is dropped
+	// to the GC instead of blocking, preserving lock-freedom.
+	limboMu sync.Mutex
+	limbo   []retiredBlock[V]
 }
 
 // New returns an empty shared k-LSM with relaxation parameter k >= 0.
@@ -38,6 +81,13 @@ func New[V any](k int, localOrdering bool) *Shared[V] {
 // called before the queue is shared.
 func (s *Shared[V]) SetDrop(drop block.DropFunc[V]) { s.drop = drop }
 
+// SetGuard installs the queue-wide reader guard gating block reclamation
+// (§4.4). Must be called before the queue is shared; leaving it unset only
+// matters for cursors with pools, whose limbo then drains on cursor stamps
+// alone — pass the same guard the DistLSM pools use so spy traffic is
+// respected.
+func (s *Shared[V]) SetGuard(g *block.Guard) { s.guard = g }
+
 // K returns the current relaxation parameter.
 func (s *Shared[V]) K() int { return int(s.k.Load()) }
 
@@ -51,6 +101,10 @@ func (s *Shared[V]) SetK(k int) {
 	s.k.Store(int64(k))
 }
 
+// inactiveStamp marks a cursor that pins no epoch: it has never loaded the
+// shared pointer, or it has been deactivated.
+const inactiveStamp = ^uint64(0)
+
 // Cursor carries one handle's thread-local view (the paper's thread_local
 // observed/snapshot pointers) plus its RNG and identity. A Cursor must only
 // be used by its owning goroutine.
@@ -60,6 +114,17 @@ type Cursor[V any] struct {
 	id       uint64
 	rng      *xrand.Source
 
+	// stamp is the epoch pin: every array this cursor may still read was
+	// loaded from the shared pointer at-or-after this epoch. Advanced on
+	// every refresh (the only point where old references are dropped);
+	// inactiveStamp pins nothing.
+	stamp atomic.Uint64
+	// al is the §4.4 recycling context (nil: pooling off).
+	al *alloc[V]
+	// spare is a superseded, never-published snapshot shell whose slices
+	// the next refresh reuses.
+	spare *BlockArray[V]
+
 	// ConsolidatePushes counts published consolidations, for the ablation
 	// benchmarks. Atomic so diagnostics can read counters concurrently.
 	ConsolidatePushes atomic.Int64
@@ -67,36 +132,184 @@ type Cursor[V any] struct {
 	InsertRetries atomic.Int64
 }
 
-// NewCursor returns a cursor for handle id.
+// NewCursor returns a cursor for handle id and registers it with the
+// reclamation epoch scheme.
 func (s *Shared[V]) NewCursor(id uint64, rng *xrand.Source) *Cursor[V] {
-	return &Cursor[V]{id: id, rng: rng}
+	c := &Cursor[V]{id: id, rng: rng}
+	c.stamp.Store(inactiveStamp)
+	s.regMu.Lock()
+	var next []*Cursor[V]
+	if cur := s.cursors.Load(); cur != nil {
+		next = append(next, *cur...)
+	}
+	next = append(next, c)
+	s.cursors.Store(&next)
+	s.regMu.Unlock()
+	return c
+}
+
+// SetPool installs the owning handle's block pool on the cursor (§4.4).
+// Must be called before the cursor is used.
+func (c *Cursor[V]) SetPool(p *block.Pool[V]) {
+	if p == nil {
+		c.al = nil
+		return
+	}
+	c.al = &alloc[V]{pool: p}
+}
+
+// RetireCursor withdraws a cursor from the epoch scheme and deregisters it.
+// Call when the owning handle closes; the cursor must not be used
+// afterwards.
+func (s *Shared[V]) RetireCursor(c *Cursor[V]) {
+	c.stamp.Store(inactiveStamp)
+	s.regMu.Lock()
+	defer s.regMu.Unlock()
+	cur := s.cursors.Load()
+	if cur == nil {
+		return
+	}
+	next := make([]*Cursor[V], 0, len(*cur))
+	for _, other := range *cur {
+		if other != c {
+			next = append(next, other)
+		}
+	}
+	s.cursors.Store(&next)
 }
 
 // refresh re-reads the shared pointer and takes a private snapshot
-// (Listing 3's refresh_snapshot).
+// (Listing 3's refresh_snapshot). The epoch stamp is advanced first —
+// before the pointer load, so the pin provably covers everything the new
+// snapshot can reach — and blocks created during a failed previous attempt
+// recycle here, since the retry abandons them.
 func (s *Shared[V]) refresh(c *Cursor[V]) {
+	prev := c.snapshot
+	if prev != nil && !prev.published {
+		c.al.discardFresh()
+		c.spare = prev
+	}
+	c.stamp.Store(s.epoch.Load())
 	c.observed = s.ptr.Load()
 	if c.observed == nil {
 		c.snapshot = nil
 	} else {
-		c.snapshot = c.observed.copy()
+		shell := c.takeShell()
+		c.observed.copyInto(shell)
 		// Pick up run-time k changes: the next pivot recalculation on this
 		// snapshot uses the current parameter.
-		c.snapshot.k = s.K()
+		shell.k = s.K()
+		c.snapshot = shell
 	}
+}
+
+// takeShell returns a private snapshot shell, reusing the spare one (a
+// superseded never-published snapshot) when available. The caller resets or
+// overwrites its contents.
+func (c *Cursor[V]) takeShell() *BlockArray[V] {
+	shell := c.spare
+	c.spare = nil
+	if shell == nil {
+		shell = newBlockArray[V](0)
+	}
+	return shell
 }
 
 // push attempts to publish the cursor's snapshot (Listing 3's
 // push_snapshot). After success the cursor's observed pointer is stale by
 // design: the next operation re-snapshots before mutating, so a published
-// array is never written again.
+// array is never written again. On success the blocks the transition
+// dropped are handed to the reclamation scheme.
 func (s *Shared[V]) push(c *Cursor[V]) bool {
-	return s.ptr.CompareAndSwap(c.observed, c.snapshot)
+	if c.snapshot != nil {
+		c.snapshot.published = true
+	}
+	if !s.ptr.CompareAndSwap(c.observed, c.snapshot) {
+		if c.snapshot != nil {
+			c.snapshot.published = false
+		}
+		return false
+	}
+	if c.al != nil {
+		c.al.commitFresh()
+		s.retireDropped(c)
+	}
+	return true
+}
+
+// retireDropped parks every block of the superseded array that the winning
+// snapshot no longer references in the limbo list, tagged with the new
+// epoch, then attempts a drain. Runs on the winner's goroutine right after
+// its CAS.
+func (s *Shared[V]) retireDropped(c *Cursor[V]) {
+	old, won := c.observed, c.snapshot
+	if old == nil {
+		return
+	}
+	e := s.epoch.Add(1)
+	if !s.limboMu.TryLock() {
+		return // contended: leave this transition's garbage to the GC
+	}
+	for _, b := range old.blocks {
+		if won != nil && containsBlock(won.blocks, b) {
+			continue
+		}
+		if len(s.limbo) >= sharedLimboCap {
+			break // overflow: the GC takes the rest
+		}
+		s.limbo = append(s.limbo, retiredBlock[V]{b: b, epoch: e})
+	}
+	s.drainLimboLocked(c)
+	s.limboMu.Unlock()
+}
+
+// drainLimboLocked moves every limbo block whose epoch every stamped cursor
+// has passed — other than c itself, which provably re-reads the shared
+// pointer before touching any block again — into c's pool. Caller holds
+// limboMu.
+func (s *Shared[V]) drainLimboLocked(c *Cursor[V]) {
+	if len(s.limbo) == 0 || !s.guard.Quiescent() {
+		return
+	}
+	minStamp := inactiveStamp
+	if curs := s.cursors.Load(); curs != nil {
+		for _, other := range *curs {
+			if other == c {
+				continue
+			}
+			if st := other.stamp.Load(); st < minStamp {
+				minStamp = st
+			}
+		}
+	}
+	kept := s.limbo[:0]
+	for _, r := range s.limbo {
+		if r.epoch <= minStamp {
+			c.al.pool.Put(r.b)
+		} else {
+			kept = append(kept, r)
+		}
+	}
+	for i := len(kept); i < len(s.limbo); i++ {
+		s.limbo[i] = retiredBlock[V]{}
+	}
+	s.limbo = kept
+}
+
+// containsBlock reports whether blocks contains b (arrays are short).
+func containsBlock[V any](blocks []*block.Block[V], b *block.Block[V]) bool {
+	for _, x := range blocks {
+		if x == b {
+			return true
+		}
+	}
+	return false
 }
 
 // Insert publishes a block of items. It loops refresh → mutate snapshot →
 // CAS until it wins; failure implies another thread published first
-// (lock-freedom: someone always progresses).
+// (lock-freedom: someone always progresses). Ownership of nb transfers to
+// the shared structure on return.
 func (s *Shared[V]) Insert(c *Cursor[V], nb *block.Block[V]) {
 	if nb == nil || nb.Empty() {
 		return
@@ -104,15 +317,34 @@ func (s *Shared[V]) Insert(c *Cursor[V], nb *block.Block[V]) {
 	for {
 		s.refresh(c)
 		if c.snapshot == nil {
-			c.snapshot = newBlockArray[V](s.K())
+			shell := c.takeShell()
+			shell.blocks = shell.blocks[:0]
+			shell.pivots = shell.pivots[:0]
+			shell.published = false
+			shell.k = s.K()
+			c.snapshot = shell
 		}
-		c.snapshot.insert(nb, s.drop)
+		c.snapshot.insert(nb, s.drop, c.al)
 		if c.snapshot.empty() {
 			// Everything (including nb) was consumed by the drop callback
-			// or concurrent deletion; publish the empty state as nil.
+			// or concurrent deletion; publish the empty state as nil. An
+			// empty array holds no fresh blocks (consolidate recycles every
+			// fresh block it drops), so discardFresh is a defensive no-op
+			// kept symmetric with FindMin's empty path.
+			c.al.discardFresh()
+			if !c.snapshot.published {
+				c.spare = c.snapshot
+			}
 			c.snapshot = nil
 		}
 		if s.push(c) {
+			// If the winning snapshot does not reference nb, the block was
+			// merged away inside this (private) attempt and was never
+			// published: recycle it (§4.4). Matters most in shared-only
+			// mode, where every insert passes a level-0 block.
+			if c.al != nil && (c.snapshot == nil || !containsBlock(c.snapshot.blocks, nb)) {
+				c.al.pool.Put(nb)
+			}
 			return
 		}
 		c.InsertRetries.Add(1)
@@ -146,8 +378,12 @@ func (s *Shared[V]) FindMin(c *Cursor[V]) *item.Item[V] {
 		// window is exhausted (nil), pivots must be recalculated to extend
 		// it; for a merely-stale candidate the recalculation is only worth
 		// it if the pass changes the structure (consolidate decides).
-		push := c.snapshot.consolidate(s.drop, it == nil)
+		push := c.snapshot.consolidate(s.drop, it == nil, c.al)
 		if c.snapshot.empty() {
+			if !c.snapshot.published {
+				c.al.discardFresh()
+				c.spare = c.snapshot
+			}
 			c.snapshot = nil
 			push = true
 		}

@@ -23,42 +23,38 @@ type Handle[V any] struct {
 // instead of returning them from TryDeleteMin.
 type DropFunc[V any] func(key uint64, value V) bool
 
-// New returns an empty queue configured by opts. The default configuration
-// is the paper's recommended general-purpose setting: the combined k-LSM
-// with k = 256 and local ordering enabled.
-func New[V any](opts ...Option) *Queue[V] {
+// buildConfig resolves opts against the defaults: the paper's recommended
+// general-purpose setting (combined k-LSM, k = 256, local ordering) with
+// §4.4 memory pooling enabled.
+func buildConfig[V any](opts []Option) core.Config[V] {
 	cfg := options{
 		k:             256,
 		mode:          core.Combined,
 		localOrdering: true,
+		pooling:       true,
 	}
 	for _, o := range opts {
 		o(&cfg)
 	}
-	ccfg := core.Config[V]{
-		K:             cfg.k,
-		Mode:          cfg.mode,
-		LocalOrdering: cfg.localOrdering,
+	return core.Config[V]{
+		K:              cfg.k,
+		Mode:           cfg.mode,
+		LocalOrdering:  cfg.localOrdering,
+		DisablePooling: !cfg.pooling,
 	}
-	return &Queue[V]{q: core.NewQueue(ccfg)}
+}
+
+// New returns an empty queue configured by opts. The default configuration
+// is the paper's recommended general-purpose setting: the combined k-LSM
+// with k = 256, local ordering enabled, and §4.4 memory pooling on.
+func New[V any](opts ...Option) *Queue[V] {
+	return &Queue[V]{q: core.NewQueue(buildConfig[V](opts))}
 }
 
 // NewWithDrop is New with a lazy-deletion callback; the callback type is
 // generic, so it cannot be passed through Option.
 func NewWithDrop[V any](drop DropFunc[V], opts ...Option) *Queue[V] {
-	cfg := options{
-		k:             256,
-		mode:          core.Combined,
-		localOrdering: true,
-	}
-	for _, o := range opts {
-		o(&cfg)
-	}
-	ccfg := core.Config[V]{
-		K:             cfg.k,
-		Mode:          cfg.mode,
-		LocalOrdering: cfg.localOrdering,
-	}
+	ccfg := buildConfig[V](opts)
 	if drop != nil {
 		ccfg.Drop = func(key uint64, value V) bool { return drop(key, value) }
 	}

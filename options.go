@@ -7,6 +7,7 @@ type options struct {
 	k             int
 	mode          core.Mode
 	localOrdering bool
+	pooling       bool
 }
 
 // Option configures New.
@@ -41,4 +42,15 @@ func WithSharedOnly() Option {
 // ordering on.
 func WithoutLocalOrdering() Option {
 	return func(o *options) { o.localOrdering = false }
+}
+
+// WithPooling toggles the §4.4 block/item recycling free lists (default
+// on). With pooling enabled every handle keeps per-level block pools and an
+// item slab allocator, recycling retired memory once it is provably
+// unreachable from every published structure; steady-state insert and
+// delete-min then run nearly allocation-free. Disabling it exists for the
+// allocation ablation benchmarks and as an escape hatch: semantics are
+// identical either way.
+func WithPooling(enabled bool) Option {
+	return func(o *options) { o.pooling = enabled }
 }
