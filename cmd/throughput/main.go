@@ -10,18 +10,49 @@
 // The defaults are laptop-scale (smaller prefill, shorter runs, fewer
 // repetitions) so the full sweep finishes in minutes; the shape of the
 // curves — who wins, where relaxation pays off — is preserved.
+//
+// With -json <tag>, the full sweep is additionally written to
+// BENCH_<tag>.json (see EXPERIMENTS.md for the recorded runs); -jsondir
+// redirects the output directory.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
 	"time"
 
 	"klsm/internal/harness"
 	"klsm/internal/stats"
 )
+
+// benchPoint is one (queue, thread-count) cell of the sweep as serialized
+// into the BENCH_<tag>.json trajectory files.
+type benchPoint struct {
+	Queue             string  `json:"queue"`
+	Threads           int     `json:"threads"`
+	MeanOpsPerThread  float64 `json:"mean_ops_per_thread_per_s"`
+	CI95              float64 `json:"ci95"`
+	FailedDeletesMean float64 `json:"failed_deletes_mean"`
+}
+
+// benchFile is the top-level BENCH_<tag>.json document.
+type benchFile struct {
+	Tag        string       `json:"tag"`
+	Timestamp  string       `json:"timestamp"`
+	GoMaxProcs int          `json:"gomaxprocs"`
+	NumCPU     int          `json:"numcpu"`
+	Prefill    int          `json:"prefill"`
+	DurationS  float64      `json:"duration_s"`
+	Reps       int          `json:"reps"`
+	InsertMix  float64      `json:"insert_mix"`
+	KeyRange   uint64       `json:"keyrange"`
+	Seed       uint64       `json:"seed"`
+	Results    []benchPoint `json:"results"`
+}
 
 func main() {
 	var (
@@ -34,6 +65,8 @@ func main() {
 		insertRatio  = flag.Float64("mix", 0.5, "fraction of inserts in the op mix (paper: 0.5)")
 		seed         = flag.Uint64("seed", 1, "base workload seed")
 		csv          = flag.Bool("csv", false, "emit CSV instead of an aligned table")
+		jsonTag      = flag.String("json", "", "also write the sweep as BENCH_<tag>.json")
+		jsonDir      = flag.String("jsondir", ".", "directory for the -json output file")
 		maxProcsInfo = flag.Bool("envinfo", true, "print environment header")
 	)
 	flag.Parse()
@@ -64,6 +97,18 @@ func main() {
 		fmt.Println()
 	}
 
+	out := benchFile{
+		Tag:        *jsonTag,
+		Timestamp:  time.Now().UTC().Format(time.RFC3339),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		Prefill:    *prefill,
+		DurationS:  duration.Seconds(),
+		Reps:       *reps,
+		InsertMix:  *insertRatio,
+		KeyRange:   *keyRange,
+		Seed:       *seed,
+	}
 	for _, spec := range specs {
 		if !*csv {
 			fmt.Printf("%-12s", spec.Name)
@@ -85,16 +130,41 @@ func main() {
 				failed = append(failed, float64(res.FailedDeletes))
 			}
 			s := stats.Summarize(samples)
+			fmean := stats.Summarize(failed).Mean
+			out.Results = append(out.Results, benchPoint{
+				Queue:             spec.Name,
+				Threads:           t,
+				MeanOpsPerThread:  s.Mean,
+				CI95:              s.CI95,
+				FailedDeletesMean: fmean,
+			})
 			if *csv {
 				fmt.Printf("%s,%d,%d,%.3f,%d,%.1f,%.1f,%.1f\n",
 					spec.Name, t, *prefill, duration.Seconds(), *reps,
-					s.Mean, s.CI95, stats.Summarize(failed).Mean)
+					s.Mean, s.CI95, fmean)
 			} else {
 				fmt.Printf(" %14s", fmt.Sprintf("%.3gM ±%.1g", s.Mean/1e6, s.CI95/1e6))
 			}
 		}
 		if !*csv {
 			fmt.Println()
+		}
+	}
+
+	if *jsonTag != "" {
+		path := filepath.Join(*jsonDir, "BENCH_"+*jsonTag+".json")
+		buf, err := json.MarshalIndent(out, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "throughput: marshal:", err)
+			os.Exit(1)
+		}
+		buf = append(buf, '\n')
+		if err := os.WriteFile(path, buf, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "throughput:", err)
+			os.Exit(1)
+		}
+		if !*csv {
+			fmt.Printf("# wrote %s\n", path)
 		}
 	}
 }

@@ -50,4 +50,14 @@
 // left to the garbage collector. Steady-state Insert/TryDeleteMin run
 // nearly allocation-free (see BenchmarkAblationPooling). WithPooling(false)
 // disables the scheme; semantics are identical either way.
+//
+// # Delete-min fast path
+//
+// On top of the pooling layer, each handle caches the minima of its local
+// batching structure per block and its shared-structure candidate window
+// across TryDeleteMin calls, invalidating precisely on the mutations that
+// can change them; in the steady state a delete-min is a handful of key
+// compares instead of a rescan of both structures (see
+// BenchmarkAblationMinCache and DESIGN.md). WithMinCaching(false) disables
+// the fast path; semantics are identical either way.
 package klsm

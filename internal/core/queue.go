@@ -65,6 +65,12 @@ type Config[V any] struct {
 	// The zero value (pooling on) is the paper's configuration; disabling
 	// exists for the allocation ablation benchmarks and as an escape hatch.
 	DisablePooling bool
+	// DisableMinCaching turns off the delete-min fast path: the DistLSM
+	// per-block min cache, the shared k-LSM candidate window, and the
+	// skip-shared hint. The zero value (caching on) is the performant
+	// configuration; disabling exists for the ablation benchmarks and as an
+	// escape hatch. Semantics are identical either way.
+	DisableMinCaching bool
 }
 
 // Queue is the combined k-LSM relaxed priority queue. Create handles with
@@ -118,6 +124,7 @@ func NewQueue[V any](cfg Config[V]) *Queue[V] {
 	q := &Queue[V]{cfg: cfg}
 	q.kCurrent.Store(int64(cfg.K))
 	q.shared = sharedlsm.New[V](cfg.K, cfg.LocalOrdering)
+	q.shared.SetMinCaching(!cfg.DisableMinCaching)
 	if cfg.Drop != nil {
 		q.shared.SetDrop(cfg.Drop)
 	}
@@ -200,6 +207,7 @@ func (q *Queue[V]) NewHandle() *Handle[V] {
 		kBound = -1 // unbounded: no overflow target exists
 	}
 	h.dist = distlsm.New[V](id, kBound)
+	h.dist.SetMinCaching(!q.cfg.DisableMinCaching)
 	if q.cfg.Drop != nil {
 		h.dist.SetDrop(q.cfg.Drop)
 	}
@@ -350,23 +358,62 @@ func (h *Handle[V]) findMinCandidate() *item.Item[V] {
 // claimed and discarded here instead of being returned, so TryDeleteMin
 // never surfaces a dropped item (slightly stronger than the paper's
 // maintenance-time-only lazy deletion).
+//
+// The inner loop tracks which side — the handle's DistLSM or the shared
+// k-LSM — supplied each candidate: claiming or losing an item only changes
+// that side, so only it is re-queried, while the other side's candidate is
+// kept (a stale keeper is caught by its taken flag like any other
+// candidate). On top of that, when the shared pointer is unchanged since the
+// last shared candidate and that candidate's key exceeds the local minimum
+// (sharedlsm.MinHint), the shared side is skipped outright: the hint proves
+// both the ρ bound and local ordering hold for the local minimum.
 func (h *Handle[V]) TryDeleteMin() (key uint64, value V, ok bool) {
 	drop := h.q.cfg.Drop
+	mode := h.q.cfg.Mode
 	for {
+		var local, shared *item.Item[V]
+		// In DistOnly mode there is no shared side; pretend it was fetched
+		// (and found empty) so the loop below never consults it.
+		haveShared := mode == DistOnly
+		if mode != SharedOnly {
+			local = h.dist.FindMin()
+		}
 		for {
-			it := h.findMinCandidate()
+			if !haveShared {
+				hint, okHint := h.q.shared.MinHint(h.cursor)
+				if local != nil && okHint && hint >= local.Key() {
+					// Skip-shared fast path: nothing smaller over there.
+				} else {
+					shared = h.q.shared.FindMin(h.cursor)
+					haveShared = true
+				}
+			}
+			it := local
+			fromShared := false
+			if shared != nil && (local == nil || shared.Key() < local.Key()) {
+				it, fromShared = shared, true
+			}
 			if it == nil {
-				break
+				break // both sides empty: fall through to spy
 			}
 			if it.TryTake() {
 				h.deleted.Add(1)
-				if drop != nil && drop(it.Key(), it.Value()) {
-					continue // stale: discard and keep looking
+				if drop == nil || !drop(it.Key(), it.Value()) {
+					return it.Key(), it.Value(), true
 				}
-				return it.Key(), it.Value(), true
+				// Stale: discard and keep looking on the side that lost it.
 			}
-			// Lost the race for this item; the failed take implies another
-			// handle progressed, so retrying preserves lock-freedom.
+			// Re-query only the side whose candidate was consumed (by us or
+			// by a faster handle); the failed take implies another handle
+			// progressed, so retrying preserves lock-freedom.
+			if fromShared {
+				shared = h.q.shared.FindMin(h.cursor)
+			} else {
+				local = h.dist.FindMin()
+				if mode == Combined {
+					haveShared = haveShared && shared != nil
+				}
+			}
 		}
 		if !h.spy() {
 			var zero V

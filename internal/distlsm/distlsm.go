@@ -85,6 +85,21 @@ type Dist[V any] struct {
 	retireScratch []*block.Block[V]
 	runScratch    []*block.Block[V]
 	freshScratch  []bool
+
+	// Min cache: mins[i] is the live minimum of blocks[i] as of the last
+	// owner scan, so the steady-state FindMin is a handful of key compares
+	// instead of a ShrinkInPlace walk over every block. All fields are
+	// owner-only (plain, not atomic): every mutation of the block array is
+	// owner-only, and the cache is maintained precisely at each one. An
+	// entry stays valid while its item is not taken — items referenced by a
+	// published block are never recycled (§4.4 reuse contract), taken flags
+	// never revert, and published blocks only ever shrink, so a live cached
+	// item *is* still its block's minimum. A taken entry triggers a rescan
+	// of that block only. cacheLen == current size marks the cache valid;
+	// -1 invalidates it (the next FindMin repopulates with its full scan).
+	minCache bool
+	cacheLen int
+	mins     [block.MaxLevel + 1]*item.Item[V]
 }
 
 // UnboundedLevel disables overflow: the Dist keeps every block locally.
@@ -92,8 +107,14 @@ const UnboundedLevel = block.MaxLevel + 1
 
 // maxLevelFor computes the overflow threshold ⌊log2(k+1)⌋: levels
 // 0..maxLevel-1 may be stored locally, so at most 2^maxLevel - 1 <= k items
-// reside in the Dist.
+// reside in the Dist. The result is clamped to block.MaxLevel: beyond it the
+// naive shift overflows int (Go defines the over-wide shift as 0) and the
+// loop would never terminate — the same bug class as LevelForCount's clamp —
+// and no block may exceed block.MaxLevel anyway.
 func maxLevelFor(k int) int {
+	if k >= 1<<uint(block.MaxLevel)-1 {
+		return block.MaxLevel
+	}
 	level := 0
 	for 1<<uint(level+1) <= k+1 {
 		level++
@@ -104,7 +125,7 @@ func maxLevelFor(k int) int {
 // New returns a Dist owned by handle ownerID, bounded for relaxation
 // parameter k. k < 0 means unbounded (standalone DLSM mode).
 func New[V any](ownerID uint64, k int) *Dist[V] {
-	d := &Dist[V]{ownerID: ownerID, ownerMask: bloom.Mask(ownerID)}
+	d := &Dist[V]{ownerID: ownerID, ownerMask: bloom.Mask(ownerID), cacheLen: -1}
 	if k < 0 {
 		d.maxLevel.Store(UnboundedLevel)
 	} else {
@@ -132,6 +153,18 @@ func (d *Dist[V]) SetDrop(drop block.DropFunc[V]) { d.drop = drop }
 // before the Dist is used; the pool's guard must be shared by every pool of
 // the queue so Spy and Retire agree on reader quiescence.
 func (d *Dist[V]) SetPool(p *block.Pool[V]) { d.pool = p }
+
+// SetMinCaching toggles the owner-local per-block min cache (owner only;
+// set before first use). Off, every FindMin re-walks the block array.
+func (d *Dist[V]) SetMinCaching(enabled bool) {
+	d.minCache = enabled
+	d.cacheLen = -1
+}
+
+// cacheValid reports whether the min cache mirrors blocks[0:sz].
+func (d *Dist[V]) cacheValid(sz int) bool {
+	return d.minCache && d.cacheLen == sz
+}
 
 // Stats returns a snapshot of the structural event counters. Safe to call
 // from any goroutine.
@@ -191,6 +224,14 @@ func (d *Dist[V]) evictOversized(maxLevel int, overflow func(*block.Block[V])) {
 		d.blocks[i-evict].Store(d.blocks[i].Load())
 	}
 	d.size.Store(int64(sz - evict))
+	if d.cacheValid(sz) {
+		// The surviving blocks kept their relative order: shift their
+		// cached minima down with them.
+		copy(d.mins[:sz-evict], d.mins[evict:sz])
+		d.cacheLen = sz - evict
+	} else {
+		d.cacheLen = -1
+	}
 	// The originals are now unreachable to new spies: recycle under the
 	// reuse contract.
 	for j, b := range unlinked {
@@ -227,6 +268,7 @@ func (d *Dist[V]) insertBlock(b *block.Block[V], overflow func(*block.Block[V]))
 		d.evictOversized(maxLevel, overflow)
 	}
 	sz := int(d.size.Load())
+	cached := d.cacheValid(sz)
 	i := sz
 	// unlinked collects published blocks this operation merges away; they
 	// are retired only after the publication stores below make them
@@ -257,11 +299,18 @@ func (d *Dist[V]) insertBlock(b *block.Block[V], overflow func(*block.Block[V]))
 		i--
 	}
 	keptLocal := true
+	// The merge loop only consumed blocks at indices >= the final i, so a
+	// valid cache keeps its entries for the untouched prefix 0..i-1; the
+	// cases below just fix up the boundary entry and length.
+	newLen := -1
 	switch {
 	case b.Empty():
 		// Everything merged away (drop callback / logical deletions).
 		d.size.Store(int64(i))
 		d.pool.Put(b)
+		if cached {
+			newLen = i
+		}
 	case overflow != nil && b.Level() >= maxLevel:
 		// Publish to the shared k-LSM first; only then drop local
 		// references (reachability is never interrupted, items are briefly
@@ -270,10 +319,18 @@ func (d *Dist[V]) insertBlock(b *block.Block[V], overflow func(*block.Block[V]))
 		d.stats.overflows.Add(1)
 		d.size.Store(int64(i))
 		keptLocal = false
+		if cached {
+			newLen = i
+		}
 	default:
 		d.blocks[i].Store(b)
 		d.size.Store(int64(i + 1))
+		if cached {
+			d.mins[i] = b.Min()
+			newLen = i + 1
+		}
 	}
+	d.cacheLen = newLen
 	for j, ub := range unlinked {
 		unlinked[j] = nil
 		d.pool.Retire(ub)
@@ -285,34 +342,60 @@ func (d *Dist[V]) insertBlock(b *block.Block[V], overflow func(*block.Block[V]))
 // FindMin returns the live minimum item without removing it (owner only), or
 // nil if the Dist holds no live item. It opportunistically trims logically
 // deleted tails and triggers consolidation when blocks have died.
+//
+// With min caching on, a valid cache reduces the steady-state call to one
+// key compare per block, rescanning only blocks whose cached minimum has
+// been taken since the last scan (typically the one block a failed TryTake
+// hit); without it — or after a structural mutation invalidated the cache —
+// the call performs the full trimming scan and repopulates the cache.
 func (d *Dist[V]) FindMin() *item.Item[V] {
 	sz := int(d.size.Load())
+	cached := d.cacheValid(sz)
 	var best *item.Item[V]
 	deadBlocks := 0
 	for i := 0; i < sz; i++ {
-		b := d.blocks[i].Load()
-		if b == nil {
-			continue
+		it := d.mins[i]
+		if !cached || it == nil || it.Taken() {
+			it = d.scanBlockMin(i)
+			if d.minCache {
+				d.mins[i] = it
+			}
 		}
-		// Owner-side cheap cleanup: drop the logically deleted tail so the
-		// next scan starts at a live minimum.
-		if b.ShrinkInPlace() == 0 {
+		if it == nil {
 			deadBlocks++
-			continue
-		}
-		it := b.Min()
-		if it == nil || it.Taken() {
-			// Taken between trim and read; skip, the next FindMin cleans up.
 			continue
 		}
 		if best == nil || it.Key() < best.Key() {
 			best = it
 		}
 	}
+	if d.minCache {
+		d.cacheLen = sz
+	}
 	if deadBlocks > 0 {
 		d.Consolidate()
 	}
 	return best
+}
+
+// scanBlockMin trims block i's logically deleted tail and returns its live
+// minimum, or nil when the slot is empty or fully dead (owner only).
+func (d *Dist[V]) scanBlockMin(i int) *item.Item[V] {
+	b := d.blocks[i].Load()
+	if b == nil {
+		return nil
+	}
+	// Owner-side cheap cleanup: drop the logically deleted tail so the
+	// next scan starts at a live minimum.
+	if b.ShrinkInPlace() == 0 {
+		return nil
+	}
+	it := b.Min()
+	if it == nil || it.Taken() {
+		// Taken between trim and read; treat as dead, consolidation cleans up.
+		return nil
+	}
+	return it
 }
 
 // Consolidate compacts the block array (owner only): empty blocks are
@@ -380,6 +463,15 @@ func (d *Dist[V]) Consolidate() {
 		d.blocks[i].Store(r)
 	}
 	d.size.Store(int64(len(runs)))
+	if d.minCache {
+		// Rebuild the min cache from the surviving runs: each is non-empty
+		// and its tail was live when built (staleness is caught by the
+		// taken-flag check on the next FindMin).
+		for i, r := range runs {
+			d.mins[i] = r.Min()
+		}
+		d.cacheLen = len(runs)
+	}
 	for j, ub := range unlinked {
 		unlinked[j] = nil
 		d.pool.Retire(ub)
@@ -429,6 +521,13 @@ func (d *Dist[V]) Spy(victim *Dist[V]) bool {
 		}
 		d.blocks[sz].Store(nb)
 		d.size.Store(int64(sz + 1))
+		if d.cacheValid(sz) {
+			// Spy only appends: existing cache entries stay aligned.
+			d.mins[sz] = nb.Min()
+			d.cacheLen = sz + 1
+		} else {
+			d.cacheLen = -1
+		}
 		copied++
 	}
 	if copied > 0 {
@@ -466,6 +565,9 @@ func (d *Dist[V]) DrainTo(overflow func(*block.Block[V])) {
 	// The drained blocks themselves are not retired: the handle is closing,
 	// so its pool is about to become garbage anyway — the GC reclaims both.
 	d.size.Store(0)
+	if d.minCache {
+		d.cacheLen = 0
+	}
 }
 
 // Empty reports whether the owner currently sees no blocks. Live items may

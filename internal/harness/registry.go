@@ -67,8 +67,19 @@ func Figure4Specs(k int) []QueueSpec {
 	}
 }
 
+// ExtraSpecs returns ablation configurations that are selectable by name in
+// the throughput tool but are not part of the paper's Figure 3 legend (so
+// "all" and the figure benchmarks stay faithful to the paper).
+func ExtraSpecs() []QueueSpec {
+	return []QueueSpec{
+		{Name: "kLSM(256)-nomincache", New: func(int) pqs.Queue { return klsmq.NewNoMinCache(256) }},
+		{Name: "kLSM(256)-nopool", New: func(int) pqs.Queue { return klsmq.NewNoPooling(256) }},
+	}
+}
+
 // LookupFigure3 returns the named specs (comma-separated list, "all" for
-// everything). Unknown names return an error listing the choices.
+// everything in the Figure 3 legend; the ExtraSpecs ablations resolve by
+// name only). Unknown names return an error listing the choices.
 func LookupFigure3(names string) ([]QueueSpec, error) {
 	all := Figure3Specs()
 	if names == "" || names == "all" {
@@ -76,7 +87,7 @@ func LookupFigure3(names string) ([]QueueSpec, error) {
 	}
 	byName := map[string]QueueSpec{}
 	var known []string
-	for _, s := range all {
+	for _, s := range append(all, ExtraSpecs()...) {
 		byName[strings.ToLower(s.Name)] = s
 		known = append(known, s.Name)
 	}

@@ -48,6 +48,18 @@ func NewNoPooling(k int) *Queue {
 	})}
 }
 
+// NewNoMinCache returns a combined k-LSM with the delete-min fast path
+// (per-block min cache, candidate window, skip-shared hint) disabled
+// (min-cache ablation).
+func NewNoMinCache(k int) *Queue {
+	return &Queue{q: core.NewQueue(core.Config[struct{}]{
+		K:                 k,
+		Mode:              core.Combined,
+		LocalOrdering:     true,
+		DisableMinCaching: true,
+	})}
+}
+
 // NewWithDrop returns a combined k-LSM with the lazy-deletion callback
 // (paper §4.5), used by the SSSP benchmark.
 func NewWithDrop(k int, drop func(key uint64) bool) *Queue {

@@ -386,6 +386,101 @@ func (a *BlockArray[V]) calculatePivots(al *alloc[V]) {
 	}
 }
 
+// candWindow is a cursor's cached delete-min candidate window. Recomputing
+// the candidate set — walking every block's pivot range and re-running the
+// Bloom-filter local-ordering scan — on every FindMin call dominates the
+// delete side once allocation is gone, yet the set only changes when the
+// private snapshot does. The window therefore materializes the candidate
+// items once per snapshot state, in a uniformly shuffled order, and
+// successive FindMin calls pop from it: drawing without replacement from the
+// same ≤ k+1 smallest keys the paper's per-call uniform draw targets, with
+// strictly fewer repeat collisions between concurrent deleters. Validity is
+// (snap pointer, generation) equality — the generation counts in-place
+// snapshot mutations, which pointer identity alone cannot see (consolidation
+// mutates the snapshot in place, and superseded shells are recycled).
+//
+// Candidates are item pointers, so a stale window entry is detected exactly
+// like everywhere else in the structure: its taken flag. Items referenced by
+// a published block are never recycled (§4.4), so a not-taken entry is still
+// a key that was within the snapshot's k+1 smallest.
+type candWindow[V any] struct {
+	snap *BlockArray[V]
+	gen  uint64
+	pos  int
+	// items is the shuffled candidate set; pos advances past taken entries.
+	items []*item.Item[V]
+	// local caches the blocks whose Bloom filter may contain the owning
+	// handle's id, so the local-ordering overlay skips the per-call filter
+	// scan over all blocks.
+	local []*block.Block[V]
+}
+
+// build materializes the candidate window for array a at generation gen:
+// every not-yet-taken item inside the pivot ranges, shuffled with rng, plus
+// the Bloom-matching block list for localID (-1 disables local ordering).
+func (w *candWindow[V]) build(a *BlockArray[V], gen uint64, rng *xrand.Source, localID int64) {
+	w.snap, w.gen, w.pos = a, gen, 0
+	w.items = w.items[:0]
+	w.local = w.local[:0]
+	for i, b := range a.blocks {
+		f := b.Filled()
+		p := a.pivots[i]
+		if p > f {
+			p = f
+		}
+		for j := p; j < f; j++ {
+			if it := b.Item(j); !it.Taken() {
+				w.items = append(w.items, it)
+			}
+		}
+		if localID >= 0 && b.Bloom().MayContain(uint64(localID)) {
+			w.local = append(w.local, b)
+		}
+	}
+	for i := len(w.items) - 1; i > 0; i-- {
+		j := rng.Intn(i + 1)
+		w.items[i], w.items[j] = w.items[j], w.items[i]
+	}
+}
+
+// next returns the first live candidate at or after pos, or nil when the
+// window is exhausted. pos is not advanced past a live candidate: if the
+// caller loses the race for it, the next call skips it via its taken flag.
+func (w *candWindow[V]) next() *item.Item[V] {
+	for w.pos < len(w.items) {
+		it := w.items[w.pos]
+		if !it.Taken() {
+			return it
+		}
+		w.pos++
+	}
+	return nil
+}
+
+// localOverlay applies local ordering on top of the drawn candidate: the
+// current minima of all Bloom-matching blocks compete with cand and the
+// smaller key wins, as in findMin's per-call scan. Each block's logically
+// deleted tail is trimmed in place first (the paper's benign only-shrinking
+// race on filled) — otherwise the item the caller took one call ago would be
+// handed back as a dead candidate and trigger a full consolidation per
+// delete. The returned item may still be logically deleted under a race —
+// the caller treats that as the consolidate signal.
+func (w *candWindow[V]) localOverlay(cand *item.Item[V]) *item.Item[V] {
+	for _, b := range w.local {
+		if b.ShrinkInPlace() == 0 {
+			continue
+		}
+		it := b.Min()
+		if it == nil {
+			continue
+		}
+		if cand == nil || it.Key() < cand.Key() {
+			cand = it
+		}
+	}
+	return cand
+}
+
 // findMin draws one item uniformly from the candidate set (Listing 2's
 // find_min). It returns nil when no candidates remain (all ranges consumed),
 // signalling the caller to consolidate. The returned item may be logically

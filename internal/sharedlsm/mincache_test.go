@@ -1,0 +1,203 @@
+package sharedlsm
+
+import (
+	"sort"
+	"sync"
+	"testing"
+
+	"klsm/internal/xrand"
+)
+
+// newCached returns a Shared with the candidate-window cache enabled, the
+// configuration the combined queue uses by default.
+func newCached(k int, localOrdering bool) *Shared[int] {
+	s := New[int](k, localOrdering)
+	s.SetMinCaching(true)
+	return s
+}
+
+// TestMinCachingRelaxationBound mirrors TestRelaxationBoundSingleThread with
+// the candidate window on: popping successive cached candidates must stay
+// within the k+1-smallest bound at every step.
+func TestMinCachingRelaxationBound(t *testing.T) {
+	for _, k := range []int{0, 1, 4, 16, 64} {
+		s := newCached(k, true)
+		c := newCursor(s, 1)
+		src := xrand.NewSeeded(uint64(k) + 7)
+
+		var live []uint64 // kept sorted ascending
+		insert := func(key uint64) {
+			i := sort.Search(len(live), func(i int) bool { return live[i] >= key })
+			live = append(live, 0)
+			copy(live[i+1:], live[i:])
+			live[i] = key
+		}
+		for i := 0; i < 300; i++ {
+			key := src.Uint64() % 10000
+			s.Insert(c, blockOf(key))
+			insert(key)
+		}
+		for len(live) > 0 {
+			key, ok := deleteMin(s, c)
+			if !ok {
+				t.Fatalf("k=%d: queue empty with %d live keys", k, len(live))
+			}
+			rank := sort.Search(len(live), func(i int) bool { return live[i] >= key })
+			if rank > k {
+				t.Fatalf("k=%d: returned key %d has rank %d > k", k, key, rank)
+			}
+			i := sort.Search(len(live), func(i int) bool { return live[i] >= key })
+			if i == len(live) || live[i] != key {
+				t.Fatalf("k=%d: returned key %d not live", k, key)
+			}
+			live = append(live[:i], live[i+1:]...)
+		}
+	}
+}
+
+// TestMinCachingLocalOrdering: the cached window's local-ordering overlay
+// must still hand a handle its own minimum first.
+func TestMinCachingLocalOrdering(t *testing.T) {
+	s := newCached(1<<20, true)
+	mine := newCursor(s, 1)
+	other := newCursor(s, 2)
+	for i := uint64(0); i < 200; i++ {
+		s.Insert(other, blockOf(1000+i))
+	}
+	insertKeys(s, mine, 5, 3, 8)
+	for _, want := range []uint64{3, 5, 8} {
+		k, ok := deleteMin(s, mine)
+		if !ok || k != want {
+			t.Fatalf("local ordering violated with min caching: got %d (%v), want %d", k, ok, want)
+		}
+	}
+}
+
+// TestMinHintLifecycle: a successful FindMin arms the hint; any publication
+// that moves the shared pointer disarms it.
+func TestMinHintLifecycle(t *testing.T) {
+	s := newCached(4, true)
+	c := newCursor(s, 1)
+	if _, ok := s.MinHint(c); ok {
+		t.Fatal("fresh cursor has a hint")
+	}
+	insertKeys(s, c, 30, 10, 20)
+	it := s.FindMin(c)
+	if it == nil {
+		t.Fatal("FindMin found nothing")
+	}
+	hint, ok := s.MinHint(c)
+	if !ok {
+		t.Fatal("no hint after successful FindMin")
+	}
+	if hint != it.Key() {
+		t.Fatalf("hint %d != candidate key %d", hint, it.Key())
+	}
+	// The hint is a lower bound on every key the shared side can supply.
+	if hint > 10 {
+		t.Fatalf("hint %d exceeds live minimum 10", hint)
+	}
+	// A publication moves the pointer: the hint must expire.
+	insertKeys(s, c, 5)
+	if _, ok := s.MinHint(c); ok {
+		t.Fatal("hint survived a publication")
+	}
+	// The next FindMin re-arms it, now covering the smaller key.
+	it = s.FindMin(c)
+	if it == nil || it.Key() != 5 {
+		t.Fatalf("FindMin after insert = %v, want key 5", it)
+	}
+	if hint, ok := s.MinHint(c); !ok || hint != 5 {
+		t.Fatalf("re-armed hint = %d (%v), want 5", hint, ok)
+	}
+}
+
+// TestMinHintDisabled: with caching off the hint must never arm, so the
+// combined queue's skip-shared fast path stays off too.
+func TestMinHintDisabled(t *testing.T) {
+	s := New[int](4, true)
+	c := newCursor(s, 1)
+	insertKeys(s, c, 10)
+	if it := s.FindMin(c); it == nil {
+		t.Fatal("FindMin found nothing")
+	}
+	if _, ok := s.MinHint(c); ok {
+		t.Fatal("hint armed with min caching disabled")
+	}
+}
+
+// TestMinCachingWindowExhaustion drains far past one window's worth of
+// candidates so exhaustion → pivot recalculation → rebuild cycles are
+// exercised.
+func TestMinCachingWindowExhaustion(t *testing.T) {
+	s := newCached(2, true)
+	c := newCursor(s, 1)
+	const n = 500
+	for i := 0; i < n; i++ {
+		s.Insert(c, blockOf(uint64(i^0x155)))
+	}
+	seen := make(map[uint64]bool)
+	for i := 0; i < n; i++ {
+		k, ok := deleteMin(s, c)
+		if !ok {
+			t.Fatalf("empty after %d of %d deletions", i, n)
+		}
+		if seen[k] {
+			t.Fatalf("key %d extracted twice", k)
+		}
+		seen[k] = true
+	}
+	if k, ok := deleteMin(s, c); ok {
+		t.Fatalf("extra key %d after full drain", k)
+	}
+}
+
+// TestMinCachingConcurrentConservation mirrors TestConcurrentConservation
+// with the candidate window on: exactly-once extraction under contention.
+func TestMinCachingConcurrentConservation(t *testing.T) {
+	const workers = 8
+	n := 3000
+	if testing.Short() {
+		n = 500
+	}
+	for _, k := range []int{0, 4, 256} {
+		s := newCached(k, true)
+		var wg sync.WaitGroup
+		extracted := make([][]uint64, workers)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(id int) {
+				defer wg.Done()
+				c := newCursor(s, uint64(id+1))
+				base := uint64(id * n)
+				for i := 0; i < n; i++ {
+					s.Insert(c, blockOf(base+uint64(i)))
+				}
+				for {
+					key, ok := deleteMin(s, c)
+					if !ok {
+						return
+					}
+					extracted[id] = append(extracted[id], key)
+				}
+			}(w)
+		}
+		wg.Wait()
+		seen := make(map[uint64]int)
+		total := 0
+		for _, keys := range extracted {
+			for _, key := range keys {
+				seen[key]++
+				total++
+			}
+		}
+		if total != workers*n {
+			t.Fatalf("k=%d: extracted %d keys, want %d", k, total, workers*n)
+		}
+		for key, cnt := range seen {
+			if cnt != 1 {
+				t.Fatalf("k=%d: key %d extracted %d times", k, key, cnt)
+			}
+		}
+	}
+}

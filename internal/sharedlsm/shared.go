@@ -49,6 +49,13 @@ type Shared[V any] struct {
 	// never skips its own items. On by default; the ablation benchmark
 	// switches it off.
 	localOrdering bool
+	// minCaching enables the per-cursor candidate-window cache (and the
+	// MinHint fast path built on it): FindMin pops successive candidates
+	// from a window computed once per snapshot state instead of re-running
+	// the pivot-range draw and Bloom scan on every call. Semantics are
+	// identical either way — every candidate the window supplies is within
+	// the same k+1-smallest bound. Set before the queue is shared.
+	minCaching bool
 
 	// epoch counts winning publications that dropped blocks.
 	epoch atomic.Uint64
@@ -80,6 +87,10 @@ func New[V any](k int, localOrdering bool) *Shared[V] {
 // SetDrop installs the lazy-deletion callback used during merges. Must be
 // called before the queue is shared.
 func (s *Shared[V]) SetDrop(drop block.DropFunc[V]) { s.drop = drop }
+
+// SetMinCaching toggles the candidate-window cache on cursors of this
+// structure. Must be called before the queue is shared.
+func (s *Shared[V]) SetMinCaching(enabled bool) { s.minCaching = enabled }
 
 // SetGuard installs the queue-wide reader guard gating block reclamation
 // (§4.4). Must be called before the queue is shared; leaving it unset only
@@ -125,6 +136,21 @@ type Cursor[V any] struct {
 	// the next refresh reuses.
 	spare *BlockArray[V]
 
+	// win is the cached candidate window (used when the Shared has
+	// minCaching on); gen counts snapshot replacements and in-place
+	// snapshot mutations, invalidating the window. Owner-only.
+	win candWindow[V]
+	gen uint64
+	// hintArr/hintKey record the shared array and candidate key of the last
+	// successful FindMin. While the shared pointer still equals hintArr,
+	// hintKey lower-bounds both the count argument of the ρ bound (at most
+	// k live keys in the shared structure are smaller) and the minima of
+	// every block that may hold this handle's items — so a caller whose
+	// local minimum is <= hintKey may skip the shared side entirely (see
+	// MinHint). Owner-only.
+	hintArr *BlockArray[V]
+	hintKey uint64
+
 	// ConsolidatePushes counts published consolidations, for the ablation
 	// benchmarks. Atomic so diagnostics can read counters concurrently.
 	ConsolidatePushes atomic.Int64
@@ -163,6 +189,7 @@ func (c *Cursor[V]) SetPool(p *block.Pool[V]) {
 // afterwards.
 func (s *Shared[V]) RetireCursor(c *Cursor[V]) {
 	c.stamp.Store(inactiveStamp)
+	c.hintArr = nil
 	s.regMu.Lock()
 	defer s.regMu.Unlock()
 	cur := s.cursors.Load()
@@ -189,6 +216,9 @@ func (s *Shared[V]) refresh(c *Cursor[V]) {
 		c.al.discardFresh()
 		c.spare = prev
 	}
+	// The snapshot is about to be replaced (possibly by a recycled shell at
+	// the same address): invalidate the candidate window.
+	c.gen++
 	c.stamp.Store(s.epoch.Load())
 	c.observed = s.ptr.Load()
 	if c.observed == nil {
@@ -357,7 +387,9 @@ func (s *Shared[V]) Insert(c *Cursor[V], nb *block.Block[V]) {
 //
 // This is Listing 3's find_min loop: stale candidates trigger consolidation
 // of the private snapshot, and structural changes are pushed so other
-// threads benefit from the cleanup.
+// threads benefit from the cleanup. With min caching on, the per-call
+// pivot-range draw and Bloom scan are replaced by pops from the cursor's
+// candidate window, rebuilt only when the snapshot state changed.
 func (s *Shared[V]) FindMin(c *Cursor[V]) *item.Item[V] {
 	for {
 		if s.ptr.Load() != c.observed {
@@ -370,14 +402,36 @@ func (s *Shared[V]) FindMin(c *Cursor[V]) *item.Item[V] {
 		if s.localOrdering {
 			localID = int64(c.id)
 		}
-		it := c.snapshot.findMin(c.rng, localID)
-		if it != nil && !it.Taken() {
-			return it
+		var it *item.Item[V]
+		if s.minCaching {
+			if c.win.snap != c.snapshot || c.win.gen != c.gen {
+				c.win.build(c.snapshot, c.gen, c.rng, localID)
+			}
+			wit := c.win.next()
+			it = c.win.localOverlay(wit)
+			if it != nil && !it.Taken() {
+				if wit != nil {
+					// Record the skip-shared hint. Only a window-backed
+					// result qualifies: it.Key() <= wit's key <= pivot (so at
+					// most k live shared keys are smaller) and <= every
+					// Bloom-matching block minimum (so skipping cannot
+					// violate local ordering). An overlay-only result — the
+					// window ran dry — bounds neither.
+					c.hintArr, c.hintKey = c.observed, it.Key()
+				}
+				return it
+			}
+		} else {
+			it = c.snapshot.findMin(c.rng, localID)
+			if it != nil && !it.Taken() {
+				return it
+			}
 		}
 		// Candidate stale (or no candidates): clean up. When the candidate
 		// window is exhausted (nil), pivots must be recalculated to extend
 		// it; for a merely-stale candidate the recalculation is only worth
 		// it if the pass changes the structure (consolidate decides).
+		c.gen++ // consolidate mutates the snapshot in place
 		push := c.snapshot.consolidate(s.drop, it == nil, c.al)
 		if c.snapshot.empty() {
 			if !c.snapshot.published {
@@ -396,6 +450,23 @@ func (s *Shared[V]) FindMin(c *Cursor[V]) *item.Item[V] {
 			// did (shared moved).
 		}
 	}
+}
+
+// MinHint returns the key of c's last successful FindMin candidate, valid
+// only while the shared pointer still equals the array that produced it
+// (and min caching is on). While valid, the hint guarantees two things about
+// the current shared structure: at most k live keys in it are smaller than
+// the hint (the candidate was within the array's pivot range, and a
+// published array only loses items), and no block that may contain c's own
+// items has a minimum below it (block minima only rise as tails are taken).
+// A caller whose local minimum is <= the hint may therefore return the local
+// minimum without consulting the shared side at all — both the ρ = T·k
+// bound and local ordering are preserved.
+func (s *Shared[V]) MinHint(c *Cursor[V]) (uint64, bool) {
+	if !s.minCaching || c.hintArr == nil || s.ptr.Load() != c.hintArr {
+		return 0, false
+	}
+	return c.hintKey, true
 }
 
 // Empty reports whether the shared pointer is nil. A false result does not

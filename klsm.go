@@ -32,21 +32,24 @@ func buildConfig[V any](opts []Option) core.Config[V] {
 		mode:          core.Combined,
 		localOrdering: true,
 		pooling:       true,
+		minCaching:    true,
 	}
 	for _, o := range opts {
 		o(&cfg)
 	}
 	return core.Config[V]{
-		K:              cfg.k,
-		Mode:           cfg.mode,
-		LocalOrdering:  cfg.localOrdering,
-		DisablePooling: !cfg.pooling,
+		K:                 cfg.k,
+		Mode:              cfg.mode,
+		LocalOrdering:     cfg.localOrdering,
+		DisablePooling:    !cfg.pooling,
+		DisableMinCaching: !cfg.minCaching,
 	}
 }
 
 // New returns an empty queue configured by opts. The default configuration
 // is the paper's recommended general-purpose setting: the combined k-LSM
-// with k = 256, local ordering enabled, and §4.4 memory pooling on.
+// with k = 256, local ordering enabled, §4.4 memory pooling on, and the
+// delete-min min-caching fast path on.
 func New[V any](opts ...Option) *Queue[V] {
 	return &Queue[V]{q: core.NewQueue(buildConfig[V](opts))}
 }

@@ -1,0 +1,49 @@
+package klsm
+
+import (
+	"testing"
+
+	"klsm/internal/xrand"
+)
+
+// TestMinCachingToggleSemantics: WithMinCaching(false) must change only the
+// cost profile, never observable behavior — same keys, same payloads, same
+// success/failure pattern, op for op, through a single handle (where both
+// configurations are exact thanks to local ordering).
+func TestMinCachingToggleSemantics(t *testing.T) {
+	on := New[int]()
+	off := New[int](WithMinCaching(false))
+	hOn, hOff := on.NewHandle(), off.NewHandle()
+	rng := xrand.NewSeeded(23)
+	for op := 0; op < 20_000; op++ {
+		if rng.Bool() {
+			k := rng.Uint64n(1 << 30)
+			hOn.Insert(k, int(k))
+			hOff.Insert(k, int(k))
+		} else {
+			k1, v1, ok1 := hOn.TryDeleteMin()
+			k2, v2, ok2 := hOff.TryDeleteMin()
+			if ok1 != ok2 || k1 != k2 || v1 != v2 {
+				t.Fatalf("op %d: cached (%d,%d,%v) != uncached (%d,%d,%v)",
+					op, k1, v1, ok1, k2, v2, ok2)
+			}
+		}
+	}
+	if on.Size() != off.Size() {
+		t.Fatalf("Size %d != %d", on.Size(), off.Size())
+	}
+	// Drain both to empty: the tail ends of the sequences must agree too.
+	for {
+		k1, _, ok1 := hOn.TryDeleteMin()
+		k2, _, ok2 := hOff.TryDeleteMin()
+		if ok1 != ok2 {
+			t.Fatalf("drain: cached ok=%v, uncached ok=%v", ok1, ok2)
+		}
+		if !ok1 {
+			return
+		}
+		if k1 != k2 {
+			t.Fatalf("drain: cached key %d != uncached key %d", k1, k2)
+		}
+	}
+}

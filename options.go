@@ -8,6 +8,7 @@ type options struct {
 	mode          core.Mode
 	localOrdering bool
 	pooling       bool
+	minCaching    bool
 }
 
 // Option configures New.
@@ -53,4 +54,15 @@ func WithoutLocalOrdering() Option {
 // identical either way.
 func WithPooling(enabled bool) Option {
 	return func(o *options) { o.pooling = enabled }
+}
+
+// WithMinCaching toggles the delete-min fast path (default on): each handle
+// caches its DistLSM's per-block minima and its shared-k-LSM candidate
+// window across TryDeleteMin calls, invalidating precisely on the mutations
+// that can change them, so a steady-state delete-min costs O(1) instead of a
+// rescan of both structures. Semantics — the ρ = T·k relaxation bound and
+// local ordering — are identical either way; disabling exists for the
+// ablation benchmarks and as an escape hatch.
+func WithMinCaching(enabled bool) Option {
+	return func(o *options) { o.minCaching = enabled }
 }
