@@ -187,6 +187,18 @@ func BenchmarkAblationPooling(b *testing.B) {
 	b.Run("off", func(b *testing.B) { runMix(b, klsmq.NewNoPooling(256)) })
 }
 
+// BenchmarkAblationReclaim measures the §4.4 deterministic item-reclamation
+// scheme (DESIGN.md E11): the Figure 3 mix with per-block item refcounts on
+// (default) and off (items GC-backstopped). Allocs/op must stay ~0 in both
+// modes and B/op is lower with reclamation on; the throughput target was
+// within 5% of the GC-backstopped baseline, but the measured cost of the
+// refcount traffic is ~11–21% on the single-core box (EXPERIMENTS.md E11,
+// ROADMAP.md follow-up) — it remains well above the pooling-off mode.
+func BenchmarkAblationReclaim(b *testing.B) {
+	b.Run("on", func(b *testing.B) { runMix(b, klsmq.New(256)) })
+	b.Run("off", func(b *testing.B) { runMix(b, klsmq.NewNoReclaim(256)) })
+}
+
 // BenchmarkAblationMinCache measures the delete-min fast path (DESIGN.md
 // E9): the Figure 3 mix with the min-caching layer (DistLSM per-block min
 // cache, shared-k-LSM candidate window, skip-shared hint) on (default) and

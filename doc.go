@@ -39,17 +39,24 @@
 // general-purpose setting and uses k up to 4096 for maximum throughput.
 // See the benchmarks in bench_test.go, which regenerate the paper's figures.
 //
-// # Memory pooling (§4.4)
+// # Memory pooling and item reclamation (§4.4)
 //
 // By default the queue recycles its internal blocks and item wrappers
 // through per-handle free lists, the Go translation of the paper's §4.4
 // memory-management scheme: items carry versioned deletion flags (so reuse
 // is ABA-safe), private blocks recycle the moment a merge retires them, and
 // published blocks are reclaimed once epoch stamps and a reader guard prove
-// no spying thread can still hold a pointer — anything unprovable is simply
-// left to the garbage collector. Steady-state Insert/TryDeleteMin run
-// nearly allocation-free (see BenchmarkAblationPooling). WithPooling(false)
-// disables the scheme; semantics are identical either way.
+// no spying thread can still hold a pointer. On top of that, the full §4.4
+// scheme reference-counts every block slot (WithItemReclamation, default
+// on): when the last block referencing a deleted item is itself reclaimed,
+// the item returns to a per-handle free list and is reused by a later
+// insert — deterministic reclamation instead of waiting for the garbage
+// collector, at the price of two atomic updates per item per block
+// generation (see BenchmarkAblationReclaim). Steady-state
+// Insert/TryDeleteMin run nearly allocation-free (see
+// BenchmarkAblationPooling). WithPooling(false) disables recycling
+// entirely and WithItemReclamation(false) keeps only the GC-backstopped
+// block layer; semantics are identical in every mode.
 //
 // # Delete-min fast path
 //

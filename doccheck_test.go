@@ -1,0 +1,96 @@
+package klsm
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// TestPublicAPIDocumented is the docs gate run by CI: every exported
+// identifier in the root package — types, functions, methods, and exported
+// fields/consts/vars — must carry a doc comment. The public API is the
+// contract; an undocumented addition fails the build.
+func TestPublicAPIDocumented(t *testing.T) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, ".", nil, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	pkg, ok := pkgs["klsm"]
+	if !ok {
+		t.Fatalf("root package not found (got %v)", pkgs)
+	}
+
+	var missing []string
+	report := func(pos token.Pos, what string) {
+		missing = append(missing, fset.Position(pos).String()+": "+what)
+	}
+	for name, file := range pkg.Files {
+		if strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		for _, decl := range file.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if !d.Name.IsExported() {
+					continue
+				}
+				if d.Recv != nil && !receiverExported(d.Recv) {
+					continue // method on an unexported type
+				}
+				if d.Doc.Text() == "" {
+					report(d.Pos(), "func "+d.Name.Name)
+				}
+			case *ast.GenDecl:
+				for _, spec := range d.Specs {
+					switch s := spec.(type) {
+					case *ast.TypeSpec:
+						if !s.Name.IsExported() {
+							continue
+						}
+						if d.Doc.Text() == "" && s.Doc.Text() == "" {
+							report(s.Pos(), "type "+s.Name.Name)
+						}
+					case *ast.ValueSpec:
+						for _, n := range s.Names {
+							if !n.IsExported() {
+								continue
+							}
+							if d.Doc.Text() == "" && s.Doc.Text() == "" && s.Comment.Text() == "" {
+								report(n.Pos(), "value "+n.Name)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	if len(missing) > 0 {
+		t.Fatalf("public identifiers without doc comments:\n  %s",
+			strings.Join(missing, "\n  "))
+	}
+}
+
+// receiverExported reports whether a method receiver names an exported type.
+func receiverExported(recv *ast.FieldList) bool {
+	if len(recv.List) == 0 {
+		return true
+	}
+	typ := recv.List[0].Type
+	for {
+		switch tt := typ.(type) {
+		case *ast.StarExpr:
+			typ = tt.X
+		case *ast.IndexExpr: // generic receiver Queue[V]
+			typ = tt.X
+		case *ast.IndexListExpr:
+			typ = tt.X
+		case *ast.Ident:
+			return tt.IsExported()
+		default:
+			return true
+		}
+	}
+}

@@ -1,0 +1,125 @@
+package klsm_test
+
+import (
+	"fmt"
+
+	"klsm"
+)
+
+// A single quiescent handle behaves like an exact priority queue (local
+// ordering), which keeps examples deterministic.
+func ExampleNew() {
+	q := klsm.New[string]()
+	h := q.NewHandle() // one handle per goroutine — never share
+
+	h.Insert(42, "answer")
+	h.Insert(7, "lucky")
+	h.Insert(13, "unlucky")
+
+	for {
+		key, val, ok := h.TryDeleteMin()
+		if !ok {
+			break
+		}
+		fmt.Println(key, val)
+	}
+	// Output:
+	// 7 lucky
+	// 13 unlucky
+	// 42 answer
+}
+
+func ExampleWithRelaxation() {
+	// k = 0 is the strictest (exact) setting; larger k relaxes delete-min
+	// to any of the T·k+1 smallest keys in exchange for scalability.
+	q := klsm.New[int](klsm.WithRelaxation(0))
+	h := q.NewHandle()
+	for i := 5; i > 0; i-- {
+		h.Insert(uint64(i), i*i)
+	}
+	key, val, _ := h.TryDeleteMin()
+	fmt.Println(key, val, q.Rho())
+	// Output:
+	// 1 1 0
+}
+
+func ExampleWithPooling() {
+	// Pooling (default on) recycles internal blocks and item wrappers
+	// through per-handle free lists; disabling it only changes the
+	// allocation profile, never behavior.
+	pooled := klsm.New[string]()
+	plain := klsm.New[string](klsm.WithPooling(false))
+
+	for _, q := range []*klsm.Queue[string]{pooled, plain} {
+		h := q.NewHandle()
+		h.Insert(1, "same")
+		key, val, ok := h.TryDeleteMin()
+		fmt.Println(key, val, ok)
+	}
+	// Output:
+	// 1 same true
+	// 1 same true
+}
+
+func ExampleWithItemReclamation() {
+	// Item reclamation (default on) reference-counts every block slot so
+	// deleted items return to a free list the moment their last
+	// referencing block dies — deterministic reuse instead of the GC
+	// backstop. Disabling it is the ablation baseline; semantics are
+	// identical either way.
+	q := klsm.New[int](klsm.WithItemReclamation(false))
+	h := q.NewHandle()
+	h.Insert(3, 30)
+	h.Insert(1, 10)
+	key, val, ok := h.TryDeleteMin()
+	fmt.Println(key, val, ok)
+	// Output:
+	// 1 10 true
+}
+
+func ExampleWithMinCaching() {
+	// Min caching (default on) is the delete-min fast path: each handle
+	// caches block minima and its shared candidate window across calls.
+	// Disabling it exists for the ablation benchmarks.
+	q := klsm.New[string](klsm.WithMinCaching(false))
+	h := q.NewHandle()
+	h.Insert(2, "b")
+	h.Insert(1, "a")
+	key, val, ok := h.TryDeleteMin()
+	fmt.Println(key, val, ok)
+	// Output:
+	// 1 a true
+}
+
+func ExampleQueue_SetRelaxation() {
+	// k is run-time configurable (paper §1): loosen it under load, tighten
+	// it when ordering matters more than throughput.
+	q := klsm.New[int](klsm.WithRelaxation(1024))
+	h := q.NewHandle()
+	h.Insert(9, 9)
+	q.SetRelaxation(4)
+	fmt.Println(q.K(), q.Rho())
+	// Output:
+	// 4 4
+}
+
+func ExampleNewWithDrop() {
+	// The §4.5 lazy-deletion callback discards stale entries during
+	// maintenance — SSSP uses it to skip superseded distance labels.
+	stale := map[uint64]bool{2: true}
+	q := klsm.NewWithDrop[string](func(key uint64, _ string) bool {
+		return stale[key]
+	})
+	h := q.NewHandle()
+	h.Insert(2, "stale")
+	h.Insert(5, "fresh")
+	for {
+		key, val, ok := h.TryDeleteMin()
+		if !ok {
+			break
+		}
+		fmt.Println(key, val)
+	}
+	// Output:
+	// 5 fresh
+}

@@ -48,6 +48,24 @@ type Block[V any] struct {
 	filled atomic.Int64
 	items  []*item.Item[V]
 	filter bloom.Filter
+	// refItems marks blocks participating in the §4.4 reference-count
+	// scheme. Set by Pool.Get on every block it hands out (recycled or
+	// fresh) while the pool has an item pool attached; blocks created by
+	// New directly never refcount. All blocks of one queue are configured
+	// identically, so an item's count tracks either all published blocks
+	// referencing it or none.
+	//
+	// References are acquired at publication, not per append: while a block
+	// is private its owner is the reachability proof and the merge/copy hot
+	// paths stay free of refcount traffic. AcquireRefs — called by the
+	// owner immediately before the store that publishes the block, and
+	// always before any predecessor holding the same items is unlinked —
+	// takes one reference per occupied slot and records the range in refHi;
+	// reffed blocks release exactly that range when their pool recycles or
+	// drops them.
+	refItems bool
+	reffed   bool
+	refHi    int64
 }
 
 // New returns an empty block of the given level (capacity 1<<level).
@@ -115,20 +133,44 @@ func (b *Block[V]) Append(it *item.Item[V]) {
 	b.filled.Store(f + 1)
 }
 
-// appendDrop is Append plus the lazy-deletion callback.
-func (b *Block[V]) appendDrop(it *item.Item[V], drop DropFunc[V]) {
-	if it.Taken() {
+// AcquireRefs takes one reference per occupied slot on behalf of this block
+// (§4.4 proper). The owner must call it immediately before the store that
+// publishes the block — crucially, before any predecessor block holding the
+// same items is unlinked or recycled, so a live item's count never dips to
+// zero in between. No-op unless the block came from a reclaiming pool, or
+// if references were already acquired (a block that stays reachable across
+// several published snapshots holds exactly one reference per slot, total).
+func (b *Block[V]) AcquireRefs() {
+	if !b.refItems || b.reffed {
 		return
+	}
+	f := b.filled.Load()
+	for _, it := range b.items[:f] {
+		it.Ref()
+	}
+	b.reffed = true
+	b.refHi = f
+}
+
+// HoldsRefs reports whether AcquireRefs has run on this block, for tests.
+func (b *Block[V]) HoldsRefs() bool { return b.reffed }
+
+// appendAt is the bulk-copy fast path of Append: the caller owns b (still
+// private), tracks the filled count in f, and stores it once when the whole
+// copy or merge is done — turning two atomic filled operations per item
+// into one per block. Returns the new count.
+func (b *Block[V]) appendAt(f int64, it *item.Item[V], drop DropFunc[V]) int64 {
+	if it.Taken() {
+		return f
 	}
 	if drop != nil && drop(it.Key(), it.Value()) {
 		// Claim the item so copies of it in other blocks (stale merges,
 		// spied blocks) cannot resurrect it.
 		it.TryTake()
-		return
+		return f
 	}
-	f := b.filled.Load()
 	b.items[f] = it
-	b.filled.Store(f + 1)
+	return f + 1
 }
 
 // Copy returns a new private block of the given level containing b's live
@@ -152,9 +194,11 @@ func (b *Block[V]) CopyIn(p *Pool[V], level int) *Block[V] {
 func (b *Block[V]) CopyDropIn(p *Pool[V], level int, drop DropFunc[V]) *Block[V] {
 	nb := p.Get(level)
 	nb.filter = b.filter
+	f := nb.filled.Load()
 	for _, it := range b.Items() {
-		nb.appendDrop(it, drop)
+		f = nb.appendAt(f, it, drop)
 	}
+	nb.filled.Store(f)
 	return nb
 }
 
@@ -165,23 +209,25 @@ func (b *Block[V]) CopyDropIn(p *Pool[V], level int, drop DropFunc[V]) *Block[V]
 func MergeInto[V any](dst, b1, b2 *Block[V], drop DropFunc[V]) {
 	a, b := b1.Items(), b2.Items()
 	dst.filter = b1.filter.Union(b2.filter)
+	f := dst.filled.Load()
 	i, j := 0, 0
 	for i < len(a) && j < len(b) {
 		// >= keeps the merge stable and the order non-increasing.
 		if a[i].Key() >= b[j].Key() {
-			dst.appendDrop(a[i], drop)
+			f = dst.appendAt(f, a[i], drop)
 			i++
 		} else {
-			dst.appendDrop(b[j], drop)
+			f = dst.appendAt(f, b[j], drop)
 			j++
 		}
 	}
 	for ; i < len(a); i++ {
-		dst.appendDrop(a[i], drop)
+		f = dst.appendAt(f, a[i], drop)
 	}
 	for ; j < len(b); j++ {
-		dst.appendDrop(b[j], drop)
+		f = dst.appendAt(f, b[j], drop)
 	}
+	dst.filled.Store(f)
 }
 
 // Merge allocates a block one level above the larger input and merges b1 and

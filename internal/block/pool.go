@@ -20,9 +20,28 @@
 //     free list only once it is unreachable from every published structure.
 //   - Anything the contract cannot prove reusable is simply dropped and the
 //     garbage collector reclaims it — the backstop the C++ version lacks.
+//
+// Item reclamation (§4.4 proper): a pool with an item pool attached
+// (SetItemPool) additionally maintains per-item reference counts. Blocks it
+// hands out are flagged so that AcquireRefs — called by the owner right
+// before the store that publishes a block — takes one reference per
+// occupied slot; private blocks (merge intermediates, failed attempts)
+// never touch the counts, keeping the hot merge paths refcount-free. Every
+// reffed block this pool recycles or drops releases its references first —
+// releasing happens exactly where the reuse contract already proves the
+// block unreachable, so the proofs carry over to the items. A release that
+// drops an item's last reference returns the (taken) item to the attached
+// item pool; blocks that overflow the free-list caps or the level bound
+// still release their items before the garbage collector takes the block
+// shell, so deterministic item reuse survives every drop decision except a
+// limbo overflow (counted in LimboLeaked).
 package block
 
-import "sync/atomic"
+import (
+	"sync/atomic"
+
+	"klsm/internal/item"
+)
 
 // Guard counts concurrently active readers of published blocks (spies and
 // melds). Owners consult it before recycling a retired published block: if
@@ -72,8 +91,11 @@ const (
 	// against the merge that filled it somewhere around a few MB.
 	maxPoolLevel = 20
 	// limboCap bounds the not-yet-quiescent retired list; overflow is
-	// dropped to the garbage collector.
-	limboCap = 64
+	// dropped to the garbage collector. With item reclamation on, a dropped
+	// limbo block would leak its item references (the items fall back to
+	// the GC), so reclaiming pools use the larger bound before giving up.
+	limboCap        = 64
+	limboCapReclaim = 512
 )
 
 // PoolStats is a snapshot of pool counters for tests and diagnostics.
@@ -83,6 +105,11 @@ type PoolStats struct {
 	Puts    int64 // blocks recycled (immediately or via limbo)
 	Retired int64 // Retire calls
 	Dropped int64 // blocks abandoned to the GC (caps or level bound)
+
+	// Item-reclamation counters (§4.4 proper); zero without SetItemPool.
+	ItemsReclaimed int64 // taken items returned to the item pool by a final Unref
+	ItemsLostLive  int64 // final Unref on a live item (indicates a bug; see releaseItems)
+	LimboLeaked    int64 // blocks dropped at the limbo cap with references unreleased
 }
 
 // Pool is a per-handle, level-indexed block free list (§4.4). Not safe for
@@ -90,6 +117,9 @@ type PoolStats struct {
 // Get allocate, Put and Retire no-ops — the pooling-disabled mode.
 type Pool[V any] struct {
 	guard *Guard
+	// items, when set, turns on §4.4 item reclamation: blocks from this
+	// pool refcount their slots and release them here on recycle or drop.
+	items *item.Pool[V]
 	free  [maxPoolLevel + 1][]*Block[V]
 	limbo []*Block[V]
 	stats PoolStats
@@ -101,6 +131,20 @@ func NewPool[V any](g *Guard) *Pool[V] {
 	return &Pool[V]{guard: g}
 }
 
+// SetItemPool attaches the owning handle's item pool and enables item
+// reclamation: blocks handed out afterwards refcount their slots, and
+// releases flow into ip. Must be set before the pool is used and must be
+// configured identically on every pool of one queue (a mix of refcounted
+// and plain blocks would release items other blocks still reference).
+func (p *Pool[V]) SetItemPool(ip *item.Pool[V]) {
+	if p != nil {
+		p.items = ip
+	}
+}
+
+// Reclaiming reports whether item reclamation is enabled on this pool.
+func (p *Pool[V]) Reclaiming() bool { return p != nil && p.items != nil }
+
 // Get returns an empty private block of the given level, recycled when
 // possible.
 func (p *Pool[V]) Get(level int) *Block[V] {
@@ -109,25 +153,64 @@ func (p *Pool[V]) Get(level int) *Block[V] {
 	}
 	p.stats.Gets++
 	p.reapLimbo()
+	reclaim := p.items != nil
 	if level <= maxPoolLevel {
 		if fl := p.free[level]; len(fl) > 0 {
 			b := fl[len(fl)-1]
 			fl[len(fl)-1] = nil
 			p.free[level] = fl[:len(fl)-1]
 			p.stats.Hits++
+			b.refItems = reclaim
 			return b
 		}
 	}
-	return New[V](level)
+	b := New[V](level)
+	b.refItems = reclaim
+	return b
+}
+
+// releaseItems releases the slot references b acquired at publication
+// (which the reuse contract now proves dead) and reclaims items whose last
+// reference died. The walk covers exactly [0, refHi) — the occupied range
+// AcquireRefs saw; filled may have shrunk since (tail trimming), but the
+// trimmed slots keep their pointers and their references. The reffed flag
+// is cleared first, so a block can never double-release.
+func (p *Pool[V]) releaseItems(b *Block[V]) {
+	b.reffed = false
+	hi := b.refHi
+	b.refHi = 0
+	for _, it := range b.items[:hi] {
+		if !it.Unref() {
+			continue
+		}
+		if it.Taken() {
+			// Last reference on a taken item: this pool's handle owns it
+			// exclusively now — recycle (§4.4 proper).
+			p.items.Put(it)
+			p.stats.ItemsReclaimed++
+		} else {
+			// A live item at refcount zero is unreachable yet undeleted —
+			// a reachability bug upstream. It falls to the GC; the counter
+			// lets tests assert this never happens.
+			p.stats.ItemsLostLive++
+			if debugLostLive {
+				panic("lost live item")
+			}
+		}
+	}
 }
 
 // Put recycles a block immediately. Contract: b is private — it was never
 // published, or this call site can otherwise prove no other goroutine can
 // reach it (single-threaded structures). The block's item references are
-// dropped so pooled blocks do not pin items for the GC.
+// released first (reclaiming taken items whose last reference died), even
+// when the caps below make the block itself fall to the garbage collector.
 func (p *Pool[V]) Put(b *Block[V]) {
 	if p == nil || b == nil {
 		return
+	}
+	if b.reffed {
+		p.releaseItems(b)
 	}
 	level := b.level
 	if level > maxPoolLevel || len(p.free[level]) >= p.freeCap(level) {
@@ -145,7 +228,10 @@ func (p *Pool[V]) Put(b *Block[V]) {
 // the owner (stores making it unreachable for new readers must precede this
 // call). If the guard is quiescent the block is recycled immediately —
 // together with any blocks parked earlier — otherwise it joins the limbo
-// list until a later quiescent observation.
+// list until a later quiescent observation. Reclaiming pools use a larger
+// limbo bound: a block dropped here would leak its item references to the
+// GC (counted in LimboLeaked), the one nondeterministic escape left in the
+// reclamation scheme.
 func (p *Pool[V]) Retire(b *Block[V]) {
 	if p == nil || b == nil {
 		return
@@ -156,11 +242,30 @@ func (p *Pool[V]) Retire(b *Block[V]) {
 		p.Put(b)
 		return
 	}
-	if len(p.limbo) >= limboCap {
+	cap := limboCap
+	if p.items != nil {
+		cap = limboCapReclaim
+	}
+	if len(p.limbo) >= cap {
 		p.stats.Dropped++
+		if p.items != nil {
+			p.stats.LimboLeaked++
+		}
 		return
 	}
 	p.limbo = append(p.limbo, b)
+}
+
+// DrainLimbo recycles every parked block if the guard is quiescent and
+// reports whether the limbo list is empty afterwards. Owner-only, like
+// every other method; used by shutdown/test quiesce paths that need the
+// parked item references released deterministically.
+func (p *Pool[V]) DrainLimbo() bool {
+	if p == nil {
+		return true
+	}
+	p.reapLimbo()
+	return len(p.limbo) == 0
 }
 
 // reapLimbo opportunistically recycles parked blocks once quiescence is
@@ -206,3 +311,7 @@ func (p *Pool[V]) Stats() PoolStats {
 	}
 	return p.stats
 }
+
+// debugLostLive makes releaseItems panic on a live item at refcount zero,
+// for debugging reachability bugs.
+var debugLostLive = false

@@ -1,0 +1,168 @@
+package block
+
+import (
+	"testing"
+
+	"klsm/internal/item"
+)
+
+// newReclaimPool returns a guarded pool with item reclamation on plus its
+// item pool.
+func newReclaimPool(g *Guard) (*Pool[int], *item.Pool[int]) {
+	p := NewPool[int](g)
+	ip := item.NewPool[int]()
+	p.SetItemPool(ip)
+	return p, ip
+}
+
+// fillTaken builds a level-l "published" block from p (references acquired,
+// as the owner does right before the publication store) holding n freshly
+// taken items.
+func fillTaken(p *Pool[int], ip *item.Pool[int], l, n int) *Block[int] {
+	b := p.Get(l)
+	for i := n; i > 0; i-- {
+		b.Append(ip.Get(uint64(i), i))
+	}
+	b.AcquireRefs()
+	for _, it := range b.Items() {
+		it.TryTake()
+	}
+	return b
+}
+
+func TestAcquireRefsAtPublication(t *testing.T) {
+	p, ip := newReclaimPool(nil)
+	b := p.Get(2)
+	it := ip.Get(1, 1)
+	b.Append(it)
+	// Private blocks hold no references — the merge hot paths stay free of
+	// refcount traffic.
+	if it.Refs() != 0 {
+		t.Fatalf("refs = %d before publication", it.Refs())
+	}
+	b.AcquireRefs()
+	if it.Refs() != 1 || !b.HoldsRefs() {
+		t.Fatalf("refs = %d, holds=%v after AcquireRefs", it.Refs(), b.HoldsRefs())
+	}
+	// Idempotent: a block carried across snapshots acquires only once.
+	b.AcquireRefs()
+	if it.Refs() != 1 {
+		t.Fatalf("refs = %d after second AcquireRefs", it.Refs())
+	}
+	// Blocks from a plain pool never refcount.
+	plain := NewPool[int](nil)
+	nb := plain.Get(2)
+	it2 := item.New[int](2, 2)
+	nb.Append(it2)
+	nb.AcquireRefs()
+	if it2.Refs() != 0 {
+		t.Fatalf("plain block acquired %d refs", it2.Refs())
+	}
+}
+
+// TestReleaseCoversShrunkTail: references span [0, refHi) even after the
+// published block's filled shrank below it.
+func TestReleaseCoversShrunkTail(t *testing.T) {
+	p, ip := newReclaimPool(nil)
+	b := fillTaken(p, ip, 3, 8)
+	if got := b.ShrinkInPlace(); got != 0 {
+		t.Fatalf("ShrinkInPlace left %d", got)
+	}
+	p.Put(b)
+	if got := ip.Puts(); got != 8 {
+		t.Fatalf("released %d of 8 after tail shrink", got)
+	}
+}
+
+func TestPutReleasesAndReclaims(t *testing.T) {
+	p, ip := newReclaimPool(nil)
+	b := fillTaken(p, ip, 3, 8)
+	p.Put(b)
+	if got := ip.Puts(); got != 8 {
+		t.Fatalf("reclaimed %d items, want 8", got)
+	}
+	if st := p.Stats(); st.ItemsReclaimed != 8 || st.ItemsLostLive != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	// The block went to the free list with all slots cleared: a recycled
+	// incarnation must not double-release.
+	nb := p.Get(3)
+	if nb != b {
+		t.Fatal("block was not recycled")
+	}
+	p.Put(nb)
+	if got := ip.Puts(); got != 8 {
+		t.Fatalf("empty recycled block released %d extra items", got-8)
+	}
+}
+
+// TestDroppedBlockStillReleasesItems is the §4.4-proper guarantee on the
+// drop paths: blocks the pool refuses to keep (free-list cap, level bound)
+// must release their item references before falling to the GC.
+func TestDroppedBlockStillReleasesItems(t *testing.T) {
+	p, ip := newReclaimPool(nil)
+	// Overfill level 3's free list (cap 4) so the fifth Put drops.
+	blocks := make([]*Block[int], 5)
+	for i := range blocks {
+		blocks[i] = fillTaken(p, ip, 3, 4)
+	}
+	for _, b := range blocks {
+		p.Put(b)
+	}
+	if got := ip.Puts(); got != 20 {
+		t.Fatalf("reclaimed %d items, want all 20 despite the cap drop", got)
+	}
+	if st := p.Stats(); st.Dropped == 0 {
+		t.Fatal("expected at least one block drop at the free-list cap")
+	}
+
+	// Same for the level bound: a block above maxPoolLevel is never pooled
+	// but still releases.
+	big := fillTaken(p, ip, maxPoolLevel+1, 16)
+	before := ip.Puts()
+	p.Put(big)
+	if got := ip.Puts() - before; got != 16 {
+		t.Fatalf("over-level block released %d of 16", got)
+	}
+}
+
+// TestRetireLimboReleasesAfterQuiescence: references parked in limbo by an
+// active guard release exactly once when the guard quiesces, and the
+// reclaiming limbo accepts more than the plain cap before leaking.
+func TestRetireLimboReleasesAfterQuiescence(t *testing.T) {
+	var g Guard
+	p, ip := newReclaimPool(&g)
+	g.Enter()
+	const blocks = limboCap + 32 // beyond the non-reclaiming bound
+	for i := 0; i < blocks; i++ {
+		p.Retire(fillTaken(p, ip, 0, 1))
+	}
+	if got := ip.Puts(); got != 0 {
+		t.Fatalf("%d items released while the guard was active", got)
+	}
+	if st := p.Stats(); st.LimboLeaked != 0 {
+		t.Fatalf("leaked %d blocks below the reclaim cap", st.LimboLeaked)
+	}
+	g.Exit()
+	if !p.DrainLimbo() {
+		t.Fatal("limbo did not drain at quiescence")
+	}
+	if got := ip.Puts(); got != blocks {
+		t.Fatalf("released %d items, want exactly %d", got, blocks)
+	}
+}
+
+// TestRetireLimboLeakIsCounted: past the reclaim cap the pool gives up and
+// counts the leak instead of blocking.
+func TestRetireLimboLeakIsCounted(t *testing.T) {
+	var g Guard
+	p, ip := newReclaimPool(&g)
+	g.Enter()
+	defer g.Exit()
+	for i := 0; i < limboCapReclaim+10; i++ {
+		p.Retire(fillTaken(p, ip, 0, 1))
+	}
+	if st := p.Stats(); st.LimboLeaked != 10 {
+		t.Fatalf("LimboLeaked = %d, want 10", st.LimboLeaked)
+	}
+}

@@ -14,7 +14,11 @@ import (
 //
 // The caller drives the meld through a handle of q (the destination).
 // `other` must not receive new inserts during the meld or those items may be
-// missed; concurrent delete-mins on either queue are fine.
+// missed; concurrent delete-mins on either queue are fine when both queues
+// run the same item-reclamation setting. With mismatched settings one queue
+// holds unrefcounted pointers to items the other reclaims, so `other` must
+// then be fully quiescent from the meld onward and discarded afterwards
+// (the documented life cycle anyway).
 func (h *Handle[V]) Meld(other *Queue[V]) {
 	if other == nil || other.Queue() == h.q {
 		return
@@ -26,10 +30,13 @@ func (h *Handle[V]) Meld(other *Queue[V]) {
 	// Move the contents of every handle-local DistLSM of other. Spy gives a
 	// consistent-enough copy (it never misses an item that was present when
 	// other went quiescent); inserting the copied blocks into q's shared
-	// k-LSM makes them reachable to all of q's handles.
+	// k-LSM makes them reachable to all of q's handles. Copies are drawn
+	// from h's pool so that, with item reclamation on, they acquire item
+	// references spanning both queues: neither queue can reclaim an item
+	// the other still reaches.
 	victims := *other.victims.Load()
 	for _, v := range victims {
-		tmp := newMeldCollector[V]()
+		tmp := newMeldCollector[V](h.pool)
 		tmp.spyAll(v)
 		for _, b := range tmp.blocks {
 			h.q.shared.Insert(h.cursor, b)
@@ -43,11 +50,16 @@ func (h *Handle[V]) Meld(other *Queue[V]) {
 				continue
 			}
 			// Copy filters taken items so we do not balloon q with garbage.
-			nb := b.Copy(b.Level())
+			nb := b.CopyIn(h.pool, b.Level())
 			if nb.Empty() {
+				h.pool.Put(nb)
 				continue
 			}
-			h.q.shared.Insert(h.cursor, nb.Shrink())
+			s := nb.ShrinkIn(h.pool)
+			if s != nb {
+				h.pool.Put(nb)
+			}
+			h.q.shared.Insert(h.cursor, s)
 		}
 	}
 	other.guard.Exit()
@@ -79,13 +91,15 @@ func (q *Queue[V]) handlesSnapshot() []*Handle[V] {
 }
 
 // meldCollector gathers copies of a DistLSM's blocks without the level
-// restrictions of the regular spy (meld wants everything).
+// restrictions of the regular spy (meld wants everything). Copies come from
+// the melding handle's pool so they join its refcount domain.
 type meldCollector[V any] struct {
+	pool   *block.Pool[V]
 	blocks []*block.Block[V]
 }
 
-func newMeldCollector[V any]() *meldCollector[V] {
-	return &meldCollector[V]{}
+func newMeldCollector[V any](p *block.Pool[V]) *meldCollector[V] {
+	return &meldCollector[V]{pool: p}
 }
 
 // spyAll copies every non-empty block of v.
@@ -99,10 +113,15 @@ func (m *meldCollector[V]) spyAll(v interface {
 		if b == nil || b.Empty() {
 			continue
 		}
-		nb := b.Copy(b.Level())
+		nb := b.CopyIn(m.pool, b.Level())
 		if nb.Empty() {
+			m.pool.Put(nb)
 			continue
 		}
-		m.blocks = append(m.blocks, nb.Shrink())
+		s := nb.ShrinkIn(m.pool)
+		if s != nb {
+			m.pool.Put(nb)
+		}
+		m.blocks = append(m.blocks, s)
 	}
 }

@@ -71,6 +71,13 @@ type Config[V any] struct {
 	// configuration; disabling exists for the ablation benchmarks and as an
 	// escape hatch. Semantics are identical either way.
 	DisableMinCaching bool
+	// DisableItemReclamation turns off the §4.4 per-block item reference
+	// counts: taken items are then reclaimed only where a structural proof
+	// exists (the sequential LSM) and fall back to the garbage collector
+	// everywhere else. The zero value (reclamation on) is the paper's
+	// deterministic scheme; it requires pooling and is implicitly off when
+	// DisablePooling is set. Semantics are identical either way.
+	DisableItemReclamation bool
 }
 
 // Queue is the combined k-LSM relaxed priority queue. Create handles with
@@ -217,6 +224,12 @@ func (q *Queue[V]) NewHandle() *Handle[V] {
 		// block pools gated by the queue-wide guard.
 		h.pool = block.NewPool[V](&q.guard)
 		h.items = item.NewPool[V]()
+		if !q.cfg.DisableItemReclamation {
+			// §4.4 proper: blocks from this pool refcount their item
+			// slots and release them into the handle's item pool when the
+			// block is recycled or dropped.
+			h.pool.SetItemPool(h.items)
+		}
 		h.dist.SetPool(h.pool)
 		h.cursor.SetPool(h.pool)
 	}
@@ -296,6 +309,51 @@ func (h *Handle[V]) Close() {
 	// Withdraw the cursor from the reclamation epoch scheme so an idle
 	// closed handle does not pin retired blocks forever.
 	q.shared.RetireCursor(h.cursor)
+}
+
+// Quiesce drives every deferred reclamation step to completion: it
+// consolidates each handle's DistLSM (retiring fully dead blocks), runs a
+// shared-k-LSM maintenance pass per handle, advances every cursor's epoch
+// stamp, and drains the shared and per-handle limbo lists. After Quiesce on
+// a queue whose items have all been deleted, every block has been recycled
+// or dropped and — with item reclamation on — every taken item has been
+// released to an item pool exactly once.
+//
+// Quiesce is NOT safe to run concurrently with handle operations: the
+// caller must guarantee that no goroutine is operating on any handle
+// (shutdown, checkpoints, tests). On a queue still holding live items it is
+// best-effort — blocks referenced by the live structure stay put, which is
+// correct but reclaims nothing from them.
+func (q *Queue[V]) Quiesce() {
+	hs := q.handlesSnapshot()
+	// Two maintenance passes: the first consolidates dead structure and
+	// pushes the cleanups (parking superseded blocks in limbo at fresh
+	// epochs), the second catches blocks the first pass's mutations only
+	// just made dead.
+	for pass := 0; pass < 2; pass++ {
+		for _, h := range hs {
+			if q.cfg.Mode != SharedOnly {
+				h.dist.Consolidate()
+			}
+			if q.cfg.Mode != DistOnly {
+				q.shared.FindMin(h.cursor)
+			}
+		}
+	}
+	if q.cfg.Mode != DistOnly {
+		// Lift every cursor's epoch pin first, then drain: entries parked
+		// by the passes above carry epochs newer than the stamps the passes
+		// left behind.
+		for _, h := range hs {
+			q.shared.RefreshStamp(h.cursor)
+		}
+		for _, h := range hs {
+			q.shared.DrainRetired(h.cursor)
+		}
+	}
+	for _, h := range hs {
+		h.pool.DrainLimbo()
+	}
 }
 
 // DistStats exposes the handle's DistLSM counters for benchmarks.

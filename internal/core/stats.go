@@ -30,6 +30,49 @@ type QueueStats struct {
 	SharedInsertRetries     int64
 }
 
+// ReclaimStats aggregates the §4.4 item-reclamation counters across all
+// open handles. Unlike Stats, the underlying counters are owner-written
+// plain fields, so ReclaimStats must only be called while no handle is
+// operating (the Quiesce contract); it exists for the accounting tests and
+// shutdown diagnostics.
+type ReclaimStats struct {
+	// ItemsReclaimed counts taken items returned to an item pool by the
+	// final reference release; ItemPuts is the same event counted at the
+	// item pools (the two agree unless a release raced a handle close).
+	ItemsReclaimed int64
+	ItemPuts       int64
+	// ItemReuses counts inserts served from recycled items; ItemSlabAllocs
+	// counts fresh item slab allocations.
+	ItemReuses     int64
+	ItemSlabAllocs int64
+	// ItemsLostLive counts final releases that found the item still live —
+	// always zero unless reachability is broken somewhere (asserted by the
+	// accounting tests).
+	ItemsLostLive int64
+	// LimboLeaked counts blocks dropped at a limbo cap with their item
+	// references unreleased (per-handle pools plus the shared structure) —
+	// the one GC fallback left with reclamation on.
+	LimboLeaked int64
+}
+
+// ReclaimStats returns the aggregated reclamation counters. Callers must
+// guarantee no handle is concurrently operating; see the type comment.
+func (q *Queue[V]) ReclaimStats() ReclaimStats {
+	var rs ReclaimStats
+	for _, h := range q.handlesSnapshot() {
+		ps := h.pool.Stats()
+		rs.ItemsReclaimed += ps.ItemsReclaimed
+		rs.ItemsLostLive += ps.ItemsLostLive
+		rs.LimboLeaked += ps.LimboLeaked
+		rs.ItemPuts += h.items.Puts()
+		a, r := h.items.Stats()
+		rs.ItemSlabAllocs += a
+		rs.ItemReuses += r
+	}
+	rs.LimboLeaked += q.shared.LimboLeaked()
+	return rs
+}
+
 // Stats returns an aggregated snapshot of the queue's structural counters.
 func (q *Queue[V]) Stats() QueueStats {
 	q.mu.Lock()

@@ -21,6 +21,19 @@
 // the property the ρ = T·k relaxation bound of Lemma 2 rests on. Blocks
 // growing past the bound are handed to the overflow callback (the shared
 // k-LSM) instead of being stored locally.
+//
+// Memory reclamation (§4.4): the owner draws blocks from its per-handle
+// pool; private blocks (the per-insert level-0 block, merge intermediates)
+// recycle the moment they are merged away, while published blocks are
+// retired only after the stores that unlink them, gated by the queue-wide
+// spy guard. With item reclamation on, every publication point in this
+// package (the insert-path store, spy's copy store, consolidation's run
+// stores) calls AcquireRefs immediately before the store — and always
+// before the predecessors holding the same items are retired — so per-item
+// reference counts never dip while an item is reachable; the pool releases
+// a block's references exactly when the reuse contract proves the block
+// dead, returning taken items to the handle's item pool. See DESIGN.md,
+// "Deterministic item reclamation".
 package distlsm
 
 import (
@@ -323,6 +336,9 @@ func (d *Dist[V]) insertBlock(b *block.Block[V], overflow func(*block.Block[V]))
 			newLen = i
 		}
 	default:
+		// Publication: acquire item references first (§4.4 proper) — the
+		// merged-away blocks below must not release theirs earlier.
+		b.AcquireRefs()
 		d.blocks[i].Store(b)
 		d.size.Store(int64(i + 1))
 		if cached {
@@ -460,6 +476,10 @@ func (d *Dist[V]) Consolidate() {
 		}
 	}
 	for i, r := range runs {
+		// Publication: fresh merged runs acquire their item references
+		// here (no-op for surviving originals); the unlinked originals
+		// release theirs only in the Retire loop below.
+		r.AcquireRefs()
 		d.blocks[i].Store(r)
 	}
 	d.size.Store(int64(len(runs)))
@@ -519,6 +539,10 @@ func (d *Dist[V]) Spy(victim *Dist[V]) bool {
 			d.pool.Put(nb)
 			continue
 		}
+		// Publication under the guard: the victim's block cannot release
+		// its references while this reader is active, so acquiring ours
+		// here never races a final release.
+		nb.AcquireRefs()
 		d.blocks[sz].Store(nb)
 		d.size.Store(int64(sz + 1))
 		if d.cacheValid(sz) {
@@ -545,9 +569,14 @@ func (d *Dist[V]) Spy(victim *Dist[V]) bool {
 // resolves).
 func (d *Dist[V]) DrainTo(overflow func(*block.Block[V])) {
 	sz := int(d.size.Load())
+	unlinked := d.retireScratch[:0]
 	for i := 0; i < sz; i++ {
 		b := d.blocks[i].Load()
-		if b == nil || b.Empty() {
+		if b == nil {
+			continue
+		}
+		unlinked = append(unlinked, b)
+		if b.Empty() {
 			continue
 		}
 		nb := b.CopyIn(d.pool, b.Level())
@@ -562,12 +591,21 @@ func (d *Dist[V]) DrainTo(overflow func(*block.Block[V])) {
 		overflow(s)
 		d.stats.overflows.Add(1)
 	}
-	// The drained blocks themselves are not retired: the handle is closing,
-	// so its pool is about to become garbage anyway — the GC reclaims both.
 	d.size.Store(0)
 	if d.minCache {
 		d.cacheLen = 0
 	}
+	// Retire the drained originals once the size store above unlinks them.
+	// The pool dies with the closing handle, so for pure block reuse this
+	// would be pointless — but with item reclamation on, Retire releases the
+	// originals' item references (immediately when the guard is quiescent,
+	// which is the common case on close), without which every item that
+	// passed through this handle would stay GC-backstopped forever.
+	for j, b := range unlinked {
+		unlinked[j] = nil
+		d.pool.Retire(b)
+	}
+	d.retireScratch = unlinked[:0]
 }
 
 // Empty reports whether the owner currently sees no blocks. Live items may

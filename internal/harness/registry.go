@@ -74,6 +74,7 @@ func ExtraSpecs() []QueueSpec {
 	return []QueueSpec{
 		{Name: "kLSM(256)-nomincache", New: func(int) pqs.Queue { return klsmq.NewNoMinCache(256) }},
 		{Name: "kLSM(256)-nopool", New: func(int) pqs.Queue { return klsmq.NewNoPooling(256) }},
+		{Name: "kLSM(256)-noreclaim", New: func(int) pqs.Queue { return klsmq.NewNoReclaim(256) }},
 	}
 }
 

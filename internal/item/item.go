@@ -17,6 +17,28 @@
 // new even version) fails instead of deleting the item's next incarnation.
 // Reuse itself is governed by the pool contract (see Pool): an Item may only
 // be Reset once it is unreachable from every published LSM structure.
+//
+// # Reference counting (§4.4 proper)
+//
+// The unreachability proof the pool contract demands is supplied by a
+// per-item reference count: every block slot that stores a pointer to an
+// item holds one reference (acquired by Ref when the slot is written,
+// released by Unref when the block is recycled or dropped). Blocks release
+// their slots only under the same proofs that make the block itself
+// recyclable — owner privacy, spy-guard quiescence, or epoch-stamp
+// quiescence — so when Unref observes the count reach zero, no published
+// structure and no concurrent reader can still reach the item. If the item
+// is also taken at that point, the releasing handle returns it to its item
+// Pool; exactly one release per incarnation can observe the zero, so an
+// item is reclaimed exactly once. A live item can never hit zero: every
+// path that unlinks a block first publishes a copy holding the live items
+// (and a reference to each) before the old block's references are released.
+//
+// The count says nothing about transient non-block references (a candidate
+// pointer held across a FindMin retry, a min-cache entry): those are safe
+// because the block they were read from is itself pinned by one of the
+// proofs above for as long as the reader may dereference the item — see
+// DESIGN.md, "Deterministic item reclamation".
 package item
 
 import "sync/atomic"
@@ -31,6 +53,10 @@ type Item[V any] struct {
 	// It increments monotonically — TryTake bumps even→odd, Reset bumps
 	// odd→even — so stale CAS attempts from a previous incarnation fail.
 	flag atomic.Uint64
+	// refs counts the block slots currently referencing the item (§4.4
+	// proper). Maintained only when the owning queue runs with item
+	// reclamation enabled; zero-valued and untouched otherwise.
+	refs atomic.Int64
 }
 
 // New returns a live Item holding key and value.
@@ -63,6 +89,30 @@ func (it *Item[V]) TryTake() bool {
 	v := it.flag.Load()
 	return v&1 == 0 && it.flag.CompareAndSwap(v, v+1)
 }
+
+// Ref acquires one reference on behalf of a block slot about to store a
+// pointer to the item. Callers must already hold a safe path to the item
+// (a slot in a block that itself holds a reference, or exclusive ownership
+// of a freshly created item), so the count can never be resurrected from
+// zero by a racing reader.
+func (it *Item[V]) Ref() { it.refs.Add(1) }
+
+// Unref releases one reference and reports whether this call dropped the
+// count to zero. At most one Unref per incarnation returns true; the caller
+// that sees true owns the item exclusively (no block references it, and the
+// reclamation proofs guarantee no reader can still acquire it) and must
+// either recycle it — if it is taken — or account it as lost. Panics if the
+// count underflows, which indicates a ref/unref imbalance bug.
+func (it *Item[V]) Unref() bool {
+	n := it.refs.Add(-1)
+	if n < 0 {
+		panic("item: Unref below zero (ref/unref imbalance)")
+	}
+	return n == 0
+}
+
+// Refs returns the current reference count, for tests and diagnostics.
+func (it *Item[V]) Refs() int64 { return it.refs.Load() }
 
 // Reset revives a taken item with a new key and payload for reuse (§4.4).
 // The caller must guarantee exclusive ownership: the item must be taken and

@@ -11,10 +11,17 @@ const slabSize = 256
 // Get prefers recycled items, then carves from a slab, allocating a new slab
 // only when both run dry. Put recycles an item under the §4.4 reuse
 // contract: the item must be taken AND unreachable from every published
-// block — in the concurrent structures that proof is only available in
-// special places (e.g. the sequential LSM, where each item lives in exactly
-// one block), so most taken items are simply left to the garbage collector,
-// which is the Go backstop the paper's C++ implementation lacks.
+// block. Two callers can supply that proof:
+//
+//   - the sequential LSM, where each item lives in exactly one block and is
+//     provably sole-referenced the moment DeleteMin trims it, and
+//   - the per-block reference-count scheme (§4.4 proper): block pools with
+//     an attached item pool release a block's item references when the
+//     block is recycled or dropped, and hand the item here when the last
+//     reference dies on a taken item.
+//
+// Without either (reclamation disabled), taken items are simply left to the
+// garbage collector — the Go backstop the paper's C++ implementation lacks.
 //
 // A nil *Pool is valid and falls back to plain allocation, so pooling can be
 // disabled by simply not creating pools.
@@ -26,6 +33,10 @@ type Pool[V any] struct {
 	// the free list; exposed for tests and diagnostics.
 	allocs int64
 	reuses int64
+	// puts counts items recycled through Put — with reference counting on,
+	// exactly one Put happens per taken incarnation, so the accounting tests
+	// compare this against the number of successful deletes.
+	puts int64
 }
 
 // NewPool returns an empty item pool.
@@ -70,7 +81,26 @@ func (p *Pool[V]) Put(it *Item[V]) {
 	// sit in the free list.
 	var zero V
 	it.value = zero
+	p.puts++
 	p.free = append(p.free, it)
+}
+
+// Puts returns the number of items recycled through Put. With reference
+// counting on this is the exactly-once release count the accounting tests
+// assert against.
+func (p *Pool[V]) Puts() int64 {
+	if p == nil {
+		return 0
+	}
+	return p.puts
+}
+
+// FreeLen returns the current free-list length, for tests.
+func (p *Pool[V]) FreeLen() int {
+	if p == nil {
+		return 0
+	}
+	return len(p.free)
 }
 
 // Stats returns (slab allocations, recycled Gets) for tests and diagnostics.

@@ -48,6 +48,18 @@ func NewNoPooling(k int) *Queue {
 	})}
 }
 
+// NewNoReclaim returns a combined k-LSM with pooling on but the §4.4
+// deterministic item reclamation disabled — deleted items fall back to the
+// garbage collector (reclamation ablation E11).
+func NewNoReclaim(k int) *Queue {
+	return &Queue{q: core.NewQueue(core.Config[struct{}]{
+		K:                      k,
+		Mode:                   core.Combined,
+		LocalOrdering:          true,
+		DisableItemReclamation: true,
+	})}
+}
+
 // NewNoMinCache returns a combined k-LSM with the delete-min fast path
 // (per-block min cache, candidate window, skip-shared hint) disabled
 // (min-cache ablation).

@@ -22,6 +22,19 @@
 // version numbers to defeat ABA under manual memory reuse (§4.4). Go's GC
 // cannot recycle a BlockArray while any handle still references it as
 // `observed`, so the raw pointer CAS is ABA-safe here.
+//
+// Memory reclamation (§4.4): blocks a winning CAS drops from the array
+// park in an epoch-tagged limbo list and recycle once every registered
+// cursor's stamp has passed their epoch (and the queue-wide spy guard is
+// quiescent) — see the Shared type for the full scheme. With item
+// reclamation on, the same proof releases each dead block's per-item
+// references: a winning cursor acquires references for the blocks it
+// created (creator-only, after its CAS; Insert acquires the incoming
+// block's on entry), and the pool that finally recycles or drops a block
+// releases them, returning taken items whose last reference died to that
+// handle's item pool. Failed attempts never touch the counts: their fresh
+// blocks recycle unreffed through discardFresh. See DESIGN.md,
+// "Deterministic item reclamation".
 package sharedlsm
 
 import (

@@ -1,0 +1,129 @@
+package sharedlsm
+
+import (
+	"testing"
+
+	"klsm/internal/block"
+	"klsm/internal/item"
+	"klsm/internal/xrand"
+)
+
+// newReclaimCursor is newPooledCursor plus an attached item pool, mirroring
+// what core does per handle with item reclamation on.
+func newReclaimCursor(s *Shared[int], g *block.Guard, id uint64) (*Cursor[int], *block.Pool[int], *item.Pool[int]) {
+	p := block.NewPool[int](g)
+	ip := item.NewPool[int]()
+	p.SetItemPool(ip)
+	c := s.NewCursor(id, xrand.NewSeeded(id*77+13))
+	c.SetPool(p)
+	return c, p, ip
+}
+
+// TestLimboOverflowReleasesItemsExactlyOnce covers the limbo-overflow drop
+// path: a pinned cursor keeps the epoch scheme from draining, the limbo
+// list grows past the old 256-block bound (the non-reclaiming cap, at which
+// blocks used to fall to the GC with their items), and once the pin lifts,
+// every deleted item must still be released to the item pool exactly once —
+// including the items of blocks that were parked beyond that bound.
+func TestLimboOverflowReleasesItemsExactlyOnce(t *testing.T) {
+	var g block.Guard
+	s := New[int](4, true)
+	s.SetGuard(&g)
+	cA, pA, ipA := newReclaimCursor(s, &g, 1)
+	cB, _, _ := newReclaimCursor(s, &g, 2)
+
+	// Pin: cB observes the current epoch and then goes idle, so nothing
+	// retired at later epochs may drain while its stamp stays behind. (A
+	// cursor that has never loaded a non-nil shared pointer carries the
+	// inactive stamp and pins nothing, so seed one insert first.)
+	const n = 600
+	rng := xrand.NewSeeded(99)
+	keys := make(map[uint64]bool, n)
+	seed := rng.Uint64n(1 << 40)
+	keys[seed] = true
+	sb := pA.Get(0)
+	sb.AddOwner(1)
+	sb.Append(ipA.Get(seed, int(seed)))
+	s.Insert(cA, sb)
+	s.FindMin(cB)
+
+	// Phase 1: churn through cA. Every winning push that merges blocks away
+	// parks the superseded ones in limbo, where the pin keeps them.
+	for i := 1; i < n; i++ {
+		k := rng.Uint64n(1 << 40)
+		for keys[k] {
+			k = rng.Uint64n(1 << 40)
+		}
+		keys[k] = true
+		b := pA.Get(0)
+		b.AddOwner(1)
+		b.Append(ipA.Get(k, int(k)))
+		s.Insert(cA, b)
+	}
+
+	// Phase 2: take everything, letting FindMin's consolidations push the
+	// dead structure into limbo too.
+	taken := int64(0)
+	for {
+		it := s.FindMin(cA)
+		if it == nil {
+			break
+		}
+		if it.TryTake() {
+			taken++
+		}
+	}
+	if taken != n {
+		t.Fatalf("took %d of %d", taken, n)
+	}
+
+	parked := s.LimboLen()
+	if parked <= 256 {
+		t.Fatalf("limbo holds %d blocks, want > 256 (the old drop bound) — overflow path not exercised", parked)
+	}
+	if leaked := s.LimboLeaked(); leaked != 0 {
+		t.Fatalf("%d blocks leaked below the reclaim cap", leaked)
+	}
+	if got := ipA.Puts(); got != 0 {
+		// Nothing may release while the pin holds: a release here would
+		// mean an item was reclaimed while cB could still reach its block.
+		t.Fatalf("%d items released under an active epoch pin", got)
+	}
+
+	// Phase 3: lift the pin and drain. Every taken item's last block
+	// reference dies now, so the ledger must balance exactly.
+	s.RefreshStamp(cB)
+	s.DrainRetired(cA)
+	if got := ipA.Puts(); got != taken {
+		t.Fatalf("items released = %d, want exactly %d", got, taken)
+	}
+	if st := pA.Stats(); st.ItemsLostLive != 0 {
+		t.Fatalf("%d live items hit refcount zero", st.ItemsLostLive)
+	}
+	if s.LimboLen() != 0 {
+		t.Fatalf("limbo still holds %d blocks after drain", s.LimboLen())
+	}
+}
+
+// TestLimboCapNonReclaiming: without an item pool the old 256-block cap
+// still applies and overflow falls to the GC (counted, not released).
+func TestLimboCapNonReclaiming(t *testing.T) {
+	var g block.Guard
+	s := New[int](4, true)
+	s.SetGuard(&g)
+	cA, pA := newPooledCursor(s, &g, 1)
+	cB, _ := newPooledCursor(s, &g, 2)
+	rng := xrand.NewSeeded(7)
+	s.Insert(cA, singletonIn(pA, 1, rng.Uint64n(1<<40)))
+	s.FindMin(cB) // pin (the seed insert makes the shared pointer non-nil)
+
+	for i := 0; i < 800; i++ {
+		s.Insert(cA, singletonIn(pA, 1, rng.Uint64n(1<<40)))
+	}
+	if got := s.LimboLen(); got > sharedLimboCap {
+		t.Fatalf("limbo grew to %d, cap is %d", got, sharedLimboCap)
+	}
+	if s.LimboLeaked() == 0 {
+		t.Fatal("expected overflow drops at the non-reclaiming cap")
+	}
+}

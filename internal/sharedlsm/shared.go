@@ -11,8 +11,13 @@ import (
 
 // sharedLimboCap bounds the queue of dropped-but-not-yet-reclaimable blocks;
 // overflow is abandoned to the garbage collector (the Go backstop §4.4's C++
-// original lacks).
-const sharedLimboCap = 256
+// original lacks). With item reclamation on, a dropped block leaks its item
+// references too, so reclaiming queues use the larger bound before giving
+// up; either way the overflow is counted in LimboLeaked.
+const (
+	sharedLimboCap        = 256
+	sharedLimboCapReclaim = 2048
+)
 
 // retiredBlock is a block dropped from a published BlockArray, tagged with
 // the epoch of the CAS that dropped it.
@@ -68,10 +73,17 @@ type Shared[V any] struct {
 	regMu   sync.Mutex
 	cursors atomic.Pointer[[]*Cursor[V]]
 	// limbo holds dropped published blocks awaiting epoch quiescence.
-	// limboMu is only ever TryLock'ed: on contention the block is dropped
-	// to the GC instead of blocking, preserving lock-freedom.
-	limboMu sync.Mutex
-	limbo   []retiredBlock[V]
+	// limboMu is only ever TryLock'ed on the operation paths: on contention
+	// the winner parks the blocks on its own cursor (pending) instead of
+	// blocking, preserving lock-freedom, and retries on its next push.
+	// limboMinEpoch caches the smallest epoch present so a drain attempt
+	// that cannot release anything costs O(1) instead of a full scan.
+	limboMu       sync.Mutex
+	limbo         []retiredBlock[V]
+	limboMinEpoch uint64
+	// limboLeaked counts blocks dropped to the GC at the limbo cap — with
+	// item reclamation on, the one escape that also leaks item references.
+	limboLeaked atomic.Int64
 }
 
 // New returns an empty shared k-LSM with relaxation parameter k >= 0.
@@ -132,6 +144,11 @@ type Cursor[V any] struct {
 	stamp atomic.Uint64
 	// al is the §4.4 recycling context (nil: pooling off).
 	al *alloc[V]
+	// pending holds blocks this cursor dropped from the shared structure
+	// but could not hand to the limbo list because limboMu was contended.
+	// Owner-only; flushed on the next refresh, push, or explicit drain, so
+	// a contended retire defers reclamation instead of leaking it.
+	pending []retiredBlock[V]
 	// spare is a superseded, never-published snapshot shell whose slices
 	// the next refresh reuses.
 	spare *BlockArray[V]
@@ -190,6 +207,14 @@ func (c *Cursor[V]) SetPool(p *block.Pool[V]) {
 func (s *Shared[V]) RetireCursor(c *Cursor[V]) {
 	c.stamp.Store(inactiveStamp)
 	c.hintArr = nil
+	// Hand any parked retired blocks over before the cursor disappears;
+	// blocking is fine here (close path, not an operation path).
+	if len(c.pending) > 0 {
+		s.limboMu.Lock()
+		s.appendPendingLocked(c)
+		s.drainLimboLocked(c)
+		s.limboMu.Unlock()
+	}
 	s.regMu.Lock()
 	defer s.regMu.Unlock()
 	cur := s.cursors.Load()
@@ -216,6 +241,9 @@ func (s *Shared[V]) refresh(c *Cursor[V]) {
 		c.al.discardFresh()
 		c.spare = prev
 	}
+	// Retry handing parked retired blocks to the limbo list (a previous
+	// flush lost the TryLock race); cheap no-op when nothing is parked.
+	s.flushPending(c)
 	// The snapshot is about to be replaced (possibly by a recycled shell at
 	// the same address): invalidate the candidate window.
 	c.gen++
@@ -261,6 +289,20 @@ func (s *Shared[V]) push(c *Cursor[V]) bool {
 		return false
 	}
 	if c.al != nil {
+		// §4.4 proper: acquire item references for the blocks this cursor
+		// created and just published. Only the creator ever walks a block
+		// (carried-over blocks acquired at their own publication), so the
+		// reffed flag needs no synchronization; and acquiring only after a
+		// *winning* CAS keeps failed attempts free of refcount traffic,
+		// which contended workloads feel directly. Safety of the deferred
+		// walk: every item in a fresh block is still referenced by the
+		// superseded array's blocks, which this cursor parks only below —
+		// and any holder a concurrent winner drops meanwhile stays pinned
+		// by this cursor's epoch stamp, which advances strictly after this
+		// push completes.
+		for _, b := range c.al.fresh {
+			b.AcquireRefs()
+		}
 		c.al.commitFresh()
 		s.retireDropped(c)
 	}
@@ -268,29 +310,60 @@ func (s *Shared[V]) push(c *Cursor[V]) bool {
 }
 
 // retireDropped parks every block of the superseded array that the winning
-// snapshot no longer references in the limbo list, tagged with the new
-// epoch, then attempts a drain. Runs on the winner's goroutine right after
-// its CAS.
+// snapshot no longer references on the cursor, tagged with the new epoch,
+// then tries to flush them to the limbo list and drain. Runs on the
+// winner's goroutine right after its CAS.
 func (s *Shared[V]) retireDropped(c *Cursor[V]) {
 	old, won := c.observed, c.snapshot
 	if old == nil {
 		return
 	}
 	e := s.epoch.Add(1)
-	if !s.limboMu.TryLock() {
-		return // contended: leave this transition's garbage to the GC
-	}
 	for _, b := range old.blocks {
 		if won != nil && containsBlock(won.blocks, b) {
 			continue
 		}
-		if len(s.limbo) >= sharedLimboCap {
-			break // overflow: the GC takes the rest
-		}
-		s.limbo = append(s.limbo, retiredBlock[V]{b: b, epoch: e})
+		c.pending = append(c.pending, retiredBlock[V]{b: b, epoch: e})
 	}
+	s.flushPending(c)
+}
+
+// flushPending tries to move the cursor's pending retired blocks into the
+// limbo list and drain what has quiesced. TryLock keeps the operation paths
+// lock-free: on contention the blocks simply stay parked on the cursor
+// (owner-only) until the next attempt.
+func (s *Shared[V]) flushPending(c *Cursor[V]) {
+	if len(c.pending) == 0 {
+		return
+	}
+	if !s.limboMu.TryLock() {
+		return
+	}
+	s.appendPendingLocked(c)
 	s.drainLimboLocked(c)
 	s.limboMu.Unlock()
+}
+
+// appendPendingLocked moves c's pending entries into the limbo list up to
+// the cap; overflow falls to the GC and is counted in LimboLeaked. Caller
+// holds limboMu.
+func (s *Shared[V]) appendPendingLocked(c *Cursor[V]) {
+	limboCap := sharedLimboCap
+	if c.al != nil && c.al.pool.Reclaiming() {
+		limboCap = sharedLimboCapReclaim
+	}
+	for i := range c.pending {
+		if len(s.limbo) >= limboCap {
+			s.limboLeaked.Add(int64(len(c.pending) - i))
+			break
+		}
+		if len(s.limbo) == 0 || c.pending[i].epoch < s.limboMinEpoch {
+			s.limboMinEpoch = c.pending[i].epoch
+		}
+		s.limbo = append(s.limbo, c.pending[i])
+	}
+	clear(c.pending)
+	c.pending = c.pending[:0]
 }
 
 // drainLimboLocked moves every limbo block whose epoch every stamped cursor
@@ -312,11 +385,18 @@ func (s *Shared[V]) drainLimboLocked(c *Cursor[V]) {
 			}
 		}
 	}
+	if s.limboMinEpoch > minStamp {
+		return // every entry is still pinned: skip the scan
+	}
 	kept := s.limbo[:0]
+	newMin := inactiveStamp
 	for _, r := range s.limbo {
 		if r.epoch <= minStamp {
 			c.al.pool.Put(r.b)
 		} else {
+			if r.epoch < newMin {
+				newMin = r.epoch
+			}
 			kept = append(kept, r)
 		}
 	}
@@ -324,6 +404,7 @@ func (s *Shared[V]) drainLimboLocked(c *Cursor[V]) {
 		s.limbo[i] = retiredBlock[V]{}
 	}
 	s.limbo = kept
+	s.limboMinEpoch = newMin
 }
 
 // containsBlock reports whether blocks contains b (arrays are short).
@@ -339,11 +420,15 @@ func containsBlock[V any](blocks []*block.Block[V], b *block.Block[V]) bool {
 // Insert publishes a block of items. It loops refresh → mutate snapshot →
 // CAS until it wins; failure implies another thread published first
 // (lock-freedom: someone always progresses). Ownership of nb transfers to
-// the shared structure on return.
+// the shared structure on entry: its item references are acquired here
+// (§4.4 proper) — nb may carry items that exist in no published block yet
+// (a freshly batched overflow), and without nb's own references a failed
+// attempt's discard would dip them to zero mid-retry.
 func (s *Shared[V]) Insert(c *Cursor[V], nb *block.Block[V]) {
 	if nb == nil || nb.Empty() {
 		return
 	}
+	nb.AcquireRefs()
 	for {
 		s.refresh(c)
 		if c.snapshot == nil {
@@ -467,6 +552,41 @@ func (s *Shared[V]) MinHint(c *Cursor[V]) (uint64, bool) {
 		return 0, false
 	}
 	return c.hintKey, true
+}
+
+// RefreshStamp re-stamps c with the current epoch without touching its
+// snapshot. Only valid when the cursor's owner performs no concurrent
+// operation and will re-read the shared pointer before dereferencing any
+// block it loaded under an older stamp (shutdown/test quiesce contexts):
+// advancing the stamp lifts c's pin on the epochs in between, letting limbo
+// entries those epochs held back finally drain.
+func (s *Shared[V]) RefreshStamp(c *Cursor[V]) {
+	c.stamp.Store(s.epoch.Load())
+}
+
+// DrainRetired flushes c's parked retired blocks and drains every limbo
+// entry all cursor stamps have passed, blocking on the limbo lock. Intended
+// for shutdown and test quiesce paths (after RefreshStamp on every cursor);
+// the operation paths drain opportunistically instead and never block.
+func (s *Shared[V]) DrainRetired(c *Cursor[V]) {
+	if c.al == nil {
+		return
+	}
+	s.limboMu.Lock()
+	s.appendPendingLocked(c)
+	s.drainLimboLocked(c)
+	s.limboMu.Unlock()
+}
+
+// LimboLeaked returns the number of retired blocks dropped to the GC at the
+// limbo cap (each leaking its item references when reclamation is on).
+func (s *Shared[V]) LimboLeaked() int64 { return s.limboLeaked.Load() }
+
+// LimboLen returns the current limbo length, for tests.
+func (s *Shared[V]) LimboLen() int {
+	s.limboMu.Lock()
+	defer s.limboMu.Unlock()
+	return len(s.limbo)
 }
 
 // Empty reports whether the shared pointer is nil. A false result does not

@@ -33,23 +33,26 @@ func buildConfig[V any](opts []Option) core.Config[V] {
 		localOrdering: true,
 		pooling:       true,
 		minCaching:    true,
+		reclaim:       true,
 	}
 	for _, o := range opts {
 		o(&cfg)
 	}
 	return core.Config[V]{
-		K:                 cfg.k,
-		Mode:              cfg.mode,
-		LocalOrdering:     cfg.localOrdering,
-		DisablePooling:    !cfg.pooling,
-		DisableMinCaching: !cfg.minCaching,
+		K:                      cfg.k,
+		Mode:                   cfg.mode,
+		LocalOrdering:          cfg.localOrdering,
+		DisablePooling:         !cfg.pooling,
+		DisableMinCaching:      !cfg.minCaching,
+		DisableItemReclamation: !cfg.reclaim,
 	}
 }
 
 // New returns an empty queue configured by opts. The default configuration
 // is the paper's recommended general-purpose setting: the combined k-LSM
-// with k = 256, local ordering enabled, §4.4 memory pooling on, and the
-// delete-min min-caching fast path on.
+// with k = 256, local ordering enabled, §4.4 memory pooling with
+// deterministic item reclamation on, and the delete-min min-caching fast
+// path on.
 func New[V any](opts ...Option) *Queue[V] {
 	return &Queue[V]{q: core.NewQueue(buildConfig[V](opts))}
 }

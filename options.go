@@ -9,6 +9,7 @@ type options struct {
 	localOrdering bool
 	pooling       bool
 	minCaching    bool
+	reclaim       bool
 }
 
 // Option configures New.
@@ -54,6 +55,20 @@ func WithoutLocalOrdering() Option {
 // identical either way.
 func WithPooling(enabled bool) Option {
 	return func(o *options) { o.pooling = enabled }
+}
+
+// WithItemReclamation toggles the §4.4 deterministic item-reclamation
+// scheme (default on). With it enabled, every block slot holds a reference
+// count on its item; when the last block referencing a deleted item is
+// itself recycled — under the same quiescence proofs that govern block
+// reuse — the item returns to a per-handle free list and is reused by a
+// later insert, instead of waiting for the garbage collector. Disabling it
+// keeps block pooling but leaves deleted items to the GC (the ablation
+// baseline and an escape hatch); semantics are identical either way.
+// Reclamation requires pooling: with WithPooling(false) this option has no
+// effect and items are always GC-reclaimed.
+func WithItemReclamation(enabled bool) Option {
+	return func(o *options) { o.reclaim = enabled }
 }
 
 // WithMinCaching toggles the delete-min fast path (default on): each handle
