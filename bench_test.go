@@ -188,12 +188,12 @@ func BenchmarkAblationPooling(b *testing.B) {
 }
 
 // BenchmarkAblationReclaim measures the §4.4 deterministic item-reclamation
-// scheme (DESIGN.md E11): the Figure 3 mix with per-block item refcounts on
+// scheme (DESIGN.md E11/E12): the Figure 3 mix with item refcounts on
 // (default) and off (items GC-backstopped). Allocs/op must stay ~0 in both
-// modes and B/op is lower with reclamation on; the throughput target was
-// within 5% of the GC-backstopped baseline, but the measured cost of the
-// refcount traffic is ~11–21% on the single-core box (EXPERIMENTS.md E11,
-// ROADMAP.md follow-up) — it remains well above the pooling-off mode.
+// modes and B/op is lower with reclamation on. With the lineage-transfer
+// acquisition (E12 — references move through merges instead of being
+// re-acquired per generation), the measured overhead is parity-to-~5% on
+// the single-core box, down from PR 3's ~11–21% (EXPERIMENTS.md E12).
 func BenchmarkAblationReclaim(b *testing.B) {
 	b.Run("on", func(b *testing.B) { runMix(b, klsmq.New(256)) })
 	b.Run("off", func(b *testing.B) { runMix(b, klsmq.NewNoReclaim(256)) })

@@ -47,12 +47,14 @@
 // is ABA-safe), private blocks recycle the moment a merge retires them, and
 // published blocks are reclaimed once epoch stamps and a reader guard prove
 // no spying thread can still hold a pointer. On top of that, the full §4.4
-// scheme reference-counts every block slot (WithItemReclamation, default
-// on): when the last block referencing a deleted item is itself reclaimed,
-// the item returns to a per-handle free list and is reused by a later
-// insert — deterministic reclamation instead of waiting for the garbage
-// collector, at the price of two atomic updates per item per block
-// generation (see BenchmarkAblationReclaim). Steady-state
+// scheme reference-counts items at block-lineage granularity
+// (WithItemReclamation, default on): a reference is acquired once when an
+// item enters the structure, transferred — not re-acquired — through every
+// local merge, and released once when its lineage dies; when the last
+// reference on a deleted item drops, the item returns to a per-handle free
+// list and is reused by a later insert — deterministic reclamation instead
+// of waiting for the garbage collector, at throughput parity with the
+// GC-backstopped mode (see BenchmarkAblationReclaim). Steady-state
 // Insert/TryDeleteMin run nearly allocation-free (see
 // BenchmarkAblationPooling). WithPooling(false) disables recycling
 // entirely and WithItemReclamation(false) keeps only the GC-backstopped

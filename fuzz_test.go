@@ -3,6 +3,8 @@ package klsm
 import (
 	"container/heap"
 	"testing"
+
+	"klsm/internal/binheap"
 )
 
 // fuzzHeap is the exact-PQ oracle for fuzzing.
@@ -59,6 +61,132 @@ func FuzzSingleHandleExact(f *testing.F) {
 				t.Fatalf("op %d: Size %d, oracle %d", i, q.Size(), ref.Len())
 			}
 		}
+	})
+}
+
+// FuzzMixedOpsRelaxed drives the full operation surface — insert,
+// delete-min, handle open/close, and Quiesce — against a model binheap with
+// relaxation-aware matching: every returned key must be among the ρ+1
+// smallest the model holds, with ρ = T·k for the peak number of open
+// handles (closed handles drain to the shared structure, so their items
+// stay matched). The seed corpus encodes interleavings that have been
+// load-bearing in development: close-with-items mid-stream, quiesce between
+// bursts, drain-after-churn (the dry-candidate-window shape behind the
+// overlay-only relaxation bug the k-bound suite caught), and handle churn
+// around reclamation.
+func FuzzMixedOpsRelaxed(f *testing.F) {
+	// insert bursts, then drain through a fresh handle after a close.
+	f.Add([]byte{0x10, 0x00, 0x08, 0x10, 0x18, 0x05, 0x20, 0x03, 0x0b, 0x13, 0x1b})
+	// quiesce between bursts, close while the guard state is warm.
+	f.Add([]byte{0x00, 0x08, 0x07, 0x10, 0x18, 0x06, 0x07, 0x03, 0x0b})
+	// drain-after-churn: many inserts, then deletes through a second handle
+	// (the dry-window / overlay-only shape at small k).
+	f.Add([]byte{0x40, 0x00, 0x08, 0x10, 0x18, 0x20, 0x28, 0x05, 0x03, 0x0b, 0x13, 0x1b, 0x23, 0x2b, 0x33})
+	// close/open churn interleaved with everything, ending in quiesce.
+	f.Add([]byte{0x00, 0x05, 0x08, 0x06, 0x10, 0x05, 0x03, 0x06, 0x18, 0x07, 0x0b, 0x07})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 4096 {
+			return
+		}
+		ks := []int{0, 4, 64}
+		k := 0
+		if len(data) > 0 {
+			k = ks[int(data[0]>>6)%len(ks)]
+		}
+		q := New[struct{}](WithRelaxation(k))
+		model := binheap.New(2)
+		const maxOpen = 4
+		handles := []*Handle[struct{}]{q.NewHandle()}
+		peakOpen := 1
+		active := 0
+		var scratch []uint64
+
+		// matchRelaxed removes key from the model if it ranks within the
+		// ρ+1 smallest, reporting whether it did.
+		matchRelaxed := func(key uint64) bool {
+			rho := peakOpen * k
+			scratch = scratch[:0]
+			found := false
+			for i := 0; i <= rho; i++ {
+				m, ok := model.Pop()
+				if !ok {
+					break
+				}
+				if m == key {
+					found = true
+					break
+				}
+				scratch = append(scratch, m)
+			}
+			model.PushBulk(scratch)
+			return found
+		}
+
+		inserted, deleted := 0, 0
+		for i, b := range data {
+			h := handles[active]
+			switch b % 8 {
+			case 0, 1, 2:
+				key := uint64(b>>3) + uint64(i)<<5
+				h.Insert(key, struct{}{})
+				model.Push(key)
+				inserted++
+			case 3, 4:
+				key, _, ok := h.TryDeleteMin()
+				if !ok {
+					continue
+				}
+				if !matchRelaxed(key) {
+					t.Fatalf("op %d: key %d is not among the ρ+1=%d smallest live keys (k=%d, T=%d)",
+						i, key, peakOpen*k+1, k, peakOpen)
+				}
+				deleted++
+			case 5:
+				if len(handles) < maxOpen {
+					handles = append(handles, q.NewHandle())
+					active = len(handles) - 1
+					if len(handles) > peakOpen {
+						peakOpen = len(handles)
+					}
+				} else {
+					active = (active + 1) % len(handles)
+				}
+			case 6:
+				if len(handles) > 1 {
+					h.Close()
+					handles = append(handles[:active], handles[active+1:]...)
+					active %= len(handles)
+				}
+			case 7:
+				q.Quiesce()
+			}
+		}
+
+		// Drain everything through the first surviving handle; every
+		// remaining model key must come back exactly once.
+		h := handles[0]
+		misses := 0
+		for model.Len() > 0 {
+			key, _, ok := h.TryDeleteMin()
+			if !ok {
+				if misses++; misses > 1000 {
+					t.Fatalf("queue ran dry with %d keys still live in the model", model.Len())
+				}
+				continue
+			}
+			misses = 0
+			if !matchRelaxed(key) {
+				t.Fatalf("drain: key %d is not among the ρ+1 smallest live keys", key)
+			}
+			deleted++
+		}
+		if deleted != inserted {
+			t.Fatalf("conservation violated: %d inserted, %d extracted", inserted, deleted)
+		}
+		if _, _, ok := h.TryDeleteMin(); ok {
+			t.Fatal("delete-min succeeded on an empty queue")
+		}
+		q.Quiesce()
 	})
 }
 

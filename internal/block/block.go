@@ -52,20 +52,25 @@ type Block[V any] struct {
 	// scheme. Set by Pool.Get on every block it hands out (recycled or
 	// fresh) while the pool has an item pool attached; blocks created by
 	// New directly never refcount. All blocks of one queue are configured
-	// identically, so an item's count tracks either all published blocks
-	// referencing it or none.
+	// identically, so an item's count tracks either all block lineages
+	// holding it or none.
 	//
-	// References are acquired at publication, not per append: while a block
-	// is private its owner is the reachability proof and the merge/copy hot
-	// paths stay free of refcount traffic. AcquireRefs — called by the
-	// owner immediately before the store that publishes the block, and
-	// always before any predecessor holding the same items is unlinked —
-	// takes one reference per occupied slot and records the range in refHi;
-	// reffed blocks release exactly that range when their pool recycles or
-	// drops them.
+	// A reffed block holds one reference per slot in [0, refHi) plus one
+	// per entry of drops. References are acquired once per lineage:
+	// AcquireRefs walks the occupied slots (the insert-time level-0 block,
+	// spy copies, blocks entering the shared k-LSM) — and the owner-local
+	// transfer merges (MergeTransferIn, ShrinkTransferIn) move references
+	// from their donors to the merged block instead of re-acquiring, so the
+	// counts never move while an item survives generation churn. Items the
+	// transfer fill skips (logically deleted or dropped) land in drops,
+	// carrying their donor's reference until the owner hands them to the
+	// pool's quiescence-gated item limbo. A donated block's references have
+	// moved to its successor; its release is a no-op.
 	refItems bool
 	reffed   bool
+	donated  bool
 	refHi    int64
+	drops    []*item.Item[V]
 }
 
 // New returns an empty block of the given level (capacity 1<<level).
@@ -134,12 +139,14 @@ func (b *Block[V]) Append(it *item.Item[V]) {
 }
 
 // AcquireRefs takes one reference per occupied slot on behalf of this block
-// (§4.4 proper). The owner must call it immediately before the store that
-// publishes the block — crucially, before any predecessor block holding the
-// same items is unlinked or recycled, so a live item's count never dips to
-// zero in between. No-op unless the block came from a reclaiming pool, or
-// if references were already acquired (a block that stays reachable across
-// several published snapshots holds exactly one reference per slot, total).
+// (§4.4 proper) — the once-per-lineage acquisition used for level-0 insert
+// blocks, spy copies, and blocks entering the shared k-LSM. The owner must
+// call it before the block (or a transfer successor of it) is published,
+// and always before any predecessor holding the same items is unlinked or
+// recycled, so a live item's count never dips to zero in between. No-op
+// unless the block came from a reclaiming pool, or if references are
+// already held (a block that stays reachable across several published
+// snapshots holds exactly one reference per slot, total).
 func (b *Block[V]) AcquireRefs() {
 	if !b.refItems || b.reffed {
 		return
@@ -152,21 +159,91 @@ func (b *Block[V]) AcquireRefs() {
 	b.refHi = f
 }
 
-// HoldsRefs reports whether AcquireRefs has run on this block, for tests.
-func (b *Block[V]) HoldsRefs() bool { return b.reffed }
+// HoldsRefs reports whether the block currently owns item references
+// (acquired or transferred, and not yet donated), for tests.
+func (b *Block[V]) HoldsRefs() bool { return b.reffed && !b.donated }
+
+// Donated reports whether the block's references were transferred to a
+// successor, for tests.
+func (b *Block[V]) Donated() bool { return b.donated }
+
+// DropsLen returns the number of dropped-item references the block still
+// carries, for tests.
+func (b *Block[V]) DropsLen() int { return len(b.drops) }
+
+// TakeDropsInto appends the block's dropped-item references to dst and
+// clears them; ownership of the obligations moves to the caller, which must
+// hand them to a quiescence-gated release (Pool.RetireItems).
+func (b *Block[V]) TakeDropsInto(dst []*item.Item[V]) []*item.Item[V] {
+	dst = append(dst, b.drops...)
+	b.clearDrops()
+	return dst
+}
+
+// clearDrops empties the drops list, keeping its capacity.
+func (b *Block[V]) clearDrops() {
+	clear(b.drops)
+	b.drops = b.drops[:0]
+}
+
+// resetReclaim clears all §4.4 bookkeeping for a block shell about to be
+// recycled or dropped.
+func (b *Block[V]) resetReclaim() {
+	b.reffed = false
+	b.donated = false
+	b.refHi = 0
+	if len(b.drops) != 0 {
+		b.clearDrops()
+	}
+}
+
+// absorb transfers donor's item references to b (§4.4 lineage transfer):
+// the live slots the fill pass just copied keep their counts untouched,
+// while everything else the donor was responsible for — the slots beyond
+// the fRead the fill saw (trimmed tails up to refHi) and the donor's own
+// pending drops — moves to b.drops. The donor is marked donated: its
+// release becomes a no-op. Owner-only, like every transfer operation.
+func (b *Block[V]) absorb(donor *Block[V], fRead int64) {
+	if !donor.reffed || donor.donated {
+		panic("block: transfer from a block that owns no references")
+	}
+	donor.donated = true
+	if fRead < donor.refHi {
+		b.drops = append(b.drops, donor.items[fRead:donor.refHi]...)
+	}
+	if len(donor.drops) > 0 {
+		b.drops = append(b.drops, donor.drops...)
+		donor.clearDrops()
+	}
+}
+
+// commitTransfer records that b now owns one reference per occupied slot
+// (all transferred from its donors) plus its drops.
+func (b *Block[V]) commitTransfer() {
+	b.reffed = true
+	b.refHi = b.filled.Load()
+}
 
 // appendAt is the bulk-copy fast path of Append: the caller owns b (still
 // private), tracks the filled count in f, and stores it once when the whole
 // copy or merge is done — turning two atomic filled operations per item
-// into one per block. Returns the new count.
-func (b *Block[V]) appendAt(f int64, it *item.Item[V], drop DropFunc[V]) int64 {
+// into one per block. Returns the new count. With capture set (transfer
+// fills), skipped items are recorded in drops: they carry a donor reference
+// the successor is now responsible for releasing.
+func (b *Block[V]) appendAt(f int64, it *item.Item[V], drop DropFunc[V], capture bool) int64 {
 	if it.Taken() {
+		if capture {
+			b.drops = append(b.drops, it)
+		}
 		return f
 	}
 	if drop != nil && drop(it.Key(), it.Value()) {
 		// Claim the item so copies of it in other blocks (stale merges,
 		// spied blocks) cannot resurrect it.
 		it.TryTake()
+		if capture {
+			b.drops = append(b.drops, it)
+		}
 		return f
 	}
 	b.items[f] = it
@@ -196,9 +273,26 @@ func (b *Block[V]) CopyDropIn(p *Pool[V], level int, drop DropFunc[V]) *Block[V]
 	nb.filter = b.filter
 	f := nb.filled.Load()
 	for _, it := range b.Items() {
-		f = nb.appendAt(f, it, drop)
+		f = nb.appendAt(f, it, drop, false)
 	}
 	nb.filled.Store(f)
+	return nb
+}
+
+// copyTransferIn is the transfer variant of CopyIn: the copy inherits b's
+// references (live slots untouched, skipped items captured in drops) and b
+// is marked donated. Owner-only; b must hold references.
+func (b *Block[V]) copyTransferIn(p *Pool[V], level int) *Block[V] {
+	nb := p.Get(level)
+	nb.filter = b.filter
+	src := b.Items()
+	f := nb.filled.Load()
+	for _, it := range src {
+		f = nb.appendAt(f, it, nil, true)
+	}
+	nb.filled.Store(f)
+	nb.absorb(b, int64(len(src)))
+	nb.commitTransfer()
 	return nb
 }
 
@@ -207,25 +301,31 @@ func (b *Block[V]) CopyDropIn(p *Pool[V], level int, drop DropFunc[V]) *Block[V]
 // items and uniting the Bloom filters. dst must have capacity for
 // b1.Filled()+b2.Filled() items.
 func MergeInto[V any](dst, b1, b2 *Block[V], drop DropFunc[V]) {
-	a, b := b1.Items(), b2.Items()
 	dst.filter = b1.filter.Union(b2.filter)
+	dst.mergeSlices(b1.Items(), b2.Items(), drop, false)
+}
+
+// mergeSlices runs the two-way merge loop over item slices the caller
+// snapshotted (one Items() read each, so transfer bookkeeping agrees with
+// exactly what the fill saw).
+func (dst *Block[V]) mergeSlices(a, b []*item.Item[V], drop DropFunc[V], capture bool) {
 	f := dst.filled.Load()
 	i, j := 0, 0
 	for i < len(a) && j < len(b) {
 		// >= keeps the merge stable and the order non-increasing.
 		if a[i].Key() >= b[j].Key() {
-			f = dst.appendAt(f, a[i], drop)
+			f = dst.appendAt(f, a[i], drop, capture)
 			i++
 		} else {
-			f = dst.appendAt(f, b[j], drop)
+			f = dst.appendAt(f, b[j], drop, capture)
 			j++
 		}
 	}
 	for ; i < len(a); i++ {
-		f = dst.appendAt(f, a[i], drop)
+		f = dst.appendAt(f, a[i], drop, capture)
 	}
 	for ; j < len(b); j++ {
-		f = dst.appendAt(f, b[j], drop)
+		f = dst.appendAt(f, b[j], drop, capture)
 	}
 	dst.filled.Store(f)
 }
@@ -254,6 +354,40 @@ func MergeIn[V any](p *Pool[V], b1, b2 *Block[V], drop DropFunc[V]) *Block[V] {
 	return s
 }
 
+// MergeTransferIn is MergeIn with §4.4 reference transfer: instead of the
+// merged block re-acquiring a reference per item and the donors releasing
+// theirs later (two atomic RMWs per item per generation), ownership of the
+// donors' references moves to the result — zero refcount traffic for
+// surviving items, with filtered items captured in the result's drops list.
+// Both inputs must hold references (published blocks of the owner's
+// structure, or earlier transfer results); they are marked donated and must
+// still be unlinked/retired by the caller as usual. Owner-only and
+// definitive — use only where the merge result is guaranteed to supersede
+// its inputs (the DistLSM's single-writer paths, not the shared k-LSM's
+// speculative snapshots). Falls back to plain MergeIn semantics when the
+// pool does not reclaim items.
+func MergeTransferIn[V any](p *Pool[V], b1, b2 *Block[V], drop DropFunc[V]) *Block[V] {
+	if !p.Reclaiming() {
+		return MergeIn(p, b1, b2, drop)
+	}
+	level := b1.level
+	if b2.level > level {
+		level = b2.level
+	}
+	dst := p.Get(level + 1)
+	dst.filter = b1.filter.Union(b2.filter)
+	a, bb := b1.Items(), b2.Items()
+	dst.mergeSlices(a, bb, drop, true)
+	dst.absorb(b1, int64(len(a)))
+	dst.absorb(b2, int64(len(bb)))
+	dst.commitTransfer()
+	s := dst.ShrinkTransferIn(p)
+	if s != dst {
+		p.Put(dst) // donated to s (or empty): private shell, recycle
+	}
+	return s
+}
+
 // Shrink returns a block holding b's live items at the smallest adequate
 // level (Listing 1). If b already satisfies its level constraint after
 // trimming the logically deleted tail, b itself is returned with filled
@@ -264,22 +398,30 @@ func (b *Block[V]) Shrink() *Block[V] {
 	return b.ShrinkIn(nil)
 }
 
+// trimFit trims the logically deleted tail (storing the lowered filled)
+// and returns the new count plus the smallest level whose occupancy
+// constraint it satisfies — the shared skeleton of both shrink variants.
+func (b *Block[V]) trimFit() (f int64, l int) {
+	f = b.filled.Load()
+	for f > 0 && b.items[f-1].Taken() {
+		f--
+	}
+	l = b.level
+	for l > 0 && f <= 1<<uint(l-1) {
+		l--
+	}
+	b.filled.Store(f)
+	return f, l
+}
+
 // ShrinkIn is Shrink drawing compaction copies from p and returning its
 // intermediates to it. Whether b itself (when replaced) can be recycled is
 // the caller's decision.
 func (b *Block[V]) ShrinkIn(p *Pool[V]) *Block[V] {
-	f := b.filled.Load()
-	for f > 0 && b.items[f-1].Taken() {
-		f--
-	}
-	l := b.level
-	for l > 0 && f <= 1<<uint(l-1) {
-		l--
-	}
+	_, l := b.trimFit()
 	if l < b.level {
 		// Copy may clean out further items mid-array, so recurse as the
 		// paper does.
-		b.filled.Store(f)
 		c := b.CopyIn(p, l)
 		s := c.ShrinkIn(p)
 		if s != c {
@@ -287,7 +429,28 @@ func (b *Block[V]) ShrinkIn(p *Pool[V]) *Block[V] {
 		}
 		return s
 	}
-	b.filled.Store(f)
+	return b
+}
+
+// ShrinkTransferIn is ShrinkIn with §4.4 reference transfer: a compaction
+// copy inherits the original's references (marking it donated) instead of
+// re-acquiring them. In-place trims transfer nothing — the references stay
+// with the block, whose release covers [0, refHi) regardless of filled.
+// Owner-only and definitive, like MergeTransferIn; plain ShrinkIn behavior
+// when b holds no references.
+func (b *Block[V]) ShrinkTransferIn(p *Pool[V]) *Block[V] {
+	if !b.refItems || !b.reffed {
+		return b.ShrinkIn(p)
+	}
+	_, l := b.trimFit()
+	if l < b.level {
+		c := b.copyTransferIn(p, l)
+		s := c.ShrinkTransferIn(p)
+		if s != c {
+			p.Put(c) // donated to s: private shell, recycle
+		}
+		return s
+	}
 	return b
 }
 

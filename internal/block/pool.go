@@ -21,20 +21,24 @@
 //   - Anything the contract cannot prove reusable is simply dropped and the
 //     garbage collector reclaims it — the backstop the C++ version lacks.
 //
-// Item reclamation (§4.4 proper): a pool with an item pool attached
-// (SetItemPool) additionally maintains per-item reference counts. Blocks it
-// hands out are flagged so that AcquireRefs — called by the owner right
-// before the store that publishes a block — takes one reference per
-// occupied slot; private blocks (merge intermediates, failed attempts)
-// never touch the counts, keeping the hot merge paths refcount-free. Every
-// reffed block this pool recycles or drops releases its references first —
-// releasing happens exactly where the reuse contract already proves the
-// block unreachable, so the proofs carry over to the items. A release that
-// drops an item's last reference returns the (taken) item to the attached
-// item pool; blocks that overflow the free-list caps or the level bound
-// still release their items before the garbage collector takes the block
-// shell, so deterministic item reuse survives every drop decision except a
-// limbo overflow (counted in LimboLeaked).
+// Item reclamation (§4.4 proper, lineage-batched): a pool with an item pool
+// attached (SetItemPool) additionally maintains per-item reference counts
+// at block-lineage granularity. Blocks it hands out are flagged so that
+// AcquireRefs — called once when a lineage begins (insert's level-0 block,
+// spy copies, entry into the shared k-LSM) — takes one reference per
+// occupied slot, and the owner-local transfer merges move those references
+// to each generation's successor instead of re-acquiring them. Items a
+// transfer merge filters out land in the successor's drops list and are
+// handed to RetireItems, the item-level limbo: they release under the same
+// guard quiescence that gates block reuse. Every reffed, undonated block
+// this pool recycles or drops releases its references first — releasing
+// happens exactly where the reuse contract already proves the block
+// unreachable, so the proofs carry over to the items. A release that drops
+// an item's last reference returns the (taken) item to the attached item
+// pool; blocks that overflow the free-list caps or the level bound still
+// release their items before the garbage collector takes the block shell,
+// so deterministic item reuse survives every drop decision except a limbo
+// overflow (counted in LimboLeaked).
 package block
 
 import (
@@ -96,6 +100,9 @@ const (
 	// the GC), so reclaiming pools use the larger bound before giving up.
 	limboCap        = 64
 	limboCapReclaim = 512
+	// itemLimboCap bounds the dropped-item limbo (RetireItems); overflow
+	// leaks the items' references to the GC, counted in LimboLeaked.
+	itemLimboCap = 1 << 15
 )
 
 // PoolStats is a snapshot of pool counters for tests and diagnostics.
@@ -108,8 +115,8 @@ type PoolStats struct {
 
 	// Item-reclamation counters (§4.4 proper); zero without SetItemPool.
 	ItemsReclaimed int64 // taken items returned to the item pool by a final Unref
-	ItemsLostLive  int64 // final Unref on a live item (indicates a bug; see releaseItems)
-	LimboLeaked    int64 // blocks dropped at the limbo cap with references unreleased
+	ItemsLostLive  int64 // final Unref on a live item (indicates a bug; see releaseItemRef)
+	LimboLeaked    int64 // blocks or item obligations dropped at a limbo cap, unreleased
 }
 
 // Pool is a per-handle, level-indexed block free list (§4.4). Not safe for
@@ -122,7 +129,10 @@ type Pool[V any] struct {
 	items *item.Pool[V]
 	free  [maxPoolLevel + 1][]*Block[V]
 	limbo []*Block[V]
-	stats PoolStats
+	// limboItems parks dropped-item references (transfer-merge drops)
+	// until the guard proves their donor blocks unreadable.
+	limboItems []*item.Item[V]
+	stats      PoolStats
 }
 
 // NewPool returns an empty pool whose Retire path is guarded by g. g may be
@@ -169,48 +179,70 @@ func (p *Pool[V]) Get(level int) *Block[V] {
 	return b
 }
 
-// releaseItems releases the slot references b acquired at publication
-// (which the reuse contract now proves dead) and reclaims items whose last
-// reference died. The walk covers exactly [0, refHi) — the occupied range
-// AcquireRefs saw; filled may have shrunk since (tail trimming), but the
-// trimmed slots keep their pointers and their references. The reffed flag
-// is cleared first, so a block can never double-release.
-func (p *Pool[V]) releaseItems(b *Block[V]) {
-	b.reffed = false
-	hi := b.refHi
-	b.refHi = 0
-	for _, it := range b.items[:hi] {
-		if !it.Unref() {
-			continue
-		}
-		if it.Taken() {
-			// Last reference on a taken item: this pool's handle owns it
-			// exclusively now — recycle (§4.4 proper).
-			p.items.Put(it)
-			p.stats.ItemsReclaimed++
-		} else {
-			// A live item at refcount zero is unreachable yet undeleted —
-			// a reachability bug upstream. It falls to the GC; the counter
-			// lets tests assert this never happens.
-			p.stats.ItemsLostLive++
-			if debugLostLive {
-				panic("lost live item")
-			}
-		}
+// releaseItemRef releases one lineage reference on it and reclaims the item
+// if that was the last one (§4.4 proper). The caller supplies the proof
+// that no reader can still acquire the item through the structure the
+// reference guarded (guard quiescence, epoch quiescence, or privacy).
+func (p *Pool[V]) releaseItemRef(it *item.Item[V]) {
+	if !it.Unref() {
+		return
 	}
+	if it.Taken() {
+		// Last reference on a taken item: this pool's handle owns it
+		// exclusively now — recycle (§4.4 proper).
+		p.items.Put(it)
+		p.stats.ItemsReclaimed++
+	} else {
+		// A live item at refcount zero is unreachable yet undeleted — a
+		// reachability bug upstream. It falls to the GC; the counter lets
+		// tests assert this never happens.
+		p.stats.ItemsLostLive++
+	}
+}
+
+// releaseItems releases the references b owns — one per slot in [0, refHi),
+// the occupied range when the references were acquired or transferred
+// (filled may have shrunk since; the trimmed slots keep their pointers and
+// their references), plus any still-attached drops. Donated blocks release
+// nothing: their references moved to a successor. The bookkeeping is
+// cleared first, so a block can never double-release.
+func (p *Pool[V]) releaseItems(b *Block[V]) {
+	if b.donated {
+		b.resetReclaim()
+		return
+	}
+	hi := b.refHi
+	drops := b.drops
+	b.reffed = false
+	b.refHi = 0
+	b.drops = nil
+	for _, it := range b.items[:hi] {
+		p.releaseItemRef(it)
+	}
+	for i, it := range drops {
+		drops[i] = nil
+		p.releaseItemRef(it)
+	}
+	b.drops = drops[:0]
+	b.donated = false
 }
 
 // Put recycles a block immediately. Contract: b is private — it was never
 // published, or this call site can otherwise prove no other goroutine can
-// reach it (single-threaded structures). The block's item references are
-// released first (reclaiming taken items whose last reference died), even
-// when the caps below make the block itself fall to the garbage collector.
+// reach it (single-threaded structures, quiescent limbo drains). The
+// block's item references are released first (reclaiming taken items whose
+// last reference died), even when the caps below make the block itself fall
+// to the garbage collector.
 func (p *Pool[V]) Put(b *Block[V]) {
 	if p == nil || b == nil {
 		return
 	}
 	if b.reffed {
 		p.releaseItems(b)
+	} else if len(b.drops) != 0 {
+		// An unreffed block never owns drop obligations; reaching here
+		// means a transfer path lost track of references.
+		panic("block: Put discards pending drop references")
 	}
 	level := b.level
 	if level > maxPoolLevel || len(p.free[level]) >= p.freeCap(level) {
@@ -256,34 +288,131 @@ func (p *Pool[V]) Retire(b *Block[V]) {
 	p.limbo = append(p.limbo, b)
 }
 
-// DrainLimbo recycles every parked block if the guard is quiescent and
-// reports whether the limbo list is empty afterwards. Owner-only, like
-// every other method; used by shutdown/test quiesce paths that need the
-// parked item references released deterministically.
+// RetireItems parks dropped-item references (a transfer merge's drops,
+// detached by the owner) until guard quiescence proves no reader can still
+// reach the items through their donors' blocks. The same contract as
+// Retire: every store unlinking the donors must precede this call. The
+// slice contents are consumed; the slice itself stays with the caller.
+func (p *Pool[V]) RetireItems(items []*item.Item[V]) {
+	if p == nil || len(items) == 0 || p.items == nil {
+		return
+	}
+	if p.guard.Quiescent() {
+		p.drainLimbo()
+		for _, it := range items {
+			p.releaseItemRef(it)
+		}
+		return
+	}
+	for i, it := range items {
+		if len(p.limboItems) >= itemLimboCap {
+			p.stats.LimboLeaked += int64(len(items) - i)
+			return
+		}
+		p.limboItems = append(p.limboItems, it)
+	}
+}
+
+// RetireBlockDrops detaches b's accumulated drops and parks them via
+// RetireItems. Owners call it right after the publication/unlink stores of
+// the operation that created b, so drops never travel across structure
+// boundaries or pile up on long-lived blocks.
+func (p *Pool[V]) RetireBlockDrops(b *Block[V]) {
+	if p == nil || b == nil || len(b.drops) == 0 {
+		return
+	}
+	p.RetireItems(b.drops)
+	b.clearDrops()
+}
+
+// Adopt parks obligations handed over from a closing pool (DetachLimbo on
+// the other side). Unlike Retire and RetireItems it applies no cap:
+// dropping an adopted obligation would leak its references for good, and
+// the volume per close is already bounded by the closing pool's own caps.
+// Owner-only, like every other method.
+func (p *Pool[V]) Adopt(blocks []*Block[V], items []*item.Item[V]) {
+	if p == nil {
+		return
+	}
+	p.stats.Retired += int64(len(blocks))
+	if p.guard.Quiescent() {
+		p.drainLimbo()
+		for _, b := range blocks {
+			p.Put(b)
+		}
+		for _, it := range items {
+			p.releaseItemRef(it)
+		}
+		return
+	}
+	p.limbo = append(p.limbo, blocks...)
+	p.limboItems = append(p.limboItems, items...)
+}
+
+// DrainLimbo recycles every parked block and dropped-item reference if the
+// guard is quiescent and reports whether the limbo lists are empty
+// afterwards. Owner-only, like every other method; used by shutdown/test
+// quiesce paths that need the parked item references released
+// deterministically.
 func (p *Pool[V]) DrainLimbo() bool {
 	if p == nil {
 		return true
 	}
 	p.reapLimbo()
-	return len(p.limbo) == 0
+	return len(p.limbo) == 0 && len(p.limboItems) == 0
+}
+
+// DetachLimbo withdraws and returns the not-yet-quiescent retired blocks
+// and dropped-item references, for handing a closing handle's release
+// obligations to a surviving pool (the §4.4 limbo handoff). Obligations
+// already provably releasable are released in place first; the pool must
+// not Retire afterwards.
+func (p *Pool[V]) DetachLimbo() ([]*Block[V], []*item.Item[V]) {
+	if p == nil {
+		return nil, nil
+	}
+	p.reapLimbo()
+	blocks, items := p.limbo, p.limboItems
+	p.limbo = nil
+	p.limboItems = nil
+	return blocks, items
+}
+
+// TrimFree drops every free-listed block shell to the garbage collector.
+// Pools that only ever absorb obligations and never serve Get (the queue
+// reaper) call it after drains so adopted shells — up to multi-MiB slot
+// arrays — do not stay pinned for the pool's lifetime.
+func (p *Pool[V]) TrimFree() {
+	if p == nil {
+		return
+	}
+	for level := range p.free {
+		clear(p.free[level])
+		p.free[level] = p.free[level][:0]
+	}
 }
 
 // reapLimbo opportunistically recycles parked blocks once quiescence is
 // observed.
 func (p *Pool[V]) reapLimbo() {
-	if len(p.limbo) > 0 && p.guard.Quiescent() {
+	if (len(p.limbo) > 0 || len(p.limboItems) > 0) && p.guard.Quiescent() {
 		p.drainLimbo()
 	}
 }
 
-// drainLimbo moves every parked block to the free lists. Caller has observed
-// quiescence.
+// drainLimbo moves every parked block to the free lists and releases every
+// parked item reference. Caller has observed quiescence.
 func (p *Pool[V]) drainLimbo() {
 	for i, b := range p.limbo {
 		p.limbo[i] = nil
 		p.Put(b)
 	}
 	p.limbo = p.limbo[:0]
+	for i, it := range p.limboItems {
+		p.limboItems[i] = nil
+		p.releaseItemRef(it)
+	}
+	p.limboItems = p.limboItems[:0]
 }
 
 // freeCap returns the free-list bound for a level.
@@ -311,7 +440,3 @@ func (p *Pool[V]) Stats() PoolStats {
 	}
 	return p.stats
 }
-
-// debugLostLive makes releaseItems panic on a live item at refcount zero,
-// for debugging reachability bugs.
-var debugLostLive = false

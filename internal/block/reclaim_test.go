@@ -16,8 +16,7 @@ func newReclaimPool(g *Guard) (*Pool[int], *item.Pool[int]) {
 }
 
 // fillTaken builds a level-l "published" block from p (references acquired,
-// as the owner does right before the publication store) holding n freshly
-// taken items.
+// as a lineage does at its entry point) holding n freshly taken items.
 func fillTaken(p *Pool[int], ip *item.Pool[int], l, n int) *Block[int] {
 	b := p.Get(l)
 	for i := n; i > 0; i-- {
@@ -30,15 +29,14 @@ func fillTaken(p *Pool[int], ip *item.Pool[int], l, n int) *Block[int] {
 	return b
 }
 
-func TestAcquireRefsAtPublication(t *testing.T) {
+func TestAcquireRefsAtLineageEntry(t *testing.T) {
 	p, ip := newReclaimPool(nil)
 	b := p.Get(2)
 	it := ip.Get(1, 1)
 	b.Append(it)
-	// Private blocks hold no references — the merge hot paths stay free of
-	// refcount traffic.
+	// Private blocks hold no references until the lineage entry point.
 	if it.Refs() != 0 {
-		t.Fatalf("refs = %d before publication", it.Refs())
+		t.Fatalf("refs = %d before acquisition", it.Refs())
 	}
 	b.AcquireRefs()
 	if it.Refs() != 1 || !b.HoldsRefs() {
@@ -57,6 +55,93 @@ func TestAcquireRefsAtPublication(t *testing.T) {
 	nb.AcquireRefs()
 	if it2.Refs() != 0 {
 		t.Fatalf("plain block acquired %d refs", it2.Refs())
+	}
+}
+
+// TestMergeTransfersRefs: a transfer merge moves the donors' references to
+// the result without a single count changing for surviving items, marks the
+// donors donated (their release is a no-op), and captures filtered items in
+// the result's drops.
+func TestMergeTransfersRefs(t *testing.T) {
+	p, ip := newReclaimPool(nil)
+	b1, b2 := p.Get(1), p.Get(1)
+	lives := []*item.Item[int]{ip.Get(40, 0), ip.Get(30, 0), ip.Get(20, 0)}
+	dead := ip.Get(10, 0)
+	b1.Append(lives[0])
+	b1.Append(lives[1])
+	b2.Append(lives[2])
+	b2.Append(dead)
+	b1.AcquireRefs()
+	b2.AcquireRefs()
+	dead.TryTake()
+
+	m := MergeTransferIn(p, b1, b2, nil)
+	for i, it := range lives {
+		if it.Refs() != 1 {
+			t.Fatalf("live item %d has %d refs after transfer merge, want 1 (untouched)", i, it.Refs())
+		}
+	}
+	if dead.Refs() != 1 {
+		t.Fatalf("dropped item has %d refs, want 1 (carried by drops)", dead.Refs())
+	}
+	if !b1.Donated() || !b2.Donated() {
+		t.Fatal("donors not marked donated")
+	}
+	if !m.HoldsRefs() || m.DropsLen() != 1 {
+		t.Fatalf("merged block holds=%v drops=%d, want true/1", m.HoldsRefs(), m.DropsLen())
+	}
+	// Donated donors release nothing.
+	p.Put(b1)
+	p.Put(b2)
+	if got := ip.Puts(); got != 0 {
+		t.Fatalf("donated blocks released %d items", got)
+	}
+	// The merged block's release covers slots and drops exactly once.
+	for _, it := range lives {
+		it.TryTake()
+	}
+	p.Put(m)
+	if got := ip.Puts(); got != 4 {
+		t.Fatalf("released %d of 4 after lineage death", got)
+	}
+}
+
+// TestShrinkTransferDonatesToCopy: a compacting shrink moves the original's
+// references to the copy, including the references of the trimmed tail.
+func TestShrinkTransferDonatesToCopy(t *testing.T) {
+	p, ip := newReclaimPool(nil)
+	b := p.Get(3)
+	items := make([]*item.Item[int], 8)
+	for i := range items {
+		items[i] = ip.Get(uint64(100-i), i)
+		b.Append(items[i])
+	}
+	b.AcquireRefs()
+	// Take the six smallest (the tail) so the block becomes underfull.
+	for _, it := range items[2:] {
+		it.TryTake()
+	}
+	s := b.ShrinkTransferIn(p)
+	if s == b {
+		t.Fatal("expected a compacted copy")
+	}
+	if !b.Donated() || !s.HoldsRefs() {
+		t.Fatalf("donated=%v holds=%v after transfer shrink", b.Donated(), s.HoldsRefs())
+	}
+	for i, it := range items {
+		if it.Refs() != 1 {
+			t.Fatalf("item %d refs = %d after shrink, want 1", i, it.Refs())
+		}
+	}
+	p.Put(b) // donated original: releases nothing
+	if got := ip.Puts(); got != 0 {
+		t.Fatalf("donated original released %d items", got)
+	}
+	items[0].TryTake()
+	items[1].TryTake()
+	p.Put(s)
+	if got := ip.Puts(); got != 8 {
+		t.Fatalf("released %d of 8 after copy death", got)
 	}
 }
 
@@ -93,6 +178,39 @@ func TestPutReleasesAndReclaims(t *testing.T) {
 	p.Put(nb)
 	if got := ip.Puts(); got != 8 {
 		t.Fatalf("empty recycled block released %d extra items", got-8)
+	}
+}
+
+// TestRetireItemsGatedOnGuard: dropped-item references parked through
+// RetireItems release exactly once, and only at guard quiescence.
+func TestRetireItemsGatedOnGuard(t *testing.T) {
+	var g Guard
+	p, ip := newReclaimPool(&g)
+	items := make([]*item.Item[int], 6)
+	for i := range items {
+		items[i] = ip.Get(uint64(i), i)
+		items[i].Ref()
+		items[i].TryTake()
+	}
+	g.Enter()
+	p.RetireItems(items)
+	if got := ip.Puts(); got != 0 {
+		t.Fatalf("%d items released while the guard was active", got)
+	}
+	g.Exit()
+	if !p.DrainLimbo() {
+		t.Fatal("item limbo did not drain at quiescence")
+	}
+	if got := ip.Puts(); got != int64(len(items)) {
+		t.Fatalf("released %d items, want %d", got, len(items))
+	}
+	// Quiescent path: releases immediately.
+	it := ip.Get(99, 99)
+	it.Ref()
+	it.TryTake()
+	p.RetireItems([]*item.Item[int]{it})
+	if got := ip.Puts(); got != int64(len(items))+1 {
+		t.Fatalf("quiescent RetireItems did not release (puts=%d)", got)
 	}
 }
 
@@ -164,5 +282,50 @@ func TestRetireLimboLeakIsCounted(t *testing.T) {
 	}
 	if st := p.Stats(); st.LimboLeaked != 10 {
 		t.Fatalf("LimboLeaked = %d, want 10", st.LimboLeaked)
+	}
+}
+
+// TestDetachLimboHandsOverObligations: the close-path handoff moves parked
+// blocks and item references to a surviving pool, which releases them at
+// quiescence into its own item pool — nothing leaks with the guard busy at
+// close time.
+func TestDetachLimboHandsOverObligations(t *testing.T) {
+	var g Guard
+	closing, closingItems := newReclaimPool(&g)
+	g.Enter()
+	const blocks = 8
+	for i := 0; i < blocks; i++ {
+		closing.Retire(fillTaken(closing, closingItems, 0, 1))
+	}
+	dropped := closingItems.Get(77, 77)
+	dropped.Ref()
+	dropped.TryTake()
+	closing.RetireItems([]*item.Item[int]{dropped})
+
+	orphans, orphanItems := closing.DetachLimbo()
+	if len(orphans) != blocks || len(orphanItems) != 1 {
+		t.Fatalf("detached %d blocks / %d items, want %d / 1", len(orphans), len(orphanItems), blocks)
+	}
+	if b, it := closing.DetachLimbo(); b != nil || it != nil {
+		t.Fatalf("second detach returned %d blocks / %d items", len(b), len(it))
+	}
+
+	survivor, survivorItems := newReclaimPool(&g)
+	for _, b := range orphans {
+		survivor.Retire(b)
+	}
+	survivor.RetireItems(orphanItems)
+	if got := survivorItems.Puts(); got != 0 {
+		t.Fatalf("%d items released under an active guard", got)
+	}
+	g.Exit()
+	if !survivor.DrainLimbo() {
+		t.Fatal("adopted limbo did not drain at quiescence")
+	}
+	if got := survivorItems.Puts(); got != blocks+1 {
+		t.Fatalf("adopting pool released %d items, want %d", got, blocks+1)
+	}
+	if got := closingItems.Puts(); got != 0 {
+		t.Fatalf("closing pool released %d items after the handoff", got)
 	}
 }

@@ -4,6 +4,8 @@ import (
 	"container/heap"
 	"testing"
 	"testing/quick"
+
+	"klsm/internal/ostat"
 )
 
 // oracleHeap is a minimal min-heap for cross-checking.
@@ -75,6 +77,45 @@ func TestPropSingleHandleLocalOrderingExactAnyK(t *testing.T) {
 		return true
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropRankBoundNoLocalOrdering: without the Bloom-filter local-ordering
+// overlay, a single handle sees the raw k-relaxation — quick.Check drives
+// arbitrary operation sequences against an order-statistic treap and every
+// returned key must still rank within k among the live keys (ρ = T·k with
+// T = 1). This is the property-level counterpart of the root package's
+// k-bound suite, and it fails if the pivot machinery, candidate window, or
+// min caches ever hand out a key beyond the structural bound.
+func TestPropRankBoundNoLocalOrdering(t *testing.T) {
+	f := func(ops []uint16, kSel uint8) bool {
+		ks := []int{1, 4, 16, 64}
+		k := ks[int(kSel)%len(ks)]
+		q := NewQueue(Config[int]{K: k, Mode: Combined, LocalOrdering: false})
+		h := q.NewHandle()
+		tree := ostat.New(uint64(kSel) + 11)
+		for _, op := range ops {
+			if op&1 == 0 || tree.Len() == 0 {
+				key := uint64(op >> 1)
+				tree.Insert(key)
+				h.Insert(key, 0)
+				continue
+			}
+			key, _, ok := h.TryDeleteMin()
+			if !ok {
+				continue
+			}
+			if tree.Rank(key) > k {
+				return false
+			}
+			if !tree.Delete(key) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -110,6 +110,21 @@ type Queue[V any] struct {
 	// retired published block while a reader is active. One guard per queue
 	// — every handle pool and the shared k-LSM share it.
 	guard block.Guard
+
+	// The reaper adopts the §4.4 release obligations of closing handles:
+	// limbo blocks and dropped-item references a busy guard kept parked,
+	// which would otherwise die with the handle's pool, leaking their
+	// items to the GC uncounted. reaperMu serializes the adoption and
+	// drain paths — close and Quiesce, never the operation hot paths.
+	// Nil without item reclamation: a non-reclaiming limbo block carries
+	// no obligations.
+	reaperMu    sync.Mutex
+	reaperPool  *block.Pool[V]
+	reaperItems *item.Pool[V]
+	// closedReclaim accumulates the reclamation counters of closed handles
+	// so the exactly-once ledger stays auditable across handle churn.
+	// Guarded by reaperMu.
+	closedReclaim ReclaimStats
 }
 
 // rebuildVictims refreshes the copy-on-write spy-victim snapshot from the
@@ -137,6 +152,11 @@ func NewQueue[V any](cfg Config[V]) *Queue[V] {
 	}
 	if !cfg.DisablePooling {
 		q.shared.SetGuard(&q.guard)
+		if !cfg.DisableItemReclamation {
+			q.reaperItems = item.NewPool[V]()
+			q.reaperPool = block.NewPool[V](&q.guard)
+			q.reaperPool.SetItemPool(q.reaperItems)
+		}
 	}
 	empty := []*distlsm.Dist[V]{}
 	q.victims.Store(&empty)
@@ -233,8 +253,8 @@ func (q *Queue[V]) NewHandle() *Handle[V] {
 		h.dist.SetPool(h.pool)
 		h.cursor.SetPool(h.pool)
 	}
-	h.overflow = func(b *block.Block[V]) {
-		h.q.shared.Insert(h.cursor, b)
+	h.overflow = func(b *block.Block[V]) *block.Block[V] {
+		return h.q.shared.Insert(h.cursor, b)
 	}
 
 	q.mu.Lock()
@@ -253,7 +273,7 @@ type Handle[V any] struct {
 	cursor   *sharedlsm.Cursor[V]
 	rng      *xrand.Source
 	id       uint64
-	overflow func(*block.Block[V])
+	overflow func(*block.Block[V]) *block.Block[V]
 
 	// pool and items are the handle's §4.4 free lists (nil: pooling off).
 	pool  *block.Pool[V]
@@ -309,6 +329,31 @@ func (h *Handle[V]) Close() {
 	// Withdraw the cursor from the reclamation epoch scheme so an idle
 	// closed handle does not pin retired blocks forever.
 	q.shared.RetireCursor(h.cursor)
+	// Hand the §4.4 release obligations that would die with this handle to
+	// the queue's reaper: limbo blocks and dropped-item references a busy
+	// guard kept parked. Without the handoff those references are never
+	// released and their items leak to the GC whenever a close races an
+	// active spy or meld.
+	if h.pool.Reclaiming() {
+		limbo, limboItems := h.pool.DetachLimbo()
+		q.reaperMu.Lock()
+		ps := h.pool.Stats()
+		q.closedReclaim.ItemsReclaimed += ps.ItemsReclaimed
+		q.closedReclaim.ItemsLostLive += ps.ItemsLostLive
+		q.closedReclaim.LimboLeaked += ps.LimboLeaked
+		q.closedReclaim.ItemPuts += h.items.Puts()
+		a, r := h.items.Stats()
+		q.closedReclaim.ItemSlabAllocs += a
+		q.closedReclaim.ItemReuses += r
+		q.reaperPool.Adopt(limbo, limboItems)
+		// The reaper's pools only ever absorb obligations — nothing draws
+		// from them — so drop what the adoption just reclaimed (items and
+		// block shells) to the GC instead of pinning it for the queue's
+		// lifetime. The ledger (Puts) is already counted.
+		q.reaperItems.TrimFree(0)
+		q.reaperPool.TrimFree()
+		q.reaperMu.Unlock()
+	}
 }
 
 // Quiesce drives every deferred reclamation step to completion: it
@@ -354,6 +399,15 @@ func (q *Queue[V]) Quiesce() {
 	for _, h := range hs {
 		h.pool.DrainLimbo()
 	}
+	// Drain the reaper's adopted limbo: obligations handed over by closed
+	// handles release here once the guard is quiescent. Nothing draws from
+	// the reaper's item pool, so reclaimed items fall to the GC once their
+	// ledger entry is counted.
+	q.reaperMu.Lock()
+	q.reaperPool.DrainLimbo()
+	q.reaperItems.TrimFree(0)
+	q.reaperPool.TrimFree()
+	q.reaperMu.Unlock()
 }
 
 // DistStats exposes the handle's DistLSM counters for benchmarks.

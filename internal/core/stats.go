@@ -36,9 +36,10 @@ type QueueStats struct {
 // operating (the Quiesce contract); it exists for the accounting tests and
 // shutdown diagnostics.
 type ReclaimStats struct {
-	// ItemsReclaimed counts taken items returned to an item pool by the
-	// final reference release; ItemPuts is the same event counted at the
-	// item pools (the two agree unless a release raced a handle close).
+	// ItemsReclaimed counts taken items reclaimed by slab zero crossings
+	// and quiesce sweeps; ItemPuts is the same event counted at the item
+	// pools. The two agree for the combined queue (every pool put is a
+	// reclaim).
 	ItemsReclaimed int64
 	ItemPuts       int64
 	// ItemReuses counts inserts served from recycled items; ItemSlabAllocs
@@ -55,8 +56,10 @@ type ReclaimStats struct {
 	LimboLeaked int64
 }
 
-// ReclaimStats returns the aggregated reclamation counters. Callers must
-// guarantee no handle is concurrently operating; see the type comment.
+// ReclaimStats returns the aggregated reclamation counters, including
+// those of closed handles (accumulated at close) and the queue's reaper.
+// Callers must guarantee no handle is concurrently operating; see the type
+// comment.
 func (q *Queue[V]) ReclaimStats() ReclaimStats {
 	var rs ReclaimStats
 	for _, h := range q.handlesSnapshot() {
@@ -69,6 +72,22 @@ func (q *Queue[V]) ReclaimStats() ReclaimStats {
 		rs.ItemSlabAllocs += a
 		rs.ItemReuses += r
 	}
+	q.reaperMu.Lock()
+	cr := q.closedReclaim
+	if q.reaperPool != nil {
+		ps := q.reaperPool.Stats()
+		cr.ItemsReclaimed += ps.ItemsReclaimed
+		cr.ItemsLostLive += ps.ItemsLostLive
+		cr.LimboLeaked += ps.LimboLeaked
+		cr.ItemPuts += q.reaperItems.Puts()
+	}
+	q.reaperMu.Unlock()
+	rs.ItemsReclaimed += cr.ItemsReclaimed
+	rs.ItemPuts += cr.ItemPuts
+	rs.ItemReuses += cr.ItemReuses
+	rs.ItemSlabAllocs += cr.ItemSlabAllocs
+	rs.ItemsLostLive += cr.ItemsLostLive
+	rs.LimboLeaked += cr.LimboLeaked
 	rs.LimboLeaked += q.shared.LimboLeaked()
 	return rs
 }

@@ -26,14 +26,17 @@
 // pool; private blocks (the per-insert level-0 block, merge intermediates)
 // recycle the moment they are merged away, while published blocks are
 // retired only after the stores that unlink them, gated by the queue-wide
-// spy guard. With item reclamation on, every publication point in this
-// package (the insert-path store, spy's copy store, consolidation's run
-// stores) calls AcquireRefs immediately before the store — and always
-// before the predecessors holding the same items are retired — so per-item
-// reference counts never dip while an item is reachable; the pool releases
-// a block's references exactly when the reuse contract proves the block
-// dead, returning taken items to the handle's item pool. See DESIGN.md,
-// "Deterministic item reclamation".
+// spy guard. With item reclamation on, an item's reference is acquired once
+// at insert (the level-0 block) or at a spy copy, and every merge or
+// compaction in this package *transfers* its inputs' references to the
+// result (block.MergeTransferIn / ShrinkTransferIn) instead of
+// re-acquiring them — zero refcount traffic per generation for surviving
+// items. Items a merge filters out travel in the result's drops list and
+// are parked in the pool's item limbo right after the stores that unlink
+// their donor blocks; the pool releases every reference exactly when the
+// reuse contract proves the holder dead, returning taken items to the
+// handle's item pool. Blocks overflowing to the shared k-LSM carry their
+// references with them. See DESIGN.md, "Deterministic item reclamation".
 package distlsm
 
 import (
@@ -94,10 +97,12 @@ type Dist[V any] struct {
 	// share that queue's guard, which Spy brackets.
 	pool *block.Pool[V]
 	// retireScratch and consolidation scratch buffers avoid per-call slice
-	// allocations on the owner's hot paths.
+	// allocations on the owner's hot paths; itemScratch briefly holds
+	// detached drop references on the overflow path.
 	retireScratch []*block.Block[V]
 	runScratch    []*block.Block[V]
 	freshScratch  []bool
+	itemScratch   []*item.Item[V]
 
 	// Min cache: mins[i] is the live minimum of blocks[i] as of the last
 	// owner scan, so the steady-state FindMin is a handful of key compares
@@ -200,7 +205,7 @@ func (d *Dist[V]) MaxLevel() int { return int(d.maxLevel.Load()) }
 // because the overflow target receives a block nothing else references, it
 // is free to recycle it (Shared.Insert assumes exactly that). The evicted
 // originals go through the guard-gated Retire once unlinked.
-func (d *Dist[V]) evictOversized(maxLevel int, overflow func(*block.Block[V])) {
+func (d *Dist[V]) evictOversized(maxLevel int, overflow func(*block.Block[V]) *block.Block[V]) {
 	sz := int(d.size.Load())
 	if sz == 0 {
 		return
@@ -222,7 +227,12 @@ func (d *Dist[V]) evictOversized(maxLevel int, overflow func(*block.Block[V])) {
 			if s != nb {
 				d.pool.Put(nb)
 			}
-			overflow(s)
+			if left := overflow(s); left != nil {
+				// Plain copies are entry-acquired by the shared side, so a
+				// leftover only appears on transfer lineages; retire it
+				// with the originals below, after the unlink stores.
+				unlinked = append(unlinked, left)
+			}
 			d.stats.overflows.Add(1)
 		}
 		unlinked = append(unlinked, b)
@@ -260,7 +270,7 @@ func (d *Dist[V]) evictOversized(maxLevel int, overflow func(*block.Block[V])) {
 // it is passed to overflow (when non-nil) *before* the merged-away blocks
 // are unlinked, so the items never become unreachable. Insert reports
 // whether the item was kept locally (false means it overflowed).
-func (d *Dist[V]) Insert(it *item.Item[V], overflow func(*block.Block[V])) bool {
+func (d *Dist[V]) Insert(it *item.Item[V], overflow func(*block.Block[V]) *block.Block[V]) bool {
 	b := d.pool.Get(0)
 	b.SetBloom(d.ownerMask)
 	b.Append(it)
@@ -268,12 +278,15 @@ func (d *Dist[V]) Insert(it *item.Item[V], overflow func(*block.Block[V])) bool 
 		d.pool.Put(b) // never published: recycle immediately
 		return true   // item was concurrently taken; nothing to do
 	}
+	// §4.4: the item's lineage reference is acquired once, here at birth;
+	// every merge from now on transfers it instead of re-acquiring.
+	b.AcquireRefs()
 	return d.insertBlock(b, overflow)
 }
 
 // insertBlock runs the merge loop for a prepared block. Exposed within the
 // package for spy-assisted bulk moves. b must be private to the owner.
-func (d *Dist[V]) insertBlock(b *block.Block[V], overflow func(*block.Block[V])) bool {
+func (d *Dist[V]) insertBlock(b *block.Block[V], overflow func(*block.Block[V]) *block.Block[V]) bool {
 	maxLevel := int(d.maxLevel.Load())
 	if overflow != nil {
 		// Apply a run-time k reduction: evict blocks the new bound no
@@ -303,8 +316,9 @@ func (d *Dist[V]) insertBlock(b *block.Block[V], overflow func(*block.Block[V]))
 			break
 		}
 		// Merge is non-destructive: prev stays reachable in its slot until
-		// the final publication below.
-		merged := block.MergeIn(d.pool, prev, b, d.drop)
+		// the final publication below. The merge transfers both inputs'
+		// item references to the result (§4.4) — no refcount traffic here.
+		merged := block.MergeTransferIn(d.pool, prev, b, d.drop)
 		d.pool.Put(b) // b never escaped this thread: recycle immediately
 		unlinked = append(unlinked, prev)
 		b = merged
@@ -318,26 +332,47 @@ func (d *Dist[V]) insertBlock(b *block.Block[V], overflow func(*block.Block[V]))
 	newLen := -1
 	switch {
 	case b.Empty():
-		// Everything merged away (drop callback / logical deletions).
+		// Everything merged away (drop callback / logical deletions). With
+		// reclamation on, b still owns the consumed blocks' item references
+		// as drops, so it goes through Retire — releasing is safe only once
+		// the size store has unlinked the consumed blocks and the guard is
+		// quiescent. An obligation-free b (reclamation off) stays a plain
+		// private block and recycles instantly.
 		d.size.Store(int64(i))
-		d.pool.Put(b)
+		if b.HoldsRefs() || b.DropsLen() != 0 {
+			d.pool.Retire(b)
+		} else {
+			d.pool.Put(b)
+		}
 		if cached {
 			newLen = i
 		}
 	case overflow != nil && b.Level() >= maxLevel:
 		// Publish to the shared k-LSM first; only then drop local
 		// references (reachability is never interrupted, items are briefly
-		// duplicated instead). Ownership of b moves to the shared k-LSM.
-		overflow(b)
+		// duplicated instead). Ownership of b — including its transferred
+		// item references — moves to the shared k-LSM; only the dropped-
+		// item references stay local, parked once the stores below unlink
+		// their donor blocks.
+		d.itemScratch = b.TakeDropsInto(d.itemScratch[:0])
+		leftover := overflow(b)
 		d.stats.overflows.Add(1)
 		d.size.Store(int64(i))
 		keptLocal = false
 		if cached {
 			newLen = i
 		}
+		// The detached drop references — and b itself, if the shared side
+		// merged it away while it still carried its lineage's references —
+		// park only now, after the size store unlinked their donor blocks.
+		d.pool.RetireItems(d.itemScratch)
+		clear(d.itemScratch)
+		d.itemScratch = d.itemScratch[:0]
+		d.pool.Retire(leftover)
 	default:
-		// Publication: acquire item references first (§4.4 proper) — the
-		// merged-away blocks below must not release theirs earlier.
+		// Publication. AcquireRefs is the lineage entry point for a block
+		// that was never merged (the bare level-0 fast path already
+		// acquired at Insert, so this is a no-op there too).
 		b.AcquireRefs()
 		d.blocks[i].Store(b)
 		d.size.Store(int64(i + 1))
@@ -345,6 +380,9 @@ func (d *Dist[V]) insertBlock(b *block.Block[V], overflow func(*block.Block[V]))
 			d.mins[i] = b.Min()
 			newLen = i + 1
 		}
+		// Dropped-item references (items the merges filtered out) park
+		// only now, after the size store unlinked every donor block.
+		d.pool.RetireBlockDrops(b)
 	}
 	d.cacheLen = newLen
 	for j, ub := range unlinked {
@@ -438,23 +476,30 @@ func (d *Dist[V]) Consolidate() {
 			}
 			continue
 		}
-		s := b.ShrinkIn(d.pool) // may copy; mutation of b is limited to lowering filled
+		// ShrinkTransferIn may copy, donating b's item references to the
+		// compacted copy; mutation of b is limited to lowering filled.
+		s := b.ShrinkTransferIn(d.pool)
 		sFresh := s != b
 		if sFresh {
 			unlinked = append(unlinked, b) // replaced by the compacted copy
 		}
 		if s.Empty() {
-			if sFresh {
+			// An empty fresh copy may still carry the original's references
+			// as drops; Retire (via the unlinked list) gates their release
+			// on the publication stores below and guard quiescence. An
+			// obligation-free fresh copy recycles instantly as before.
+			if sFresh && !s.HoldsRefs() && s.DropsLen() == 0 {
 				d.pool.Put(s)
 			} else {
 				unlinked = append(unlinked, s)
 			}
 			continue
 		}
-		// Restore strictly decreasing levels with a merge stack.
+		// Restore strictly decreasing levels with a merge stack; merges
+		// transfer their inputs' item references to the result (§4.4).
 		for len(runs) > 0 && runs[len(runs)-1].Level() <= s.Level() {
 			top, topFresh := runs[len(runs)-1], fresh[len(fresh)-1]
-			m := block.MergeIn(d.pool, top, s, d.drop)
+			m := block.MergeTransferIn(d.pool, top, s, d.drop)
 			d.stats.merges.Add(1)
 			if topFresh {
 				d.pool.Put(top)
@@ -471,14 +516,17 @@ func (d *Dist[V]) Consolidate() {
 		}
 		if !s.Empty() {
 			runs, fresh = append(runs, s), append(fresh, sFresh)
-		} else if sFresh {
+		} else if sFresh && !s.HoldsRefs() && s.DropsLen() == 0 {
 			d.pool.Put(s)
+		} else {
+			unlinked = append(unlinked, s)
 		}
 	}
 	for i, r := range runs {
-		// Publication: fresh merged runs acquire their item references
-		// here (no-op for surviving originals); the unlinked originals
-		// release theirs only in the Retire loop below.
+		// Publication: surviving originals and transfer-merged runs already
+		// hold their item references (AcquireRefs is a defensive no-op);
+		// the unlinked originals release theirs only in the Retire loop
+		// below — donated ones release nothing.
 		r.AcquireRefs()
 		d.blocks[i].Store(r)
 	}
@@ -491,6 +539,11 @@ func (d *Dist[V]) Consolidate() {
 			d.mins[i] = r.Min()
 		}
 		d.cacheLen = len(runs)
+	}
+	// Published runs hand their dropped-item references to the item limbo
+	// now that the stores above unlinked every donor block.
+	for _, r := range runs {
+		d.pool.RetireBlockDrops(r)
 	}
 	for j, ub := range unlinked {
 		unlinked[j] = nil
@@ -567,7 +620,7 @@ func (d *Dist[V]) Spy(victim *Dist[V]) bool {
 // Publication strictly precedes unlinking, so reachability is never
 // interrupted (items are briefly duplicated, which logical deletion
 // resolves).
-func (d *Dist[V]) DrainTo(overflow func(*block.Block[V])) {
+func (d *Dist[V]) DrainTo(overflow func(*block.Block[V]) *block.Block[V]) {
 	sz := int(d.size.Load())
 	unlinked := d.retireScratch[:0]
 	for i := 0; i < sz; i++ {
@@ -588,7 +641,9 @@ func (d *Dist[V]) DrainTo(overflow func(*block.Block[V])) {
 		if s != nb {
 			d.pool.Put(nb)
 		}
-		overflow(s)
+		if left := overflow(s); left != nil {
+			unlinked = append(unlinked, left)
+		}
 		d.stats.overflows.Add(1)
 	}
 	d.size.Store(0)

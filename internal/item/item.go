@@ -18,34 +18,39 @@
 // Reuse itself is governed by the pool contract (see Pool): an Item may only
 // be Reset once it is unreachable from every published LSM structure.
 //
-// # Reference counting (§4.4 proper)
+// # Reference counting (§4.4 proper, lineage-batched)
 //
 // The unreachability proof the pool contract demands is supplied by a
-// per-item reference count: every block slot that stores a pointer to an
-// item holds one reference (acquired by Ref when the slot is written,
-// released by Unref when the block is recycled or dropped). Blocks release
-// their slots only under the same proofs that make the block itself
-// recyclable — owner privacy, spy-guard quiescence, or epoch-stamp
-// quiescence — so when Unref observes the count reach zero, no published
-// structure and no concurrent reader can still reach the item. If the item
-// is also taken at that point, the releasing handle returns it to its item
-// Pool; exactly one release per incarnation can observe the zero, so an
-// item is reclaimed exactly once. A live item can never hit zero: every
-// path that unlinks a block first publishes a copy holding the live items
-// (and a reference to each) before the old block's references are released.
+// per-item reference count — but unlike a naive scheme that pays two atomic
+// RMWs per item per block generation, the count tracks block *lineages*:
+// a reference is acquired once when an item first enters a lineage (its
+// insert-time block, a spy copy, a meld copy) and released once when that
+// lineage ends. Merges in between *transfer* ownership of their inputs'
+// references to the merged block (see block.Block's transfer machinery), so
+// the count never moves while an item survives generation churn. Items
+// filtered out of a merge (logically deleted) travel to the §4.4 limbo
+// machinery and release exactly once when the structure they were dropped
+// from is provably unreachable. When Unref observes the count reach zero,
+// no published structure and no concurrent reader can still reach the item;
+// if the item is also taken at that point, the releasing handle returns it
+// to its item Pool — exactly one release per incarnation can observe the
+// zero, so an item is reclaimed exactly once. A live item can never hit
+// zero: every path that unlinks a block first publishes a successor holding
+// the live items (and their transferred references).
 //
 // The count says nothing about transient non-block references (a candidate
 // pointer held across a FindMin retry, a min-cache entry): those are safe
 // because the block they were read from is itself pinned by one of the
-// proofs above for as long as the reader may dereference the item — see
-// DESIGN.md, "Deterministic item reclamation".
+// block-reclamation proofs for as long as the reader may dereference the
+// item — see DESIGN.md, "Deterministic item reclamation".
 package item
 
 import "sync/atomic"
 
 // Item wraps a key and payload with a versioned logical-deletion flag. Items
 // are created by insert and shared freely between blocks and queues; between
-// Reset calls (which require exclusive ownership) only the flag mutates.
+// Reset calls (which require exclusive ownership) only the flag and the
+// reference count mutate.
 type Item[V any] struct {
 	key   uint64
 	value V
@@ -53,7 +58,7 @@ type Item[V any] struct {
 	// It increments monotonically — TryTake bumps even→odd, Reset bumps
 	// odd→even — so stale CAS attempts from a previous incarnation fail.
 	flag atomic.Uint64
-	// refs counts the block slots currently referencing the item (§4.4
+	// refs counts the block lineages currently holding the item (§4.4
 	// proper). Maintained only when the owning queue runs with item
 	// reclamation enabled; zero-valued and untouched otherwise.
 	refs atomic.Int64
@@ -90,19 +95,19 @@ func (it *Item[V]) TryTake() bool {
 	return v&1 == 0 && it.flag.CompareAndSwap(v, v+1)
 }
 
-// Ref acquires one reference on behalf of a block slot about to store a
-// pointer to the item. Callers must already hold a safe path to the item
-// (a slot in a block that itself holds a reference, or exclusive ownership
-// of a freshly created item), so the count can never be resurrected from
-// zero by a racing reader.
+// Ref acquires one reference on behalf of a block lineage about to hold the
+// item. Callers must already hold a safe path to the item (a slot in a
+// block that itself holds a reference, or exclusive ownership of a freshly
+// created item), so the count can never be resurrected from zero by a
+// racing reader.
 func (it *Item[V]) Ref() { it.refs.Add(1) }
 
 // Unref releases one reference and reports whether this call dropped the
 // count to zero. At most one Unref per incarnation returns true; the caller
-// that sees true owns the item exclusively (no block references it, and the
+// that sees true owns the item exclusively (no lineage holds it, and the
 // reclamation proofs guarantee no reader can still acquire it) and must
 // either recycle it — if it is taken — or account it as lost. Panics if the
-// count underflows, which indicates a ref/unref imbalance bug.
+// count underflows, which indicates a transfer/release imbalance bug.
 func (it *Item[V]) Unref() bool {
 	n := it.refs.Add(-1)
 	if n < 0 {

@@ -15,10 +15,10 @@ const slabSize = 256
 //
 //   - the sequential LSM, where each item lives in exactly one block and is
 //     provably sole-referenced the moment DeleteMin trims it, and
-//   - the per-block reference-count scheme (§4.4 proper): block pools with
-//     an attached item pool release a block's item references when the
-//     block is recycled or dropped, and hand the item here when the last
-//     reference dies on a taken item.
+//   - the lineage reference-count scheme (§4.4 proper): block pools with
+//     an attached item pool release a lineage's references when its blocks
+//     and dropped items clear the §4.4 quiescence proofs, and hand the item
+//     here when the last reference dies on a taken item.
 //
 // Without either (reclamation disabled), taken items are simply left to the
 // garbage collector — the Go backstop the paper's C++ implementation lacks.
@@ -83,6 +83,20 @@ func (p *Pool[V]) Put(it *Item[V]) {
 	it.value = zero
 	p.puts++
 	p.free = append(p.free, it)
+}
+
+// TrimFree drops free-listed items beyond max to the garbage collector.
+// Pools that only ever absorb releases and never serve Get (the queue
+// reaper) call it after drains so reclaimed items do not accumulate for
+// the pool's lifetime; the items are taken and unreferenced, so letting
+// the GC take them is safe and their ledger accounting (Puts) is already
+// done.
+func (p *Pool[V]) TrimFree(max int) {
+	if p == nil || len(p.free) <= max {
+		return
+	}
+	clear(p.free[max:])
+	p.free = p.free[:max]
 }
 
 // Puts returns the number of items recycled through Put. With reference

@@ -49,6 +49,31 @@ func TestRefsSurviveTakeAndReset(t *testing.T) {
 	}
 }
 
+func TestTrimFreeDropsToGC(t *testing.T) {
+	p := NewPool[int]()
+	items := make([]*Item[int], 8)
+	for i := range items {
+		items[i] = p.Get(uint64(i), i)
+	}
+	for _, it := range items {
+		it.TryTake()
+		p.Put(it)
+	}
+	p.TrimFree(3)
+	if p.FreeLen() != 3 {
+		t.Fatalf("free = %d after trim, want 3", p.FreeLen())
+	}
+	if p.Puts() != 8 {
+		t.Fatalf("trim disturbed the Puts ledger: %d", p.Puts())
+	}
+	p.TrimFree(0)
+	if p.FreeLen() != 0 {
+		t.Fatalf("free = %d after trim to 0", p.FreeLen())
+	}
+	var np *Pool[int]
+	np.TrimFree(0) // nil-safe
+}
+
 func TestPoolPutsCounter(t *testing.T) {
 	p := NewPool[int]()
 	it := p.Get(5, 50)

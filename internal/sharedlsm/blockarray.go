@@ -30,10 +30,11 @@
 // reclamation on, the same proof releases each dead block's per-item
 // references: a winning cursor acquires references for the blocks it
 // created (creator-only, after its CAS; Insert acquires the incoming
-// block's on entry), and the pool that finally recycles or drops a block
-// releases them, returning taken items whose last reference died to that
-// handle's item pool. Failed attempts never touch the counts: their fresh
-// blocks recycle unreffed through discardFresh. See DESIGN.md,
+// block's on entry — a no-op for DistLSM overflow blocks that arrive
+// carrying transferred references), and the pool that finally recycles or
+// drops a block releases them, returning taken items whose last reference
+// died to that handle's item pool. Failed attempts never touch the counts:
+// their fresh blocks recycle unreffed through discardFresh. See DESIGN.md,
 // "Deterministic item reclamation".
 package sharedlsm
 
@@ -581,7 +582,12 @@ func (a *BlockArray[V]) findMin(rng *xrand.Source, localID int64) *item.Item[V] 
 		}
 	}
 
-	if localID >= 0 {
+	if localID >= 0 && candidate != nil {
+		// Local ordering competes *downward* only: the overlay minimum may
+		// replace a drawn candidate (its key then stays within the pivot
+		// bound), but with no candidate at all it would bound nothing — the
+		// caller must consolidate instead, which recalculates pivots and
+		// produces a bounded candidate set.
 		id := uint64(localID)
 		for i, b := range a.blocks {
 			if !b.Bloom().MayContain(id) {
@@ -591,7 +597,7 @@ func (a *BlockArray[V]) findMin(rng *xrand.Source, localID int64) *item.Item[V] 
 				continue
 			}
 			it := b.Item(filled[i] - 1)
-			if candidate == nil || it.Key() < candidate.Key() {
+			if it.Key() < candidate.Key() {
 				candidate = it
 			}
 		}

@@ -105,6 +105,56 @@ func TestLimboOverflowReleasesItemsExactlyOnce(t *testing.T) {
 	}
 }
 
+// TestInsertReturnsMergedAwayLineageBlock: a block that arrives carrying
+// its lineage's transferred references (a DistLSM overflow) and is merged
+// away inside the winning attempt must be handed back to the caller, NOT
+// recycled here — an ungated release could reclaim an item while a spy
+// still reads it through the caller's not-yet-unlinked donor blocks. An
+// entry-acquired block (the shared side took its references itself) is
+// recycled internally as before.
+func TestInsertReturnsMergedAwayLineageBlock(t *testing.T) {
+	var g block.Guard
+	s := New[int](4, true)
+	s.SetGuard(&g)
+	c, p, ip := newReclaimCursor(s, &g, 1)
+
+	// Seed the array so the next insert triggers a level-collision merge.
+	seed := p.Get(0)
+	seed.AddOwner(1)
+	seed.Append(ip.Get(50, 50))
+	if got := s.Insert(c, seed); got != nil {
+		t.Fatalf("entry-acquired seed came back (%p)", got)
+	}
+
+	// A lineage-carrying block: references acquired before entry, as a
+	// DistLSM overflow block's are (transferred from its donors).
+	nb := p.Get(0)
+	nb.AddOwner(1)
+	it := ip.Get(10, 10)
+	nb.Append(it)
+	nb.AcquireRefs()
+	if it.Refs() != 1 {
+		t.Fatalf("refs = %d before insert", it.Refs())
+	}
+	got := s.Insert(c, nb)
+	if got != nb {
+		t.Fatalf("merged-away lineage block not returned (got %p, want %p)", got, nb)
+	}
+	if !nb.HoldsRefs() {
+		t.Fatal("returned block no longer holds its references")
+	}
+	// The merged shared block acquired its own reference post-CAS.
+	if it.Refs() != 2 {
+		t.Fatalf("refs = %d after merge, want 2 (lineage + shared copy)", it.Refs())
+	}
+	// The caller retires it after its unlink stores; quiescent guard
+	// releases immediately and exactly once.
+	p.Retire(got)
+	if it.Refs() != 1 {
+		t.Fatalf("refs = %d after caller retire, want 1", it.Refs())
+	}
+}
+
 // TestLimboCapNonReclaiming: without an item pool the old 256-block cap
 // still applies and overflow falls to the GC (counted, not released).
 func TestLimboCapNonReclaiming(t *testing.T) {

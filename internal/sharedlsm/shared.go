@@ -173,6 +173,13 @@ type Cursor[V any] struct {
 	ConsolidatePushes atomic.Int64
 	// InsertRetries counts failed insert CAS attempts.
 	InsertRetries atomic.Int64
+	// WindowBuilds counts candidate-window materializations and WindowItems
+	// the total candidates materialized into them — the O(k) rebuild work
+	// the ROADMAP flags for large k under insert churn. The regression test
+	// guarding that cost (and any future lazy-materialization work) reads
+	// these.
+	WindowBuilds atomic.Int64
+	WindowItems  atomic.Int64
 }
 
 // NewCursor returns a cursor for handle id and registers it with the
@@ -421,14 +428,31 @@ func containsBlock[V any](blocks []*block.Block[V], b *block.Block[V]) bool {
 // CAS until it wins; failure implies another thread published first
 // (lock-freedom: someone always progresses). Ownership of nb transfers to
 // the shared structure on entry: its item references are acquired here
-// (§4.4 proper) — nb may carry items that exist in no published block yet
-// (a freshly batched overflow), and without nb's own references a failed
+// (§4.4 proper) unless it already carries them (a DistLSM overflow block
+// with transferred lineage references) — nb may hold items that exist in
+// no published block yet, and without nb's own references a failed
 // attempt's discard would dip them to zero mid-retry.
-func (s *Shared[V]) Insert(c *Cursor[V], nb *block.Block[V]) {
+//
+// The return value is non-nil exactly when nb was merged away inside the
+// winning attempt AND arrived carrying its lineage's references: its
+// filtered items' only references are then still attached to nb, and
+// releasing them here — with no guard or epoch gating — could reclaim an
+// item while a spy still reads it through the caller's not-yet-unlinked
+// donor blocks. The caller must hand the returned block to its pool's
+// Retire *after* the stores that unlink those donors. Blocks this call
+// acquired itself (no prior holders exist) are recycled internally and nil
+// is returned. (A merged-away nb that stays in the *published* array until
+// a later CAS drops it needs no special handling: the inserting cursor's
+// own epoch stamp — advanced only on its next refresh, after its unlink
+// stores — pins the limbo entry until then.)
+func (s *Shared[V]) Insert(c *Cursor[V], nb *block.Block[V]) *block.Block[V] {
 	if nb == nil || nb.Empty() {
-		return
+		return nil
 	}
-	nb.AcquireRefs()
+	entryReffed := nb.HoldsRefs()
+	if c.al != nil {
+		nb.AcquireRefs()
+	}
 	for {
 		s.refresh(c)
 		if c.snapshot == nil {
@@ -457,10 +481,15 @@ func (s *Shared[V]) Insert(c *Cursor[V], nb *block.Block[V]) {
 			// merged away inside this (private) attempt and was never
 			// published: recycle it (§4.4). Matters most in shared-only
 			// mode, where every insert passes a level-0 block.
+			// Lineage-carrying blocks go back to the caller instead of
+			// being recycled here (see above).
 			if c.al != nil && (c.snapshot == nil || !containsBlock(c.snapshot.blocks, nb)) {
+				if entryReffed {
+					return nb
+				}
 				c.al.pool.Put(nb)
 			}
-			return
+			return nil
 		}
 		c.InsertRetries.Add(1)
 	}
@@ -491,20 +520,29 @@ func (s *Shared[V]) FindMin(c *Cursor[V]) *item.Item[V] {
 		if s.minCaching {
 			if c.win.snap != c.snapshot || c.win.gen != c.gen {
 				c.win.build(c.snapshot, c.gen, c.rng, localID)
+				c.WindowBuilds.Add(1)
+				c.WindowItems.Add(int64(len(c.win.items)))
 			}
-			wit := c.win.next()
-			it = c.win.localOverlay(wit)
-			if it != nil && !it.Taken() {
-				if wit != nil {
-					// Record the skip-shared hint. Only a window-backed
-					// result qualifies: it.Key() <= wit's key <= pivot (so at
-					// most k live shared keys are smaller) and <= every
-					// Bloom-matching block minimum (so skipping cannot
-					// violate local ordering). An overlay-only result — the
-					// window ran dry — bounds neither.
+			// Only a window-backed candidate may be returned: the local-
+			// ordering overlay competes *downward* against it, so the
+			// result's key is <= the window entry's key <= pivot and the
+			// k+1 bound holds. When the window runs dry, an overlay-only
+			// block minimum would bound nothing — arbitrarily many smaller
+			// live keys can sit in other blocks — so fall through to the
+			// consolidation below (it == nil forces the pivot
+			// recalculation), which refills the window. (Returning the
+			// overlay-only minimum here was a genuine relaxation violation,
+			// caught by the k-bound quality suite at k=0.)
+			if wit := c.win.next(); wit != nil {
+				it = c.win.localOverlay(wit)
+				if !it.Taken() {
+					// Record the skip-shared hint: it.Key() <= wit's key <=
+					// pivot (so at most k live shared keys are smaller) and
+					// <= every Bloom-matching block minimum (so skipping
+					// cannot violate local ordering).
 					c.hintArr, c.hintKey = c.observed, it.Key()
+					return it
 				}
-				return it
 			}
 		} else {
 			it = c.snapshot.findMin(c.rng, localID)

@@ -93,6 +93,14 @@ func (q *Queue[V]) SetRelaxation(k int) { q.q.SetRelaxation(k) }
 // number of handles created so far.
 func (q *Queue[V]) Rho() int { return q.q.Rho() }
 
+// Quiesce drives every deferred §4.4 reclamation step to completion:
+// DistLSM consolidation, shared-structure maintenance, and the guard- and
+// epoch-gated limbo drains, including obligations handed over by closed
+// handles. After Quiesce on a fully drained queue, every recyclable block
+// and item has returned to a free list. It must not run concurrently with
+// any handle operation; call it at shutdown or between test phases.
+func (q *Queue[V]) Quiesce() { q.q.Quiesce() }
+
 // Meld absorbs all items of other into q through handle h. Exactly-once
 // deletion holds throughout, but the operation is not linearizable (see
 // paper §4.5): concurrent observers may see intermediate states. other must

@@ -1,0 +1,167 @@
+package klsm
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"klsm/internal/ostat"
+	"klsm/internal/xrand"
+)
+
+// qualityConfigs enumerates the option combinations the k-bound suite runs
+// across: the §4.4 reclamation and the min-caching fast path must both be
+// invisible to the relaxation guarantee.
+func qualityConfigs() []struct {
+	name string
+	opts []Option
+} {
+	return []struct {
+		name string
+		opts []Option
+	}{
+		{"reclaim=on/mincache=on", nil},
+		{"reclaim=off/mincache=on", []Option{WithItemReclamation(false)}},
+		{"reclaim=on/mincache=off", []Option{WithMinCaching(false)}},
+		{"reclaim=off/mincache=off", []Option{WithItemReclamation(false), WithMinCaching(false)}},
+	}
+}
+
+// TestKBoundInterleavedHandles is the enforcement arm of the quality suite:
+// P handles driven from one goroutine in a random interleaving, with the
+// exact live multiset tracked in an order-statistic treap. Every returned
+// key must be among the ρ+1 = T·k+1 smallest live keys — the paper's
+// structural bound, asserted with zero slack (no measurement races exist
+// in a single-goroutine interleaving). A violation of the relaxation
+// contract anywhere in the stack fails this test deterministically.
+func TestKBoundInterleavedHandles(t *testing.T) {
+	const handles = 4
+	for _, k := range []int{0, 8, 256} {
+		for _, cfg := range qualityConfigs() {
+			t.Run(fmt.Sprintf("k=%d/%s", k, cfg.name), func(t *testing.T) {
+				q := New[int](append([]Option{WithRelaxation(k)}, cfg.opts...)...)
+				hs := make([]*Handle[int], handles)
+				for i := range hs {
+					hs[i] = q.NewHandle()
+				}
+				rho := handles * k
+				tree := ostat.New(uint64(k)*31 + 7)
+				rng := xrand.NewSeeded(uint64(k)*131 + 5)
+				maxRank := 0
+				const ops = 20_000
+				for i := 0; i < ops; i++ {
+					h := hs[rng.Intn(handles)]
+					if rng.Intn(10) < 6 || tree.Len() == 0 {
+						key := rng.Uint64n(1 << 40)
+						tree.Insert(key)
+						h.Insert(key, i)
+						continue
+					}
+					key, _, ok := h.TryDeleteMin()
+					if !ok {
+						continue
+					}
+					rank := tree.Rank(key)
+					if !tree.Delete(key) {
+						t.Fatalf("op %d: returned key %d is not live (conservation violation)", i, key)
+					}
+					if rank > rho {
+						t.Fatalf("op %d: rank %d exceeds ρ = T·k = %d (relaxation violated)", i, rank, rho)
+					}
+					if rank > maxRank {
+						maxRank = rank
+					}
+				}
+				t.Logf("max observed rank %d (bound ρ = %d)", maxRank, rho)
+			})
+		}
+	}
+}
+
+// TestKBoundConcurrent races P goroutines over their own handles while an
+// order-statistic treap tracks the live multiset under a mutex. Inserts
+// update tree and queue atomically; most deletes run fully concurrent (the
+// take races freely, only the tree removal is locked) and check just
+// conservation — one in eight holds the lock across the take so its rank
+// is measured at the linearization point. At that moment the tree can lag
+// by at most P-1 concurrently taken-but-not-yet-removed keys, so the
+// measured rank is bounded by ρ + (P-1) = T·k + P - 1 < (k+1)·P — the
+// issue-level bound. Run under -race in CI; this is where the reclamation
+// machinery, the min caches, and the relaxation bound are exercised
+// against real interleavings.
+func TestKBoundConcurrent(t *testing.T) {
+	const (
+		workers = 4
+		k       = 64
+		ops     = 15_000
+	)
+	for _, cfg := range qualityConfigs() {
+		t.Run(cfg.name, func(t *testing.T) {
+			q := New[int](append([]Option{WithRelaxation(k)}, cfg.opts...)...)
+			bound := (k+1)*workers - 1
+			var (
+				mu      sync.Mutex
+				tree    = ostat.New(99)
+				maxRank int
+				checked int64
+				bad     error
+			)
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					h := q.NewHandle()
+					rng := xrand.NewSeeded(uint64(w)*7919 + 3)
+					for i := 0; i < ops; i++ {
+						r := rng.Intn(80)
+						switch {
+						case r < 48: // insert, tree and queue in step
+							key := rng.Uint64n(1 << 40)
+							mu.Lock()
+							tree.Insert(key)
+							h.Insert(key, i)
+							mu.Unlock()
+						case r < 52: // rank-checked delete at the linearization point
+							mu.Lock()
+							key, _, ok := h.TryDeleteMin()
+							if ok {
+								rank := tree.Rank(key)
+								present := tree.Delete(key)
+								checked++
+								if rank > maxRank {
+									maxRank = rank
+								}
+								if !present && bad == nil {
+									bad = fmt.Errorf("worker %d: returned key %d not live", w, key)
+								}
+								if rank > bound && bad == nil {
+									bad = fmt.Errorf("worker %d: rank %d exceeds (k+1)·P-1 = %d", w, rank, bound)
+								}
+							}
+							mu.Unlock()
+						default: // free-running delete: conservation only
+							key, _, ok := h.TryDeleteMin()
+							if !ok {
+								continue
+							}
+							mu.Lock()
+							if !tree.Delete(key) && bad == nil {
+								bad = fmt.Errorf("worker %d: returned key %d not live", w, key)
+							}
+							mu.Unlock()
+						}
+					}
+				}(w)
+			}
+			wg.Wait()
+			if bad != nil {
+				t.Fatal(bad)
+			}
+			if checked == 0 {
+				t.Fatal("no rank-checked deletes ran")
+			}
+			t.Logf("max observed rank %d over %d checked deletes (bound %d)", maxRank, checked, bound)
+		})
+	}
+}

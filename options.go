@@ -58,15 +58,17 @@ func WithPooling(enabled bool) Option {
 }
 
 // WithItemReclamation toggles the §4.4 deterministic item-reclamation
-// scheme (default on). With it enabled, every block slot holds a reference
-// count on its item; when the last block referencing a deleted item is
-// itself recycled — under the same quiescence proofs that govern block
-// reuse — the item returns to a per-handle free list and is reused by a
-// later insert, instead of waiting for the garbage collector. Disabling it
-// keeps block pooling but leaves deleted items to the GC (the ablation
-// baseline and an escape hatch); semantics are identical either way.
-// Reclamation requires pooling: with WithPooling(false) this option has no
-// effect and items are always GC-reclaimed.
+// scheme (default on). With it enabled, items are reference-counted at
+// block-lineage granularity: a reference is acquired when an item enters
+// the structure, transferred through every local merge instead of being
+// re-acquired, and released when its lineage dies — under the same
+// quiescence proofs that govern block reuse. When the last reference on a
+// deleted item drops, it returns to a per-handle free list and is reused
+// by a later insert, instead of waiting for the garbage collector.
+// Disabling it keeps block pooling but leaves deleted items to the GC (the
+// ablation baseline and an escape hatch); semantics are identical either
+// way. Reclamation requires pooling: with WithPooling(false) this option
+// has no effect and items are always GC-reclaimed.
 func WithItemReclamation(enabled bool) Option {
 	return func(o *options) { o.reclaim = enabled }
 }
