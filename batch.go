@@ -1,0 +1,38 @@
+package klsm
+
+// KV is one key/payload pair, as returned by the batch drain operations.
+type KV[K, V any] struct {
+	// Key is the priority key the pair was inserted under.
+	Key K
+	// Value is the payload inserted with the key.
+	Value V
+}
+
+// InsertBatch inserts len(keys) keys in one structural operation. The batch
+// is sorted once and published as a single block at level ⌈log₂n⌉ — one
+// merge cascade for the whole batch instead of n independent insert
+// cascades, which is the LSM's own internal batching (§4.1) surfaced at the
+// API; for pre-sorted input the sort degenerates to a verification scan.
+// Each key becomes visible to every handle at the batch block's publication,
+// and the relaxation bound ρ = T·k is preserved for every batch size
+// (oversized blocks overflow to the shared structure exactly like merged
+// ones). values supplies the payloads pairwise; it may be nil, inserting
+// zero values, but any non-nil values must have len(values) == len(keys) or
+// InsertBatch panics.
+func (h *Handle[V]) InsertBatch(keys []uint64, values []V) {
+	h.h.InsertBatch(keys, values)
+}
+
+// DrainMin removes up to n items, appends them to dst in pop order, and
+// returns the extended slice (append semantics: pass a nil or recycled
+// slice). Each pop individually satisfies the relaxed TryDeleteMin
+// contract; the drain stops early when the queue is relaxed-empty, so
+// len(result) - len(dst) < n signals emptiness exactly like a false
+// TryDeleteMin. The candidate window persists across the pops, making a
+// steady-state drain one window build plus n O(1) pops.
+func (h *Handle[V]) DrainMin(dst []KV[uint64, V], n int) []KV[uint64, V] {
+	h.h.DrainMin(n, func(k uint64, v V) {
+		dst = append(dst, KV[uint64, V]{Key: k, Value: v})
+	})
+	return dst
+}

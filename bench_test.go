@@ -82,6 +82,56 @@ func runMix(b *testing.B, q pqs.Queue) {
 	})
 }
 
+// runBatchInsert measures per-key insert cost through the public API; b.N
+// counts keys, so ns/op is directly comparable between the batched and the
+// equivalent-singles arm. The queue is drained outside the timer whenever it
+// grows past a bound, keeping the measured structure at steady-state size.
+func runBatchInsert(b *testing.B, size int, batched bool) {
+	b.ReportAllocs()
+	q := New[struct{}]()
+	h := q.NewHandle()
+	rng := xrand.NewSeeded(977)
+	keys := make([]uint64, size)
+	pending := 0
+	b.ResetTimer()
+	for n := 0; n < b.N; n += size {
+		for i := range keys {
+			keys[i] = rng.Uint64()
+		}
+		if batched {
+			h.InsertBatch(keys, nil)
+		} else {
+			for _, k := range keys {
+				h.Insert(k, struct{}{})
+			}
+		}
+		pending += size
+		if pending >= 1<<16 {
+			b.StopTimer()
+			for {
+				if _, _, ok := h.TryDeleteMin(); !ok {
+					break
+				}
+			}
+			pending = 0
+			b.StartTimer()
+		}
+	}
+}
+
+// BenchmarkBatchInsert compares Handle.InsertBatch against the equivalent
+// loop of single Inserts at the issue's batch sizes (DESIGN.md, "Batch
+// operations"; recorded in BENCH_pr5-batchapi-sweep.json / EXPERIMENTS.md
+// E14). The structural claim under test: a batch of n keys is one sort plus
+// one ⌈log₂n⌉-level block publication, versus n level-0 merge cascades.
+func BenchmarkBatchInsert(b *testing.B) {
+	for _, size := range []int{8, 64, 512} {
+		size := size
+		b.Run(fmt.Sprintf("batch-%d", size), func(b *testing.B) { runBatchInsert(b, size, true) })
+		b.Run(fmt.Sprintf("single-%d", size), func(b *testing.B) { runBatchInsert(b, size, false) })
+	}
+}
+
 // BenchmarkFig3Throughput is the Figure 3 queue line-up.
 func BenchmarkFig3Throughput(b *testing.B) {
 	for _, spec := range harness.Figure3Specs() {

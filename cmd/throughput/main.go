@@ -11,6 +11,11 @@
 // repetitions) so the full sweep finishes in minutes; the shape of the
 // curves — who wins, where relaxation pays off — is preserved.
 //
+// With -batch B1,B2,... each queue is additionally swept through the v2
+// batch API (InsertBatch/DrainMin moving B keys per call, ops still counted
+// per key); -batch 0,8,64,512 produces the batch-vs-singles comparison of
+// EXPERIMENTS.md E14.
+//
 // With -json <tag>, the full sweep is additionally written to
 // BENCH_<tag>.json (see EXPERIMENTS.md for the recorded runs); -jsondir
 // redirects the output directory.
@@ -29,11 +34,15 @@ import (
 	"klsm/internal/stats"
 )
 
-// benchPoint is one (queue, thread-count) cell of the sweep as serialized
-// into the BENCH_<tag>.json trajectory files.
+// benchPoint is one (queue, thread-count, batch-size) cell of the sweep as
+// serialized into the BENCH_<tag>.json trajectory files. Batch 0 (omitted)
+// is the single-operation mode; Batch B > 1 drives the run through the v2
+// batch API, with ops still counted per key so the two modes compare
+// directly.
 type benchPoint struct {
 	Queue             string  `json:"queue"`
 	Threads           int     `json:"threads"`
+	Batch             int     `json:"batch,omitempty"`
 	MeanOpsPerThread  float64 `json:"mean_ops_per_thread_per_s"`
 	CI95              float64 `json:"ci95"`
 	FailedDeletesMean float64 `json:"failed_deletes_mean"`
@@ -63,6 +72,7 @@ func main() {
 		reps         = flag.Int("reps", 5, "repetitions per point (paper: 30)")
 		keyRange     = flag.Uint64("keyrange", 0, "bound for random keys (0 = full uint64)")
 		insertRatio  = flag.Float64("mix", 0.5, "fraction of inserts in the op mix (paper: 0.5)")
+		batchFlag    = flag.String("batch", "0", "comma-separated batch sizes; 0 = single ops, B>1 = InsertBatch/DrainMin of B keys")
 		seed         = flag.Uint64("seed", 1, "base workload seed")
 		csv          = flag.Bool("csv", false, "emit CSV instead of an aligned table")
 		jsonTag      = flag.String("json", "", "also write the sweep as BENCH_<tag>.json")
@@ -81,6 +91,19 @@ func main() {
 		fmt.Fprintln(os.Stderr, "throughput:", err)
 		os.Exit(1)
 	}
+	batches, err := harness.ParseIntList(*batchFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "throughput:", err)
+		os.Exit(1)
+	}
+	for _, b := range batches {
+		// 0 is the single-op mode; 1 or negatives would silently run as
+		// singles too and produce JSON rows indistinguishable from batch 0.
+		if b != 0 && b < 2 {
+			fmt.Fprintf(os.Stderr, "throughput: bad batch size %d (use 0 for single ops, or >= 2)\n", b)
+			os.Exit(1)
+		}
+	}
 
 	if *maxProcsInfo && !*csv {
 		fmt.Printf("# Figure 3 throughput benchmark: prefill=%d duration=%v reps=%d GOMAXPROCS=%d\n",
@@ -88,7 +111,7 @@ func main() {
 		fmt.Printf("# metric: successful operations / thread / second (mean ±95%% CI)\n")
 	}
 	if *csv {
-		fmt.Println("queue,threads,prefill,duration_s,reps,mean_ops_per_thread_per_s,ci95,failed_deletes_mean")
+		fmt.Println("queue,batch,threads,prefill,duration_s,reps,mean_ops_per_thread_per_s,ci95,failed_deletes_mean")
 	} else {
 		fmt.Printf("%-12s", "queue")
 		for _, t := range threads {
@@ -110,44 +133,55 @@ func main() {
 		Seed:       *seed,
 	}
 	for _, spec := range specs {
-		if !*csv {
-			fmt.Printf("%-12s", spec.Name)
-		}
-		for _, t := range threads {
-			var samples []float64
-			var failed []float64
-			for r := 0; r < *reps; r++ {
-				res := harness.Throughput(harness.ThroughputConfig{
-					Queue:       spec.New(t),
-					Threads:     t,
-					Prefill:     *prefill,
-					Duration:    *duration,
-					KeyRange:    *keyRange,
-					InsertRatio: *insertRatio,
-					Seed:        *seed + uint64(r)*7919,
-				})
-				samples = append(samples, res.PerThreadPerSec)
-				failed = append(failed, float64(res.FailedDeletes))
+		for _, batch := range batches {
+			label := spec.Name
+			if batch > 1 {
+				label = fmt.Sprintf("%s/b%d", spec.Name, batch)
 			}
-			s := stats.Summarize(samples)
-			fmean := stats.Summarize(failed).Mean
-			out.Results = append(out.Results, benchPoint{
-				Queue:             spec.Name,
-				Threads:           t,
-				MeanOpsPerThread:  s.Mean,
-				CI95:              s.CI95,
-				FailedDeletesMean: fmean,
-			})
-			if *csv {
-				fmt.Printf("%s,%d,%d,%.3f,%d,%.1f,%.1f,%.1f\n",
-					spec.Name, t, *prefill, duration.Seconds(), *reps,
-					s.Mean, s.CI95, fmean)
-			} else {
-				fmt.Printf(" %14s", fmt.Sprintf("%.3gM ±%.1g", s.Mean/1e6, s.CI95/1e6))
+			if !*csv {
+				fmt.Printf("%-12s", label)
 			}
-		}
-		if !*csv {
-			fmt.Println()
+			for _, t := range threads {
+				var samples []float64
+				var failed []float64
+				for r := 0; r < *reps; r++ {
+					res := harness.Throughput(harness.ThroughputConfig{
+						Queue:       spec.New(t),
+						Threads:     t,
+						Prefill:     *prefill,
+						Duration:    *duration,
+						KeyRange:    *keyRange,
+						InsertRatio: *insertRatio,
+						Seed:        *seed + uint64(r)*7919,
+						BatchSize:   batch,
+					})
+					samples = append(samples, res.PerThreadPerSec)
+					failed = append(failed, float64(res.FailedDeletes))
+				}
+				s := stats.Summarize(samples)
+				fmean := stats.Summarize(failed).Mean
+				bp := benchPoint{
+					Queue:             spec.Name,
+					Threads:           t,
+					MeanOpsPerThread:  s.Mean,
+					CI95:              s.CI95,
+					FailedDeletesMean: fmean,
+				}
+				if batch > 1 {
+					bp.Batch = batch
+				}
+				out.Results = append(out.Results, bp)
+				if *csv {
+					fmt.Printf("%s,%d,%d,%d,%.3f,%d,%.1f,%.1f,%.1f\n",
+						spec.Name, batch, t, *prefill, duration.Seconds(), *reps,
+						s.Mean, s.CI95, fmean)
+				} else {
+					fmt.Printf(" %14s", fmt.Sprintf("%.3gM ±%.1g", s.Mean/1e6, s.CI95/1e6))
+				}
+			}
+			if !*csv {
+				fmt.Println()
+			}
 		}
 	}
 

@@ -1,0 +1,160 @@
+package klsm
+
+import (
+	"encoding/binary"
+	"math"
+	"time"
+)
+
+// KeyCodec maps an application key type K into the engine's uint64 priority
+// space, preserving order: for every pair of keys a <= b (in K's intended
+// order), Encode(a) <= Encode(b) must hold, with smaller encoded values
+// meaning higher priority. The queue engine itself stays a uint64 machine —
+// a codec is a pure, stateless translation layer applied at the API
+// boundary, so it adds no synchronization and no per-item state.
+//
+// Decode inverts Encode for the codecs where that is possible. Codecs that
+// discard information (StringPrefixKey) document what Decode returns
+// instead; applications that need the exact original key should carry it in
+// the payload V and treat the key purely as a priority.
+//
+// Custom codecs plug in by implementing this interface; the order
+// requirement above is the entire contract. CheckKeyCodec provides a
+// randomized self-check for codec authors, and the built-in codecs are
+// covered by property tests.
+type KeyCodec[K any] interface {
+	// Encode maps key into the uint64 priority space, preserving order.
+	Encode(key K) uint64
+	// Decode maps an encoded priority back to a key. For lossy codecs the
+	// result is the canonical representative of the encoding (see the
+	// specific codec's documentation).
+	Decode(enc uint64) K
+}
+
+// uint64Codec is the identity codec.
+type uint64Codec struct{}
+
+func (uint64Codec) Encode(key uint64) uint64 { return key }
+func (uint64Codec) Decode(enc uint64) uint64 { return enc }
+
+// Uint64Key returns the identity codec for native uint64 priorities — the
+// v1 key type, for callers migrating to the ordered API without changing
+// their key space.
+func Uint64Key() KeyCodec[uint64] { return uint64Codec{} }
+
+// int64Codec flips the sign bit, mapping math.MinInt64..math.MaxInt64
+// monotonically onto 0..math.MaxUint64.
+type int64Codec struct{}
+
+func (int64Codec) Encode(key int64) uint64 { return uint64(key) ^ (1 << 63) }
+func (int64Codec) Decode(enc uint64) int64 { return int64(enc ^ (1 << 63)) }
+
+// Int64Key returns the order-preserving codec for signed 64-bit keys:
+// negative priorities sort before positive ones, exactly as int64 ordering
+// dictates. Encode and Decode are exact inverses.
+func Int64Key() KeyCodec[int64] { return int64Codec{} }
+
+// float64Codec implements the classic total-order bit trick: non-negative
+// floats have their sign bit set (shifting them above all negatives), and
+// negative floats are bitwise complemented (reversing their backwards bit
+// order). The result is IEEE 754 totalOrder:
+//
+//	-NaN < -Inf < negative finites < -0 < +0 < positive finites < +Inf < +NaN
+type float64Codec struct{}
+
+func (float64Codec) Encode(key float64) uint64 {
+	bits := math.Float64bits(key)
+	if bits&(1<<63) != 0 {
+		return ^bits
+	}
+	return bits | 1<<63
+}
+
+func (float64Codec) Decode(enc uint64) float64 {
+	if enc&(1<<63) != 0 {
+		return math.Float64frombits(enc &^ (1 << 63))
+	}
+	return math.Float64frombits(^enc)
+}
+
+// Float64Key returns the order-preserving codec for float64 keys with the
+// IEEE 754 totalOrder treatment of the special values: every NaN bit
+// pattern gets a definite position (negative NaNs below -Inf, positive NaNs
+// above +Inf) instead of poisoning comparisons, and -0 sorts immediately
+// before +0. On non-NaN keys the order is the ordinary < on float64.
+// Encode and Decode are exact inverses (bit-for-bit, including NaN
+// payloads).
+func Float64Key() KeyCodec[float64] { return float64Codec{} }
+
+// timeCodec maps through UnixNano with the int64 sign-bit flip.
+type timeCodec struct{}
+
+func (timeCodec) Encode(key time.Time) uint64 { return uint64(key.UnixNano()) ^ (1 << 63) }
+func (timeCodec) Decode(enc uint64) time.Time { return time.Unix(0, int64(enc^(1<<63))).UTC() }
+
+// TimeKey returns the order-preserving codec for time.Time keys (earlier
+// instants are higher priority — the natural shape for deadline and
+// event-simulation queues). Keys are mapped through UnixNano, so the
+// ordering guarantee covers instants representable in nanoseconds since
+// 1970, roughly years 1678 through 2262; outside that window UnixNano
+// overflows and the order is undefined. Decode returns the instant in UTC
+// with nanosecond precision: the monotonic reading and location of the
+// original are not round-tripped (time.Time.Equal still holds).
+func TimeKey() KeyCodec[time.Time] { return timeCodec{} }
+
+// stringPrefixCodec packs the first 8 bytes big-endian.
+type stringPrefixCodec struct{}
+
+func (stringPrefixCodec) Encode(key string) uint64 {
+	var enc uint64
+	n := len(key)
+	if n > 8 {
+		n = 8
+	}
+	for i := 0; i < n; i++ {
+		enc |= uint64(key[i]) << (56 - 8*uint(i))
+	}
+	return enc
+}
+
+func (stringPrefixCodec) Decode(enc uint64) string {
+	var buf [8]byte
+	binary.BigEndian.PutUint64(buf[:], enc)
+	n := 8
+	for n > 0 && buf[n-1] == 0 {
+		n--
+	}
+	return string(buf[:n])
+}
+
+// StringPrefixKey returns the codec for string keys ordered by their first
+// 8 bytes (big-endian packed). It is weakly order-preserving: a <= b always
+// implies Encode(a) <= Encode(b), so the relaxation bound holds over the
+// true lexicographic order — but strings sharing an 8-byte prefix collapse
+// to the same priority and tie-break arbitrarily among themselves, and
+// trailing NUL bytes are indistinguishable from absent bytes. Decode
+// returns the canonical representative: the prefix with trailing NULs
+// trimmed. Keep the full string in the payload when it matters.
+func StringPrefixKey() KeyCodec[string] { return stringPrefixCodec{} }
+
+// CheckKeyCodec verifies the KeyCodec order contract on a caller-supplied
+// sample of keys: whenever cmp(a, b) < 0, the codec must order the pair
+// strictly — Encode(a) < Encode(b). Pairs the codec is allowed to collapse
+// to one priority must therefore compare equal under cmp (return 0 for
+// them); this is how a deliberately lossy codec like StringPrefixKey is
+// checked (cmp treating prefix-equal strings as equal), while an
+// accidentally collapsing codec fails on the pairs cmp declared distinct.
+// It returns the first offending pair, or ok = true. Intended for codec
+// authors' tests; the built-in codecs pass it by construction.
+func CheckKeyCodec[K any](codec KeyCodec[K], keys []K, cmp func(a, b K) int) (a, b K, ok bool) {
+	for i := range keys {
+		for j := range keys {
+			ea, eb := codec.Encode(keys[i]), codec.Encode(keys[j])
+			if cmp(keys[i], keys[j]) < 0 && ea >= eb {
+				return keys[i], keys[j], false
+			}
+		}
+	}
+	var za, zb K
+	return za, zb, true
+}

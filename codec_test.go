@@ -1,0 +1,239 @@
+package klsm
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"klsm/internal/xrand"
+)
+
+// TestUint64CodecIdentity pins the identity codec.
+func TestUint64CodecIdentity(t *testing.T) {
+	c := Uint64Key()
+	rng := xrand.NewSeeded(1)
+	for i := 0; i < 1000; i++ {
+		k := rng.Uint64()
+		if c.Encode(k) != k || c.Decode(k) != k {
+			t.Fatalf("identity violated for %d", k)
+		}
+	}
+}
+
+// TestInt64CodecOrder is the order-preservation property test for Int64Key:
+// random pairs (plus the boundary values) must encode in int64 order, and
+// Decode must invert Encode exactly.
+func TestInt64CodecOrder(t *testing.T) {
+	c := Int64Key()
+	rng := xrand.NewSeeded(2)
+	keys := []int64{math.MinInt64, math.MinInt64 + 1, -1, 0, 1, math.MaxInt64 - 1, math.MaxInt64}
+	for i := 0; i < 2000; i++ {
+		keys = append(keys, int64(rng.Uint64()))
+	}
+	for _, a := range keys {
+		if c.Decode(c.Encode(a)) != a {
+			t.Fatalf("roundtrip failed for %d", a)
+		}
+	}
+	for i := 0; i < 20000; i++ {
+		a, b := keys[rng.Intn(len(keys))], keys[rng.Intn(len(keys))]
+		if (a < b) != (c.Encode(a) < c.Encode(b)) {
+			t.Fatalf("order violated: %d vs %d → %d vs %d", a, b, c.Encode(a), c.Encode(b))
+		}
+	}
+}
+
+// float64TotalLess is the reference IEEE totalOrder predicate the codec
+// must realize: specials ranked by class, finite values compared by <.
+func float64TotalLess(a, b float64) bool {
+	rank := func(f float64) int {
+		switch {
+		case math.IsNaN(f) && math.Signbit(f):
+			return 0
+		case math.IsNaN(f):
+			return 6
+		case math.IsInf(f, -1):
+			return 1
+		case math.IsInf(f, 1):
+			return 5
+		case f == 0 && math.Signbit(f):
+			return 2 // -0
+		case f == 0:
+			return 3 // +0
+		default:
+			return 4 // finite nonzero — compare by value below
+		}
+	}
+	ra, rb := rank(a), rank(b)
+	if ra != rb {
+		// -0/+0 and finite nonzero interleave by value, handle below.
+		if (ra == 2 || ra == 3) && rb == 4 {
+			return 0 < b
+		}
+		if ra == 4 && (rb == 2 || rb == 3) {
+			return a < 0
+		}
+		return ra < rb
+	}
+	if ra == 4 {
+		return a < b
+	}
+	return false // same class: equal (NaN payloads tested separately)
+}
+
+// TestFloat64CodecTotalOrder is the float64 totality property test: over
+// random finite values and every special (NaN of both signs, ±Inf, ±0) the
+// encoding must realize a total order consistent with < on comparable
+// values, -0 < +0, and NaNs at the extremes; Decode must be a bitwise
+// inverse.
+func TestFloat64CodecTotalOrder(t *testing.T) {
+	c := Float64Key()
+	rng := xrand.NewSeeded(3)
+	negNaN := math.Float64frombits(0xFFF8000000000001)
+	keys := []float64{
+		negNaN, math.NaN(), math.Inf(-1), math.Inf(1),
+		math.Copysign(0, -1), 0,
+		-math.MaxFloat64, math.MaxFloat64,
+		-math.SmallestNonzeroFloat64, math.SmallestNonzeroFloat64,
+	}
+	for i := 0; i < 2000; i++ {
+		f := math.Float64frombits(rng.Uint64())
+		if math.IsNaN(f) {
+			continue // random NaN payloads covered by the fixed specials
+		}
+		keys = append(keys, f)
+	}
+	for _, a := range keys {
+		if math.Float64bits(c.Decode(c.Encode(a))) != math.Float64bits(a) {
+			t.Fatalf("bitwise roundtrip failed for %x", math.Float64bits(a))
+		}
+	}
+	for i := 0; i < 30000; i++ {
+		a, b := keys[rng.Intn(len(keys))], keys[rng.Intn(len(keys))]
+		if float64TotalLess(a, b) && c.Encode(a) >= c.Encode(b) {
+			t.Fatalf("total order violated: %v (%x) not below %v (%x)",
+				a, c.Encode(a), b, c.Encode(b))
+		}
+	}
+	// The totality acceptance list, in required encoded order.
+	ordered := []float64{negNaN, math.Inf(-1), -1.5, math.Copysign(0, -1), 0, 1.5, math.Inf(1), math.NaN()}
+	for i := 1; i < len(ordered); i++ {
+		if c.Encode(ordered[i-1]) >= c.Encode(ordered[i]) {
+			t.Fatalf("specials out of order at %d: %v !< %v", i, ordered[i-1], ordered[i])
+		}
+	}
+}
+
+// TestTimeCodecOrder checks order preservation and round-tripping for
+// TimeKey over random instants within the documented UnixNano window.
+func TestTimeCodecOrder(t *testing.T) {
+	c := TimeKey()
+	rng := xrand.NewSeeded(4)
+	keys := []time.Time{
+		time.Unix(0, math.MinInt64).Add(time.Nanosecond),
+		time.Unix(0, 0),
+		time.Unix(0, math.MaxInt64),
+		time.Date(2026, 7, 26, 0, 0, 0, 0, time.UTC),
+	}
+	for i := 0; i < 2000; i++ {
+		keys = append(keys, time.Unix(0, int64(rng.Uint64())))
+	}
+	for _, a := range keys {
+		if !c.Decode(c.Encode(a)).Equal(a) {
+			t.Fatalf("roundtrip failed for %v", a)
+		}
+	}
+	for i := 0; i < 20000; i++ {
+		a, b := keys[rng.Intn(len(keys))], keys[rng.Intn(len(keys))]
+		if a.Before(b) != (c.Encode(a) < c.Encode(b)) {
+			t.Fatalf("order violated: %v vs %v", a, b)
+		}
+	}
+}
+
+// TestStringPrefixCodecOrder checks the weak order-preservation contract of
+// StringPrefixKey: a <= b implies Encode(a) <= Encode(b) over random byte
+// strings of varied lengths, and Decode returns the trimmed canonical
+// prefix.
+func TestStringPrefixCodecOrder(t *testing.T) {
+	c := StringPrefixKey()
+	rng := xrand.NewSeeded(5)
+	keys := []string{"", "a", "ab", "abcdefgh", "abcdefghi", "abcdefgz", "\x00", "zzzzzzzzz"}
+	for i := 0; i < 1500; i++ {
+		n := rng.Intn(12)
+		var sb strings.Builder
+		for j := 0; j < n; j++ {
+			sb.WriteByte(byte(rng.Intn(256)))
+		}
+		keys = append(keys, sb.String())
+	}
+	for i := 0; i < 30000; i++ {
+		a, b := keys[rng.Intn(len(keys))], keys[rng.Intn(len(keys))]
+		if a < b && c.Encode(a) > c.Encode(b) {
+			t.Fatalf("weak order violated: %q vs %q", a, b)
+		}
+	}
+	// Decode canonicalization.
+	for _, k := range []struct{ in, want string }{
+		{"", ""}, {"abc", "abc"}, {"abcdefghi", "abcdefgh"}, {"a\x00\x00", "a"},
+	} {
+		if got := c.Decode(c.Encode(k.in)); got != k.want {
+			t.Fatalf("Decode(Encode(%q)) = %q, want %q", k.in, got, k.want)
+		}
+	}
+	// CheckKeyCodec usage for a deliberately lossy codec: pairs the codec
+	// is allowed to collapse (same trimmed 8-byte prefix) compare equal.
+	pcmp := func(a, b string) int {
+		trim := func(s string) string {
+			if len(s) > 8 {
+				s = s[:8]
+			}
+			return strings.TrimRight(s, "\x00")
+		}
+		return strings.Compare(trim(a), trim(b))
+	}
+	if a, b, ok := CheckKeyCodec(c, keys[:300], pcmp); !ok {
+		t.Fatalf("StringPrefixKey failed the prefix-aware self-check on (%q, %q)", a, b)
+	}
+}
+
+// TestCheckKeyCodec exercises the exported self-check helper on a passing
+// and a deliberately broken codec.
+func TestCheckKeyCodec(t *testing.T) {
+	cmp := func(a, b int64) int {
+		switch {
+		case a < b:
+			return -1
+		case a > b:
+			return 1
+		default:
+			return 0
+		}
+	}
+	if _, _, ok := CheckKeyCodec(Int64Key(), []int64{-5, -1, 0, 3, 9}, cmp); !ok {
+		t.Fatal("Int64Key failed its own self-check")
+	}
+	if a, b, ok := CheckKeyCodec(brokenCodec{}, []int64{-5, -1, 0, 3, 9}, cmp); ok {
+		t.Fatal("broken codec passed the self-check")
+	} else if a >= b {
+		t.Fatalf("reported pair (%d, %d) not a counterexample", a, b)
+	}
+	// A codec that collapses keys cmp declares distinct must be caught too.
+	if _, _, ok := CheckKeyCodec(collapsingCodec{}, []int64{-5, -1, 0, 3, 9}, cmp); ok {
+		t.Fatal("collapsing codec passed a strict-cmp self-check")
+	}
+}
+
+// brokenCodec violates order on purpose (negatives map above positives).
+type brokenCodec struct{}
+
+func (brokenCodec) Encode(k int64) uint64 { return uint64(k) }
+func (brokenCodec) Decode(e uint64) int64 { return int64(e) }
+
+// collapsingCodec maps every key to one priority — order-consistent but
+// totally lossy.
+type collapsingCodec struct{}
+
+func (collapsingCodec) Encode(int64) uint64 { return 7 }
+func (collapsingCodec) Decode(uint64) int64 { return 0 }

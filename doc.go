@@ -32,6 +32,28 @@
 // that know items remain (for example via application-level in-flight
 // counting) simply retry.
 //
+// # v2 surface: ordered keys, handle-free operations, batches
+//
+// Three layers extend the raw engine shape (all composable, none mandatory):
+//
+//   - Ordered keys. NewOrdered wraps a queue in an order-preserving KeyCodec
+//     so callers stop hand-packing priorities into uint64: built-in codecs
+//     cover uint64, int64, float64 (IEEE totalOrder: NaNs at the extremes,
+//     -0 < +0), time.Time, and string prefixes; custom codecs plug in by
+//     implementing the two-method interface (CheckKeyCodec self-checks the
+//     order contract). The engine never sees K — every guarantee carries
+//     over verbatim to the codec's order.
+//   - Handle-free operations. Queue.Insert, Queue.TryDeleteMin,
+//     Queue.PeekMin and the batch variants borrow a registered handle from
+//     an internal registry per call: no setup, safe from any goroutine, and
+//     ρ = T·k stays bounded by the peak concurrency of handle-free calls
+//     rather than goroutine churn. Explicit handles remain the fast path.
+//   - Batch operations. Handle.InsertBatch sorts a batch once and publishes
+//     it as a single block at level ⌈log₂n⌉ — one merge cascade instead of n
+//     (the LSM's internal batching of §4.1, surfaced); Handle.DrainMin pops
+//     up to n items per call through the persistent candidate window. Both
+//     preserve the relaxation bound for every batch size.
+//
 // # Choosing k
 //
 // k trades ordering quality for scalability. k = 0 is strict but serializes

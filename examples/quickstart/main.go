@@ -1,12 +1,15 @@
-// Quickstart: the smallest complete k-LSM program.
+// Quickstart: the smallest complete k-LSM program, on the v2 API.
 //
 // Run with:
 //
 //	go run ./examples/quickstart
 //
-// It creates a queue, inserts prioritized jobs from several goroutines, and
-// drains them concurrently, illustrating the two rules of the API: one
-// Handle per goroutine, and TryDeleteMin's relaxed-but-bounded semantics.
+// It creates a queue, batch-inserts prioritized jobs from several
+// goroutines, and drains them concurrently, illustrating the v2 surface:
+// batch operations (InsertBatch publishes a whole batch as one block,
+// DrainMin pops many items per call), handle-free queue-level operations
+// for one-off access, and the two standing rules — one Handle per goroutine
+// on the fast path, and TryDeleteMin's relaxed-but-bounded semantics.
 package main
 
 import (
@@ -18,9 +21,14 @@ import (
 )
 
 func main() {
-	// k = 16: every TryDeleteMin returns one of the (16 × #handles + 1)
+	// k = 16: every delete-min returns one of the (16 × #handles + 1)
 	// smallest keys. Smaller k = stricter order, less scalability.
 	q := klsm.New[string](klsm.WithRelaxation(16))
+
+	// Handle-free operations need no setup — ideal for one-off access from
+	// framework-managed goroutines. They borrow a registered handle from an
+	// internal registry, so casual use never grows the relaxation bound.
+	q.Insert(999, "a one-off job, inserted handle-free")
 
 	const producers = 4
 	var wg sync.WaitGroup
@@ -29,18 +37,24 @@ func main() {
 		go func(id int) {
 			defer wg.Done()
 			h := q.NewHandle() // one handle per goroutine — never share
-			for i := 0; i < 5; i++ {
-				priority := uint64(id*5 + i)
-				h.Insert(priority, fmt.Sprintf("job %d of producer %d", i, id))
+			// A batch insert sorts once and publishes one block: the
+			// LSM's internal batching surfaced at the API.
+			keys := make([]uint64, 5)
+			jobs := make([]string, 5)
+			for i := range keys {
+				keys[i] = uint64(id*5 + i)
+				jobs[i] = fmt.Sprintf("job %d of producer %d", i, id)
 			}
+			h.InsertBatch(keys, jobs)
 		}(p)
 	}
 	wg.Wait()
 
 	fmt.Printf("queued %d jobs (size is exact while quiescent)\n", q.Size())
 
-	// Drain concurrently. Within one handle, failed TryDeleteMin may be
-	// spurious under concurrency; in this quiescent drain it means empty.
+	// Drain concurrently with DrainMin: up to n jobs per call, each pop
+	// individually within the relaxation bound. A short result signals
+	// (relaxed) emptiness, like a failed TryDeleteMin.
 	var mu sync.Mutex
 	var order []uint64
 	for c := 0; c < 2; c++ {
@@ -48,15 +62,17 @@ func main() {
 		go func() {
 			defer wg.Done()
 			h := q.NewHandle()
+			var batch []klsm.KV[uint64, string]
 			for {
-				prio, job, ok := h.TryDeleteMin()
-				if !ok {
-					return
+				batch = h.DrainMin(batch[:0], 4)
+				if len(batch) == 0 {
+					return // quiescent drain: empty means empty
 				}
 				mu.Lock()
-				order = append(order, prio)
+				for _, kv := range batch {
+					order = append(order, kv.Key)
+				}
 				mu.Unlock()
-				_ = job
 			}
 		}()
 	}

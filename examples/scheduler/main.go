@@ -59,7 +59,11 @@ func main() {
 		idSeq atomic.Int64
 	)
 
-	seedHandle := q.NewHandle()
+	// Seed the root tasks as one batch: InsertBatch sorts once and
+	// publishes a single level-⌈log₂n⌉ block instead of rootTask level-0
+	// merge cascades — the natural shape for bulk-loading a scheduler.
+	seedKeys := make([]uint64, rootTask)
+	seedTasks := make([]task, rootTask)
 	for i := 0; i < rootTask; i++ {
 		d := uint64(i * 10)
 		spawns := 0
@@ -67,8 +71,11 @@ func main() {
 			spawns = 3
 		}
 		inflight.Add(1)
-		seedHandle.Insert(d, task{id: i, deadline: d, spawns: spawns})
+		seedKeys[i] = d
+		seedTasks[i] = task{id: i, deadline: d, spawns: spawns}
 	}
+	seedHandle := q.NewHandle()
+	seedHandle.InsertBatch(seedKeys, seedTasks)
 	idSeq.Store(rootTask)
 
 	var wg sync.WaitGroup
@@ -106,14 +113,19 @@ func main() {
 					}
 				}
 				// "Execute" the task: spawn follow-ups slightly after our
-				// deadline, as schedulers chaining work do.
-				for s := 0; s < t.spawns; s++ {
-					nd := t.deadline + uint64(s+1)
-					inflight.Add(1)
-					h.Insert(nd, task{
-						id:       int(idSeq.Add(1)),
-						deadline: nd,
-					})
+				// deadline as one small batch, as schedulers chaining work
+				// do (local ordering means this worker will tend to process
+				// its own follow-ups, in order).
+				if t.spawns > 0 {
+					keys := make([]uint64, t.spawns)
+					tasks := make([]task, t.spawns)
+					for s := 0; s < t.spawns; s++ {
+						nd := t.deadline + uint64(s+1)
+						inflight.Add(1)
+						keys[s] = nd
+						tasks[s] = task{id: int(idSeq.Add(1)), deadline: nd}
+					}
+					h.InsertBatch(keys, tasks)
 				}
 				completed.Add(1)
 				inflight.Add(-1)

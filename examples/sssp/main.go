@@ -121,16 +121,30 @@ func main() {
 					}
 				}
 			}
+			// Pop in small batches (v2 DrainMin): relaxed semantics already
+			// allow processing several near-minimal entries per round, so a
+			// batch drain amortizes the candidate-window work across pops
+			// without changing the algorithm.
+			var batch []klsm.KV[uint64, entry]
+			drain := func() int {
+				batch = h.DrainMin(batch[:0], 8)
+				for _, kv := range batch {
+					process(kv.Key, kv.Value)
+				}
+				return len(batch)
+			}
 			for {
-				if d, e, ok := h.TryDeleteMin(); ok {
-					process(d, e)
+				if drain() > 0 {
 					continue
 				}
 				idle.Add(1)
 				for {
-					if d, e, ok := h.TryDeleteMin(); ok {
+					batch = h.DrainMin(batch[:0], 8)
+					if len(batch) > 0 {
 						idle.Add(-1)
-						process(d, e)
+						for _, kv := range batch {
+							process(kv.Key, kv.Value)
+						}
 						break
 					}
 					if idle.Load() == workers {

@@ -1,0 +1,97 @@
+package klsm
+
+// Handle-free queue-level operations.
+//
+// v1 required every caller to manage an explicit per-goroutine Handle. That
+// remains the fast path — a Handle pins its DistLSM, its snapshot cursor and
+// its pools to one goroutine with zero synchronization — but it is the wrong
+// default for callers whose goroutines are short-lived or framework-managed
+// (worker pools, per-request goroutines), where handle churn either leaks
+// registered handles (growing ρ = T·k without bound) or forces awkward
+// plumbing.
+//
+// The queue-level operations below borrow a Handle from an internal
+// registry for the duration of one operation and return it afterwards.
+// Exclusive ownership while borrowed preserves the one-goroutine-per-handle
+// contract; returned handles are recycled instead of closed, so the handle
+// count T — and with it ρ — is bounded by the peak number of concurrent
+// handle-free operations, not by the number of goroutines that ever touched
+// the queue.
+
+// borrowHandle takes a free handle from the registry, registering a new one
+// only when the registry is empty (first use, or all free handles are
+// borrowed by concurrent operations).
+func (q *Queue[V]) borrowHandle() *Handle[V] {
+	q.freeMu.Lock()
+	if n := len(q.freeHandles); n > 0 {
+		h := q.freeHandles[n-1]
+		q.freeHandles[n-1] = nil
+		q.freeHandles = q.freeHandles[:n-1]
+		q.freeMu.Unlock()
+		return h
+	}
+	q.freeMu.Unlock()
+	return q.NewHandle()
+}
+
+// returnHandle puts a borrowed handle back. The mutex hand-off orders the
+// borrower's operations before the next borrower's, so consecutive users of
+// one handle never overlap — the single-goroutine contract holds.
+func (q *Queue[V]) returnHandle(h *Handle[V]) {
+	q.freeMu.Lock()
+	q.freeHandles = append(q.freeHandles, h)
+	q.freeMu.Unlock()
+}
+
+// Insert adds key with the given payload without an explicit Handle, using
+// a registry handle for the single operation. Semantics match
+// Handle.Insert. Prefer an explicit Handle on hot paths: the borrow costs
+// one uncontended mutex acquisition per operation and forfeits handle
+// affinity (local ordering applies per registry handle, not per goroutine).
+//
+// All handle-free operations return their borrowed handle via defer: a
+// panic escaping the operation (a batch length mismatch, a faulty codec in
+// the ordered wrappers) must not strand a registered handle outside the
+// registry — that would grow ρ = T·k on every recovered panic, the exact
+// leak the registry exists to prevent.
+func (q *Queue[V]) Insert(key uint64, value V) {
+	h := q.borrowHandle()
+	defer q.returnHandle(h)
+	h.Insert(key, value)
+}
+
+// TryDeleteMin removes and returns a key among the ρ+1 smallest without an
+// explicit Handle, with the same relaxed contract as Handle.TryDeleteMin.
+// See Insert for the cost trade-off of the handle-free path.
+func (q *Queue[V]) TryDeleteMin() (key uint64, value V, ok bool) {
+	h := q.borrowHandle()
+	defer q.returnHandle(h)
+	return h.TryDeleteMin()
+}
+
+// PeekMin returns a key TryDeleteMin could return without removing it,
+// using a registry handle. The result is relaxed exactly like
+// Handle.PeekMin's and may be stale by the time the caller acts on it.
+func (q *Queue[V]) PeekMin() (key uint64, value V, ok bool) {
+	h := q.borrowHandle()
+	defer q.returnHandle(h)
+	return h.PeekMin()
+}
+
+// InsertBatch inserts len(keys) keys in one structural operation through a
+// registry handle; see Handle.InsertBatch for the batching semantics and
+// the values contract.
+func (q *Queue[V]) InsertBatch(keys []uint64, values []V) {
+	h := q.borrowHandle()
+	defer q.returnHandle(h)
+	h.InsertBatch(keys, values)
+}
+
+// DrainMin removes up to n items through a registry handle, appending them
+// to dst in pop order and returning the extended slice; see Handle.DrainMin
+// for the per-pop contract and early-exit semantics.
+func (q *Queue[V]) DrainMin(dst []KV[uint64, V], n int) []KV[uint64, V] {
+	h := q.borrowHandle()
+	defer q.returnHandle(h)
+	return h.DrainMin(dst, n)
+}

@@ -138,6 +138,19 @@ func (b *Block[V]) Append(it *item.Item[V]) {
 	b.filled.Store(f + 1)
 }
 
+// AppendSorted bulk-appends its — already in non-increasing key order — to a
+// private block, skipping logically deleted items, with a single store of the
+// filled counter (the batch-insert fill path: one atomic store per block
+// instead of two per item). The caller is responsible for order and capacity,
+// exactly as with Append.
+func (b *Block[V]) AppendSorted(its []*item.Item[V]) {
+	f := b.filled.Load()
+	for _, it := range its {
+		f = b.appendAt(f, it, nil, false)
+	}
+	b.filled.Store(f)
+}
+
 // AcquireRefs takes one reference per occupied slot on behalf of this block
 // (§4.4 proper) — the once-per-lineage acquisition used for level-0 insert
 // blocks, spy copies, and blocks entering the shared k-LSM. The owner must

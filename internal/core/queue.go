@@ -22,6 +22,7 @@
 package core
 
 import (
+	"slices"
 	"sync"
 	"sync/atomic"
 
@@ -45,6 +46,27 @@ const (
 	// the shared k-LSM as a singleton block.
 	SharedOnly
 )
+
+// MaxRelaxation is the largest accepted relaxation parameter. Beyond it the
+// DistLSM overflow threshold saturates at block.MaxLevel anyway (a handle can
+// never hold more than 2^48-1 items locally), so larger k buys nothing —
+// while leaving k unbounded lets ρ = T·k arithmetic overflow int for absurd
+// inputs. NewQueue and SetRelaxation clamp to this bound; negative k panics
+// in both.
+const MaxRelaxation = 1<<uint(block.MaxLevel) - 1
+
+// clampK validates a relaxation parameter: negative k panics, absurd k
+// clamps to MaxRelaxation. Shared by NewQueue and SetRelaxation so the two
+// entry points enforce the identical contract.
+func clampK(k int) int {
+	if k < 0 {
+		panic("core: negative relaxation parameter k")
+	}
+	if k > MaxRelaxation {
+		return MaxRelaxation
+	}
+	return k
+}
 
 // Config configures a Queue.
 type Config[V any] struct {
@@ -138,11 +160,10 @@ func (q *Queue[V]) rebuildVictims() {
 	q.victims.Store(&next)
 }
 
-// NewQueue returns an empty queue with the given configuration.
+// NewQueue returns an empty queue with the given configuration. Negative
+// cfg.K panics; cfg.K beyond MaxRelaxation is clamped to it.
 func NewQueue[V any](cfg Config[V]) *Queue[V] {
-	if cfg.K < 0 {
-		panic("core: negative K")
-	}
+	cfg.K = clampK(cfg.K)
 	q := &Queue[V]{cfg: cfg}
 	q.kCurrent.Store(int64(cfg.K))
 	q.shared = sharedlsm.New[V](cfg.K, cfg.LocalOrdering)
@@ -172,10 +193,12 @@ func (q *Queue[V]) K() int { return q.shared.K() }
 // handle applies the new DistLSM bound — evicting now-oversized local
 // blocks — on its next insert. Until every handle has inserted once, the
 // effective bound is max(old, new) per handle.
+//
+// Validation matches NewQueue: negative k panics (also for DistOnly queues,
+// where the value is otherwise ignored — an invalid argument should never
+// pass silently), and k beyond MaxRelaxation is clamped.
 func (q *Queue[V]) SetRelaxation(k int) {
-	if k < 0 {
-		panic("core: negative k")
-	}
+	k = clampK(k)
 	if q.cfg.Mode == DistOnly {
 		return // no shared component; the DLSM has no global bound
 	}
@@ -278,6 +301,11 @@ type Handle[V any] struct {
 	// pool and items are the handle's §4.4 free lists (nil: pooling off).
 	pool  *block.Pool[V]
 	items *item.Pool[V]
+
+	// batchScratch holds the wrapped items of an in-flight InsertBatch so
+	// steady-state batch inserts allocate nothing beyond the block itself.
+	// Owner-only, cleared after every use.
+	batchScratch []*item.Item[V]
 
 	// inserted/deleted are owner-incremented, read by Queue.Size.
 	inserted atomic.Int64
@@ -433,6 +461,92 @@ func (h *Handle[V]) Insert(key uint64, value V) {
 	default:
 		h.dist.Insert(it, h.overflow)
 	}
+}
+
+// InsertBatch adds len(keys) keys with their payloads in one structural
+// operation: the batch is wrapped in items, sorted once (descending, the
+// block orientation), and published as a single pre-built block at level
+// ⌈log₂n⌉ — one merge cascade for the whole batch instead of n level-0
+// cascades, the same structural batching the LSM exploits internally (§4.1)
+// surfaced at the API. Each key's insertion linearizes at the publication of
+// that block; the relaxation bound is maintained exactly as for Insert
+// (oversized blocks overflow to the shared k-LSM before the bound is
+// exceeded). values may be nil (zero-value payloads); otherwise its length
+// must equal len(keys) or InsertBatch panics.
+func (h *Handle[V]) InsertBatch(keys []uint64, values []V) {
+	n := len(keys)
+	if values != nil && len(values) != n {
+		panic("core: InsertBatch keys/values length mismatch")
+	}
+	if n == 0 {
+		return
+	}
+	if n == 1 {
+		var v V
+		if values != nil {
+			v = values[0]
+		}
+		h.Insert(keys[0], v)
+		return
+	}
+	its := h.batchScratch[:0]
+	for i, k := range keys {
+		var v V
+		if values != nil {
+			v = values[i]
+		}
+		its = append(its, h.items.Get(k, v))
+	}
+	// Sort once for the whole batch. pdqsort is O(n) on already-sorted or
+	// reverse-sorted input, so pre-sorted batches pay a single scan.
+	slices.SortFunc(its, func(a, b *item.Item[V]) int {
+		switch {
+		case a.Key() > b.Key():
+			return -1
+		case a.Key() < b.Key():
+			return 1
+		default:
+			return 0
+		}
+	})
+	b := h.pool.Get(block.LevelForCount(n))
+	b.AppendSorted(its)
+	h.inserted.Add(int64(n))
+	switch h.q.cfg.Mode {
+	case DistOnly:
+		h.dist.InsertBlock(b, nil)
+	case SharedOnly:
+		// Shared.Insert acquires the entry references itself (mirroring the
+		// single-insert path), so the block goes in bare.
+		b.AddOwner(h.id)
+		h.q.shared.Insert(h.cursor, b)
+	default:
+		h.dist.InsertBlock(b, h.overflow)
+	}
+	clear(its)
+	h.batchScratch = its[:0]
+}
+
+// DrainMin removes up to max items through the relaxed delete-min, invoking
+// emit for each key/payload in pop order, and returns the number removed. It
+// stops early when TryDeleteMin fails — which, after its unsuccessful spy
+// pass, is the strongest emptiness signal the structure offers. Every pop
+// individually satisfies the ρ = T·k bound and local ordering; with min
+// caching on, the candidate window persists across the pops, so a
+// steady-state drain costs one window build plus max O(1) pops rather than
+// max full scans.
+func (h *Handle[V]) DrainMin(max int, emit func(key uint64, value V)) int {
+	for n := 0; n < max; n++ {
+		k, v, ok := h.TryDeleteMin()
+		if !ok {
+			return n
+		}
+		emit(k, v)
+	}
+	if max < 0 {
+		return 0
+	}
+	return max
 }
 
 // findMinCandidate returns the better of the DistLSM minimum and the shared

@@ -284,6 +284,33 @@ func (d *Dist[V]) Insert(it *item.Item[V], overflow func(*block.Block[V]) *block
 	return d.insertBlock(b, overflow)
 }
 
+// InsertBlock inserts a caller-built block of items through the same merge
+// cascade Insert uses — the v2 batch-insert entry point (§4.1's structural
+// batching surfaced at the API: n pre-sorted items arrive as one block at
+// level ⌈log₂n⌉ instead of n level-0 merge cascades). b must be private to
+// the owner, drawn from the owner's pool, non-empty, and sorted in
+// non-increasing key order; the Dist stamps the owner's Bloom mask and
+// acquires the block's lineage references here, and ownership of b — like an
+// Insert item's — transfers to the structure. Blocks reaching the overflow
+// threshold (including any b larger than k to begin with) are handed to
+// overflow exactly as in Insert, so the ρ = T·k bound is preserved for every
+// batch size. Reports whether the items stayed local (false: overflowed to
+// the shared k-LSM).
+func (d *Dist[V]) InsertBlock(b *block.Block[V], overflow func(*block.Block[V]) *block.Block[V]) bool {
+	if b == nil {
+		return true
+	}
+	b.SetBloom(d.ownerMask)
+	if b.Empty() {
+		d.pool.Put(b)
+		return true
+	}
+	// §4.4: one lineage acquisition for the whole batch, at birth — the same
+	// entry point as Insert's level-0 block, amortized over n items.
+	b.AcquireRefs()
+	return d.insertBlock(b, overflow)
+}
+
 // insertBlock runs the merge loop for a prepared block. Exposed within the
 // package for spy-assisted bulk moves. b must be private to the owner.
 func (d *Dist[V]) insertBlock(b *block.Block[V], overflow func(*block.Block[V]) *block.Block[V]) bool {

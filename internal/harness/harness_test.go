@@ -37,6 +37,23 @@ func TestThroughputSmoke(t *testing.T) {
 	}
 }
 
+// TestThroughputBatchModes smokes the BatchSize path on a queue with
+// native batch support (k-LSM, pqs.BatchHandle) and on one without
+// (Lindén & Jonsson), which must fall back to equivalent single-op loops.
+func TestThroughputBatchModes(t *testing.T) {
+	for _, cfg := range []ThroughputConfig{
+		{Queue: klsmq.New(256), Threads: 2, Prefill: 5000, BatchSize: 8},
+		{Queue: linden.New(0), Threads: 2, Prefill: 5000, BatchSize: 8},
+	} {
+		cfg.Duration = smokeDuration(30 * time.Millisecond)
+		cfg.Seed = 3
+		res := Throughput(cfg)
+		if res.Ops <= 0 || res.PerThreadPerSec <= 0 {
+			t.Fatalf("batch run produced no throughput: %+v", res)
+		}
+	}
+}
+
 func TestThroughputDefaultsAndKeyRange(t *testing.T) {
 	res := Throughput(ThroughputConfig{
 		Queue:    linden.New(0),

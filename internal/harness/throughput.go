@@ -34,6 +34,13 @@ type ThroughputConfig struct {
 	InsertRatio float64
 	// Seed makes workloads reproducible.
 	Seed uint64
+	// BatchSize > 1 drives the timed phase through the v2 batch operations
+	// (pqs.BatchHandle): each step inserts a batch of BatchSize random keys
+	// or drains up to BatchSize keys, and Ops counts individual keys so
+	// results stay comparable with the single-operation mode. Handles
+	// without batch support fall back to loops of BatchSize single
+	// operations — the equivalent-singles baseline by construction.
+	BatchSize int
 }
 
 // ThroughputResult is one measured point.
@@ -42,7 +49,11 @@ type ThroughputResult struct {
 	// that returned a key; failed attempts are not counted, matching a
 	// "throughput of successful operations" reading).
 	Ops int64
-	// FailedDeletes counts delete-min attempts that found nothing.
+	// FailedDeletes counts delete-min attempts that found nothing. In
+	// batch mode (BatchSize > 1) a drain makes at most one failed attempt
+	// per call — a short or empty drain ends on exactly one failure — so
+	// absolute failure counts are not comparable across batch sizes, only
+	// within one mode.
 	FailedDeletes int64
 	// Elapsed is the measured wall time of the timed phase.
 	Elapsed time.Duration
@@ -104,17 +115,65 @@ func Throughput(cfg ThroughputConfig) ThroughputResult {
 			<-start
 
 			var localOps, localFail int64
-			for !stop.Load() {
-				// Check the stop flag every batch to keep Load overhead
-				// out of the measured inner loop.
-				for b := 0; b < 64; b++ {
-					if rng.Float64() < insertRatio {
-						h.Insert(draw())
-						localOps++
-					} else if _, ok := h.TryDeleteMin(); ok {
-						localOps++
-					} else {
-						localFail++
+			if cfg.BatchSize > 1 {
+				bh, _ := h.(pqs.BatchHandle)
+				keys := make([]uint64, cfg.BatchSize)
+				dst := make([]uint64, 0, cfg.BatchSize)
+				for !stop.Load() {
+					// One stop check per 64 steps, as in the single loop;
+					// each step moves BatchSize keys.
+					for b := 0; b < 64; b++ {
+						if rng.Float64() < insertRatio {
+							for i := range keys {
+								keys[i] = draw()
+							}
+							if bh != nil {
+								bh.InsertBatch(keys)
+							} else {
+								for _, k := range keys {
+									h.Insert(k)
+								}
+							}
+							localOps += int64(len(keys))
+						} else {
+							if bh != nil {
+								dst = bh.DrainMin(dst[:0], cfg.BatchSize)
+							} else {
+								dst = dst[:0]
+								for i := 0; i < cfg.BatchSize; i++ {
+									k, ok := h.TryDeleteMin()
+									if !ok {
+										break
+									}
+									dst = append(dst, k)
+								}
+							}
+							localOps += int64(len(dst))
+							if len(dst) < cfg.BatchSize {
+								// A short (or empty) drain ended on exactly
+								// one failed TryDeleteMin, so FailedDeletes
+								// counts failed delete attempts in both
+								// modes — a batch drain just makes at most
+								// one failed attempt per call, vs. one per
+								// op in single mode.
+								localFail++
+							}
+						}
+					}
+				}
+			} else {
+				for !stop.Load() {
+					// Check the stop flag every batch to keep Load overhead
+					// out of the measured inner loop.
+					for b := 0; b < 64; b++ {
+						if rng.Float64() < insertRatio {
+							h.Insert(draw())
+							localOps++
+						} else if _, ok := h.TryDeleteMin(); ok {
+							localOps++
+						} else {
+							localFail++
+						}
 					}
 				}
 			}

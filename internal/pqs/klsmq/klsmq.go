@@ -103,3 +103,12 @@ func (h *handle) TryDeleteMin() (uint64, bool) {
 	k, _, ok := h.h.TryDeleteMin()
 	return k, ok
 }
+
+// InsertBatch implements pqs.BatchHandle via the core batch entry point.
+func (h *handle) InsertBatch(keys []uint64) { h.h.InsertBatch(keys, nil) }
+
+// DrainMin implements pqs.BatchHandle.
+func (h *handle) DrainMin(dst []uint64, n int) []uint64 {
+	h.h.DrainMin(n, func(k uint64, _ struct{}) { dst = append(dst, k) })
+	return dst
+}

@@ -25,6 +25,18 @@ type Handle interface {
 	TryDeleteMin() (key uint64, ok bool)
 }
 
+// BatchHandle is implemented by handles that support the v2 batch
+// operations: InsertBatch publishes the keys in one structural operation
+// and DrainMin pops up to n keys (append semantics), stopping early when
+// the queue is relaxed-empty. The harness uses these when a benchmark
+// requests a batch size; queues without batch support fall back to loops
+// of single operations, which is exactly the baseline the batch API is
+// measured against.
+type BatchHandle interface {
+	InsertBatch(keys []uint64)
+	DrainMin(dst []uint64, n int) []uint64
+}
+
 // Flusher is implemented by handles that buffer inserted keys privately
 // (the Wimmer et al. queues): Flush publishes any buffered keys so other
 // handles can reach them. Workers must call Flush before abandoning a

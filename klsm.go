@@ -1,20 +1,36 @@
 package klsm
 
 import (
+	"sync"
+
 	"klsm/internal/core"
 )
 
 // Queue is a lock-free relaxed concurrent priority queue over uint64 keys
-// with payloads of type V. Create one with New and access it through
-// per-goroutine Handles.
+// with payloads of type V. Create one with New. Two access styles exist:
+// explicit per-goroutine Handles (the fast path — see NewHandle) and the
+// handle-free queue-level operations (Queue.Insert, Queue.TryDeleteMin,
+// Queue.PeekMin and the batch variants), which borrow handles from an
+// internal registry. For ordered key types other than uint64, wrap the
+// queue via NewOrdered.
 type Queue[V any] struct {
 	q *core.Queue[V]
+
+	// freeMu guards freeHandles, the registry backing the handle-free
+	// operations: handles not currently borrowed by an in-flight
+	// queue-level operation. Recycling keeps T — and ρ = T·k — bounded by
+	// the peak concurrency of handle-free ops rather than goroutine churn.
+	freeMu      sync.Mutex
+	freeHandles []*Handle[V]
 }
 
 // Handle is one goroutine's access point to a Queue. A Handle must not be
 // used by two goroutines concurrently; create one Handle per worker.
 type Handle[V any] struct {
 	h *core.Handle[V]
+	// enc is the ordered-API batch-encode scratch. Owner-only, like the
+	// handle itself — registry borrowers own it exclusively while borrowed.
+	enc []uint64
 }
 
 // DropFunc is the lazy-deletion callback (paper §4.5): return true for items
@@ -82,11 +98,20 @@ func (q *Queue[V]) Size() int { return q.q.Size() }
 // K returns the current relaxation parameter.
 func (q *Queue[V]) K() int { return q.q.K() }
 
+// MaxRelaxation is the largest accepted relaxation parameter: larger k is
+// clamped to it by New and SetRelaxation (beyond this bound the per-handle
+// structure saturates anyway, and unbounded k would let ρ = T·k arithmetic
+// overflow). Negative k panics in both.
+const MaxRelaxation = core.MaxRelaxation
+
 // SetRelaxation reconfigures k at run time (paper §1). The change takes
 // effect promptly but not atomically: the shared structure adopts the new
 // bound on its next update, and each handle applies it on its next insert.
 // During the transition the effective per-handle bound is the larger of the
 // old and new k. No-op for queues created WithDistributedOnly.
+//
+// Validation matches New: k < 0 panics (also on WithDistributedOnly queues,
+// where the value is otherwise ignored), and k > MaxRelaxation is clamped.
 func (q *Queue[V]) SetRelaxation(k int) { q.q.SetRelaxation(k) }
 
 // Rho returns the current worst-case relaxation bound T·k, where T is the
