@@ -8,12 +8,20 @@
 // the E5 ablation experiment of DESIGN.md.
 //
 //	quality -klist 0,4,256,4096 -prefill 10000 -ops 100000
+//
+// With -ablate, each k also runs the PR 6 delete-min ablations (deletion
+// buffer off, sticky hint off). With -json <tag>, the results are
+// additionally written to BENCH_<tag>.json (-jsondir redirects the output
+// directory).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"time"
 
 	"klsm/internal/harness"
 	"klsm/internal/pqs"
@@ -23,6 +31,27 @@ import (
 	"klsm/internal/pqs/spraylist"
 )
 
+// rankPoint is one queue's rank-error row as serialized into the
+// BENCH_<tag>.json document.
+type rankPoint struct {
+	Queue    string  `json:"queue"`
+	Deletes  int64   `json:"deletes"`
+	MaxRank  int     `json:"max_rank"`
+	MeanRank float64 `json:"mean_rank"`
+	Bound    string  `json:"bound"`
+}
+
+// rankFile is the top-level BENCH_<tag>.json document.
+type rankFile struct {
+	Tag       string      `json:"tag"`
+	Kind      string      `json:"kind"`
+	Timestamp string      `json:"timestamp"`
+	Prefill   int         `json:"prefill"`
+	Ops       int         `json:"ops"`
+	Seed      uint64      `json:"seed"`
+	Results   []rankPoint `json:"results"`
+}
+
 func main() {
 	var (
 		klistFlag = flag.String("klist", "0,4,256,4096", "k values for the k-LSM")
@@ -30,7 +59,10 @@ func main() {
 		ops       = flag.Int("ops", 100_000, "measured operations (50/50 mix)")
 		seed      = flag.Uint64("seed", 7, "workload seed")
 		threads   = flag.Int("threads", 8, "design-point T for SprayList/MultiQueue sizing")
+		ablate    = flag.Bool("ablate", false, "add deletion-buffer/sticky-hint ablation rows per k")
 		csv       = flag.Bool("csv", false, "emit CSV")
+		jsonTag   = flag.String("json", "", "also write the results as BENCH_<tag>.json")
+		jsonDir   = flag.String("jsondir", ".", "directory for the -json output file")
 	)
 	flag.Parse()
 
@@ -65,6 +97,20 @@ func main() {
 			fmt.Sprintf("%d (=k)", k),
 		})
 	}
+	if *ablate {
+		for _, k := range klist {
+			entries = append(entries, entry{
+				fmt.Sprintf("kLSM(%d)-nobuf", k),
+				klsmq.NewNoDelBuf(k),
+				fmt.Sprintf("%d (=k, single handle)", k),
+			})
+			entries = append(entries, entry{
+				fmt.Sprintf("kLSM(%d)-nosticky", k),
+				klsmq.NewNoSticky(k),
+				fmt.Sprintf("%d (=k, single handle)", k),
+			})
+		}
+	}
 	entries = append(entries, entry{
 		fmt.Sprintf("SprayList(T=%d)", *threads),
 		spraylist.New(spraylist.Config{Threads: *threads}),
@@ -82,12 +128,44 @@ func main() {
 		fmt.Printf("# rank error over %d ops after %d prefill (sequential replay)\n", *ops, *prefill)
 		fmt.Printf("%-18s %10s %10s %12s  %s\n", "queue", "deletes", "max rank", "mean rank", "worst-case bound")
 	}
+	out := rankFile{
+		Tag:       *jsonTag,
+		Kind:      "rank-error",
+		Timestamp: time.Now().UTC().Format(time.RFC3339),
+		Prefill:   *prefill,
+		Ops:       *ops,
+		Seed:      *seed,
+	}
 	for _, e := range entries {
 		res := harness.RankError(e.queue, *prefill, *ops, *seed)
+		out.Results = append(out.Results, rankPoint{
+			Queue:    e.name,
+			Deletes:  res.Deletes,
+			MaxRank:  res.MaxRank,
+			MeanRank: res.MeanRank,
+			Bound:    e.bound,
+		})
 		if *csv {
 			fmt.Printf("%s,%d,%d,%.3f,%q\n", e.name, res.Deletes, res.MaxRank, res.MeanRank, e.bound)
 		} else {
 			fmt.Printf("%-18s %10d %10d %12.3f  %s\n", e.name, res.Deletes, res.MaxRank, res.MeanRank, e.bound)
+		}
+	}
+
+	if *jsonTag != "" {
+		path := filepath.Join(*jsonDir, "BENCH_"+*jsonTag+".json")
+		buf, err := json.MarshalIndent(out, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "quality: marshal:", err)
+			os.Exit(1)
+		}
+		buf = append(buf, '\n')
+		if err := os.WriteFile(path, buf, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "quality:", err)
+			os.Exit(1)
+		}
+		if !*csv {
+			fmt.Printf("# wrote %s\n", path)
 		}
 	}
 }

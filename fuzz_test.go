@@ -69,11 +69,14 @@ func FuzzSingleHandleExact(f *testing.F) {
 // relaxation-aware matching: every returned key must be among the ρ+1
 // smallest the model holds, with ρ = T·k for the peak number of open
 // handles (closed handles drain to the shared structure, so their items
-// stay matched). The seed corpus encodes interleavings that have been
+// stay matched). The first byte also selects the deletion-buffer capacity
+// (including off and a degenerate size 1), so the corpus exercises buffered
+// candidates surviving — and flushing across — Quiesce, handle close, and
+// the final drain. The seed corpus encodes interleavings that have been
 // load-bearing in development: close-with-items mid-stream, quiesce between
 // bursts, drain-after-churn (the dry-candidate-window shape behind the
-// overlay-only relaxation bug the k-bound suite caught), and handle churn
-// around reclamation.
+// overlay-only relaxation bug the k-bound suite caught), handle churn
+// around reclamation, and a warm-buffer quiesce/close sequence.
 func FuzzMixedOpsRelaxed(f *testing.F) {
 	// insert bursts, then drain through a fresh handle after a close.
 	f.Add([]byte{0x10, 0x00, 0x08, 0x10, 0x18, 0x05, 0x20, 0x03, 0x0b, 0x13, 0x1b})
@@ -84,16 +87,23 @@ func FuzzMixedOpsRelaxed(f *testing.F) {
 	f.Add([]byte{0x40, 0x00, 0x08, 0x10, 0x18, 0x20, 0x28, 0x05, 0x03, 0x0b, 0x13, 0x1b, 0x23, 0x2b, 0x33})
 	// close/open churn interleaved with everything, ending in quiesce.
 	f.Add([]byte{0x00, 0x05, 0x08, 0x06, 0x10, 0x05, 0x03, 0x06, 0x18, 0x07, 0x0b, 0x07})
+	// warm-buffer lifecycle at k=64 with the full 32-entry buffer: deletes
+	// fill the buffer, a quiesce publishes under it (anchor break), a handle
+	// opens and closes around further buffered pops, then the drain flushes
+	// whatever is left — conservation must hold throughout.
+	f.Add([]byte{0xb0, 0x00, 0x08, 0x10, 0x18, 0x20, 0x03, 0x04, 0x07, 0x0b, 0x05, 0x1b, 0x06, 0x13, 0x07, 0x23})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		if len(data) > 4096 {
 			return
 		}
 		ks := []int{0, 4, 64}
-		k := 0
+		bufs := []int{32, 0, 1, 4}
+		k, buf := 0, 32
 		if len(data) > 0 {
 			k = ks[int(data[0]>>6)%len(ks)]
+			buf = bufs[int(data[0]>>4)%len(bufs)]
 		}
-		q := New[struct{}](WithRelaxation(k))
+		q := New[struct{}](WithRelaxation(k), WithDeletionBuffer(buf))
 		model := binheap.New(2)
 		const maxOpen = 4
 		handles := []*Handle[struct{}]{q.NewHandle()}

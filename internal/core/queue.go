@@ -100,6 +100,31 @@ type Config[V any] struct {
 	// deterministic scheme; it requires pooling and is implicitly off when
 	// DisablePooling is set. Semantics are identical either way.
 	DisableItemReclamation bool
+	// DisableDeletionBuffer turns off the per-handle deletion buffer: the
+	// MultiQueue-style fast path where TryDeleteMin refills a small
+	// owner-local buffer of version-stamped candidates from the shared
+	// candidate window and the DistLSM min scan in one pass, and the common
+	// delete is a buffer pop validated only by the item's version. The zero
+	// value (buffer on) is the performant configuration; the buffer requires
+	// min caching and is implicitly off when DisableMinCaching is set.
+	// Semantics — the ρ = T·k bound and local ordering — are identical
+	// either way.
+	DisableDeletionBuffer bool
+	// DeletionBufferSize is the per-handle deletion-buffer capacity; 0 means
+	// the default (32). Larger buffers amortize refills further but pin the
+	// handle to its anchored view longer, surfacing staler (still
+	// bound-respecting) keys.
+	DeletionBufferSize int
+	// DisableStickyHint turns off the sticky skip-shared hint: the
+	// generalization of the exact-pointer MinHint that re-validates across
+	// shared publications against the new array's minimum-key floor, for a
+	// bounded streak of operations. Implicitly off when DisableMinCaching is
+	// set. Semantics are identical either way.
+	DisableStickyHint bool
+	// StickyHintOps is the sticky-hint streak budget: the number of
+	// consecutive cross-publication re-validations allowed before the hint
+	// must run a full shared-side query. 0 means the default (64).
+	StickyHintOps int
 }
 
 // Queue is the combined k-LSM relaxed priority queue. Create handles with
@@ -168,6 +193,13 @@ func NewQueue[V any](cfg Config[V]) *Queue[V] {
 	q.kCurrent.Store(int64(cfg.K))
 	q.shared = sharedlsm.New[V](cfg.K, cfg.LocalOrdering)
 	q.shared.SetMinCaching(!cfg.DisableMinCaching)
+	if !cfg.DisableMinCaching && !cfg.DisableStickyHint {
+		ops := cfg.StickyHintOps
+		if ops <= 0 {
+			ops = defaultStickyHintOps
+		}
+		q.shared.SetStickyHint(ops)
+	}
 	if cfg.Drop != nil {
 		q.shared.SetDrop(cfg.Drop)
 	}
@@ -279,6 +311,12 @@ func (q *Queue[V]) NewHandle() *Handle[V] {
 	h.overflow = func(b *block.Block[V]) *block.Block[V] {
 		return h.q.shared.Insert(h.cursor, b)
 	}
+	if !q.cfg.DisableDeletionBuffer && !q.cfg.DisableMinCaching {
+		h.bufCap = q.cfg.DeletionBufferSize
+		if h.bufCap <= 0 {
+			h.bufCap = defaultDelBufSize
+		}
+	}
 
 	q.mu.Lock()
 	q.handles = append(q.handles, h)
@@ -311,6 +349,27 @@ type Handle[V any] struct {
 	inserted atomic.Int64
 	deleted  atomic.Int64
 
+	// Deletion buffer (see delbuf.go): buf[bufPos:] holds version-stamped
+	// candidates popped in ascending key order; bufAnchor is the shared
+	// array they were validated against (nil anchors an empty shared
+	// structure). bufCapKey is the fill-time cap every buffered entry is at
+	// or below — the bound owner inserts are spliced against. bufCap == 0
+	// disables the buffer. fillHint temporarily raises the refill size
+	// inside DrainMin. All owner-only.
+	buf       []item.Snap[V]
+	bufPos    int
+	bufAnchor *sharedlsm.BlockArray[V]
+	bufCapKey uint64
+	bufCap    int
+	fillHint  int
+
+	// BufFills/BufPops/BufFlushes count deletion-buffer refills, successful
+	// buffered pops, and invalidation flushes that discarded entries.
+	// Atomic so Queue.Stats can read them concurrently.
+	BufFills   atomic.Int64
+	BufPops    atomic.Int64
+	BufFlushes atomic.Int64
+
 	// SpyCalls counts spy attempts for the ablation benchmarks. Atomic so
 	// Queue.Stats can read it concurrently.
 	SpyCalls atomic.Int64
@@ -329,6 +388,11 @@ func (h *Handle[V]) ID() uint64 { return h.id }
 // only the operation counters move. This mirrors the paper's model, which
 // has no thread departure story at all — see DESIGN.md.
 func (h *Handle[V]) Close() {
+	if h.bufCap > 0 {
+		// Buffered candidates were never taken; discarding them leaves the
+		// items live in their blocks.
+		h.bufInvalidate()
+	}
 	if h.q.cfg.Mode != DistOnly {
 		h.dist.DrainTo(h.overflow)
 	}
@@ -449,17 +513,29 @@ func (h *Handle[V]) PoolStats() block.PoolStats { return h.pool.Stats() }
 // succeeds and is lock-free.
 func (h *Handle[V]) Insert(key uint64, value V) {
 	it := h.items.Get(key, value)
+	ver := it.Version()
 	h.inserted.Add(1)
 	switch h.q.cfg.Mode {
 	case DistOnly:
 		h.dist.Insert(it, nil)
+		if h.bufCap > 0 {
+			h.bufInsert(it, ver, key)
+		}
 	case SharedOnly:
+		// The publication moves the shared pointer, so the next buffered
+		// pop's anchor check flushes the buffer — nothing to do here.
 		nb := h.pool.Get(0)
 		nb.AddOwner(h.id)
 		nb.Append(it)
 		h.q.shared.Insert(h.cursor, nb)
 	default:
 		h.dist.Insert(it, h.overflow)
+		if h.bufCap > 0 {
+			// Splice the new key into the buffer at its ascending position
+			// (see bufInsert); an overflow publication is caught by the
+			// anchor check like any other shared movement.
+			h.bufInsert(it, ver, key)
+		}
 	}
 }
 
@@ -488,6 +564,17 @@ func (h *Handle[V]) InsertBatch(keys []uint64, values []V) {
 		}
 		h.Insert(keys[0], v)
 		return
+	}
+	if h.bufCap > 0 {
+		// Truncate at the batch minimum: only buffered candidates above it
+		// can shadow a batch key.
+		minKey := keys[0]
+		for _, k := range keys[1:] {
+			if k < minKey {
+				minKey = k
+			}
+		}
+		h.bufTruncate(minKey)
 	}
 	its := h.batchScratch[:0]
 	for i, k := range keys {
@@ -536,6 +623,12 @@ func (h *Handle[V]) InsertBatch(keys []uint64, values []V) {
 // steady-state drain costs one window build plus max O(1) pops rather than
 // max full scans.
 func (h *Handle[V]) DrainMin(max int, emit func(key uint64, value V)) int {
+	if h.bufCap > 0 && max > h.bufCap {
+		// Let refills inside this drain batch up to the drain size, so a
+		// large drain costs O(max / fill) refills instead of max / bufCap.
+		h.fillHint = max
+		defer func() { h.fillHint = 0 }()
+	}
 	for n := 0; n < max; n++ {
 		k, v, ok := h.TryDeleteMin()
 		if !ok {
@@ -585,44 +678,65 @@ func (h *Handle[V]) findMinCandidate() *item.Item[V] {
 // never surfaces a dropped item (slightly stronger than the paper's
 // maintenance-time-only lazy deletion).
 //
-// The inner loop tracks which side — the handle's DistLSM or the shared
-// k-LSM — supplied each candidate: claiming or losing an item only changes
-// that side, so only it is re-queried, while the other side's candidate is
-// kept (a stale keeper is caught by its taken flag like any other
-// candidate). On top of that, when the shared pointer is unchanged since the
-// last shared candidate and that candidate's key exceeds the local minimum
-// (sharedlsm.MinHint), the shared side is skipped outright: the hint proves
-// both the ρ bound and local ordering hold for the local minimum.
+// The common case is a deletion-buffer pop (see delbuf.go): one anchor
+// check, one version-stamped CAS, zero shared-structure walks. When the
+// buffer cannot serve, the inner loop below tracks which side — the
+// handle's DistLSM or the shared k-LSM — supplied each candidate: claiming
+// or losing an item only changes that side, so only it is re-queried, while
+// the other side's candidate is kept (a stale keeper is caught by its
+// version like any other candidate). On top of that, when the sticky hint
+// proves nothing smaller can be on the shared side
+// (sharedlsm.SkipShared), the shared side is skipped outright — both the ρ
+// bound and local ordering hold for the local minimum.
 func (h *Handle[V]) TryDeleteMin() (key uint64, value V, ok bool) {
+	if h.bufCap > 0 {
+		if k, v, hit := h.bufTryDelete(); hit {
+			return k, v, true
+		}
+	}
 	drop := h.q.cfg.Drop
 	mode := h.q.cfg.Mode
 	for {
-		var local, shared *item.Item[V]
+		var local *item.Item[V]
+		var shared item.Snap[V]
+		var haveShared, sharedOK bool
 		// In DistOnly mode there is no shared side; pretend it was fetched
 		// (and found empty) so the loop below never consults it.
-		haveShared := mode == DistOnly
+		haveShared = mode == DistOnly
 		if mode != SharedOnly {
 			local = h.dist.FindMin()
 		}
 		for {
 			if !haveShared {
-				hint, okHint := h.q.shared.MinHint(h.cursor)
-				if local != nil && okHint && hint >= local.Key() {
+				if local != nil && h.q.shared.SkipShared(h.cursor, local.Key()) {
 					// Skip-shared fast path: nothing smaller over there.
 				} else {
-					shared = h.q.shared.FindMin(h.cursor)
+					shared, sharedOK = h.q.shared.FindMinSnap(h.cursor)
 					haveShared = true
 				}
 			}
-			it := local
+			var it *item.Item[V]
+			var ver uint64
 			fromShared := false
-			if shared != nil && (local == nil || shared.Key() < local.Key()) {
-				it, fromShared = shared, true
+			if local != nil {
+				it, ver = local, 0
+			}
+			if sharedOK && (local == nil || shared.Key < local.Key()) {
+				it, ver, fromShared = shared.It, shared.Ver, true
 			}
 			if it == nil {
 				break // both sides empty: fall through to spy
 			}
-			if it.TryTake() {
+			var won bool
+			if fromShared {
+				// Shared candidates may be window entries retained across
+				// snapshots; the version-stamped CAS claims exactly the
+				// captured incarnation or fails.
+				won = it.TryTakeAt(ver)
+			} else {
+				won = it.TryTake()
+			}
+			if won {
 				h.deleted.Add(1)
 				if drop == nil || !drop(it.Key(), it.Value()) {
 					return it.Key(), it.Value(), true
@@ -633,11 +747,11 @@ func (h *Handle[V]) TryDeleteMin() (key uint64, value V, ok bool) {
 			// by a faster handle); the failed take implies another handle
 			// progressed, so retrying preserves lock-freedom.
 			if fromShared {
-				shared = h.q.shared.FindMin(h.cursor)
+				shared, sharedOK = h.q.shared.FindMinSnap(h.cursor)
 			} else {
 				local = h.dist.FindMin()
 				if mode == Combined {
-					haveShared = haveShared && shared != nil
+					haveShared = haveShared && sharedOK
 				}
 			}
 		}
@@ -681,6 +795,10 @@ func (h *Handle[V]) spy() bool {
 			continue
 		}
 		if h.dist.Spy(v) {
+			if h.bufCap > 0 {
+				// Spied-in items may undercut the fill-time local guard.
+				h.bufInvalidate()
+			}
 			return true
 		}
 	}

@@ -28,6 +28,25 @@ type QueueStats struct {
 	// attempts (the contention measure of §4.1's bottleneck discussion).
 	SharedConsolidatePushes int64
 	SharedInsertRetries     int64
+	// WindowBuilds counts full candidate-window materializations,
+	// WindowRepairs incremental ones, and WindowItems the total candidate
+	// entries materialized by either — the per-delete window cost the
+	// incremental window bounds (the E14/E15 metric).
+	WindowBuilds  int64
+	WindowRepairs int64
+	WindowItems   int64
+	// BufferFills/BufferPops/BufferFlushes count deletion-buffer refills,
+	// deletes served from the buffer, and invalidation flushes that
+	// discarded unconsumed entries.
+	BufferFills   int64
+	BufferPops    int64
+	BufferFlushes int64
+	// HintSkips counts shared-side queries skipped on a valid skip-shared
+	// hint; HintSticks the sticky subset granted by minimum-key
+	// re-validation across a shared publication (MultiQueue-style
+	// stickiness).
+	HintSkips  int64
+	HintSticks int64
 }
 
 // ReclaimStats aggregates the §4.4 item-reclamation counters across all
@@ -111,6 +130,14 @@ func (q *Queue[V]) Stats() QueueStats {
 		s.SpyCalls += h.SpyCalls.Load()
 		s.SharedConsolidatePushes += h.cursor.ConsolidatePushes.Load()
 		s.SharedInsertRetries += h.cursor.InsertRetries.Load()
+		s.WindowBuilds += h.cursor.WindowBuilds.Load()
+		s.WindowRepairs += h.cursor.WindowRepairs.Load()
+		s.WindowItems += h.cursor.WindowItems.Load()
+		s.BufferFills += h.BufFills.Load()
+		s.BufferPops += h.BufPops.Load()
+		s.BufferFlushes += h.BufFlushes.Load()
+		s.HintSkips += h.cursor.HintSkips.Load()
+		s.HintSticks += h.cursor.HintSticks.Load()
 	}
 	return s
 }

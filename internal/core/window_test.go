@@ -87,3 +87,101 @@ func TestWindowRebuildBoundedAtLargeK(t *testing.T) {
 	}
 	t.Logf("drain: %d builds, %d candidates for %d deletes", builds2, items2, drained)
 }
+
+// windowCostCeiling is the pinned amortized window cost: candidates
+// materialized per successful delete under worst-case insert churn at
+// k = 8192. The incremental window (PR 6) repairs only changed blocks'
+// pivot ranges, so the cost is O(new candidates), not O(k): measured ~19
+// per delete where the eager rebuild paid ~k+1 ≈ 8193. The ceiling leaves
+// ~6× headroom over the measured value while sitting ~32× below the old
+// cost — loose enough to survive seed jitter, tight enough that any
+// return to per-snapshot O(k) rebuilds fails loudly. CI greps for this
+// test by name as the window-cost smoke check.
+const windowCostCeiling = 128
+
+// TestWindowCostCeiling pins the incremental candidate window's per-delete
+// materialization cost at large k under insert churn — every insert in
+// SharedOnly mode publishes a new shared snapshot, so every delete faces a
+// changed snapshot and must repair. This is the E15 acceptance metric
+// (≥ 5× below the eager-rebuild cost; the pinned ceiling is 64× below).
+func TestWindowCostCeiling(t *testing.T) {
+	const k = 8192
+	q := NewQueue(Config[int]{K: k, Mode: SharedOnly, LocalOrdering: true})
+	h := q.NewHandle()
+	rng := xrand.NewSeeded(99)
+
+	const prefill = 3 * k / 2
+	for i := 0; i < prefill; i++ {
+		h.Insert(rng.Uint64n(1<<40), i)
+	}
+
+	_, i0 := windowStats(h)
+	const churn = 512
+	deletes := 0
+	for i := 0; i < churn; i++ {
+		h.Insert(rng.Uint64n(1<<40), i)
+		if _, _, ok := h.TryDeleteMin(); ok {
+			deletes++
+		}
+	}
+	_, items := windowStats(h)
+	items -= i0
+	if deletes == 0 {
+		t.Fatal("no deletes succeeded")
+	}
+	perDelete := items / int64(deletes)
+	t.Logf("%d candidates over %d deletes: %d candidates/delete (ceiling %d, k=%d)",
+		items, deletes, perDelete, windowCostCeiling, k)
+	if perDelete > windowCostCeiling {
+		t.Fatalf("window cost regressed: %d candidates/delete exceeds pinned ceiling %d (k=%d)",
+			perDelete, windowCostCeiling, k)
+	}
+}
+
+// TestBatchDrainWindowCost guards the E14 large-batch regression: a
+// DrainMin of B ≥ k used to drain past the candidate window each call and
+// pay an O(k) rebuild per refill, eating the batch-insert win. With the
+// incremental window plus the drain-sized deletion buffer, the amortized
+// window cost of an insert-churn batch loop at B ≥ k must stay a small
+// constant per deleted key.
+func TestBatchDrainWindowCost(t *testing.T) {
+	const (
+		k = 512
+		b = 2 * k // B ≥ k: the regression regime
+	)
+	q := NewQueue(Config[int]{K: k, Mode: Combined, LocalOrdering: true})
+	h := q.NewHandle()
+	rng := xrand.NewSeeded(7)
+
+	keys := make([]uint64, b)
+	fill := func() {
+		for i := range keys {
+			keys[i] = rng.Uint64n(1 << 40)
+		}
+	}
+	fill()
+	h.InsertBatch(keys, nil)
+
+	_, i0 := windowStats(h)
+	deleted := 0
+	const rounds = 16
+	for r := 0; r < rounds; r++ {
+		fill()
+		h.InsertBatch(keys, nil) // churn: each round faces fresh snapshots
+		deleted += h.DrainMin(b, func(uint64, int) {})
+	}
+	_, items := windowStats(h)
+	items -= i0
+	if deleted < rounds*b/2 {
+		t.Fatalf("drained only %d of %d", deleted, rounds*b)
+	}
+	perKey := float64(items) / float64(deleted)
+	t.Logf("%d candidates over %d drained keys: %.1f candidates/key (B=%d, k=%d)",
+		items, deleted, perKey, b, k)
+	// The eager rebuild paid ≥ k+1 candidates per refill with a refill per
+	// ~buffer-size keys — tens of candidates per key. Pin well below that.
+	if perKey > 8 {
+		t.Fatalf("batch-drain window cost regressed: %.1f candidates/key (bound 8, B=%d ≥ k=%d)",
+			perKey, b, k)
+	}
+}

@@ -459,6 +459,77 @@ func (d *Dist[V]) FindMin() *item.Item[V] {
 	return best
 }
 
+// FillMin collects candidates for a per-handle deletion buffer (owner
+// only): up to perBlock live items per block, ascending from each block's
+// minimum, skipping keys above capKey. It returns dst extended and a guard
+// key that lower-bounds every live key left uncollected — keys at or below
+// min(capKey, guard) that FillMin returned are a complete ascending prefix
+// of the Dist's live keys up to that bound, so popping them in order cannot
+// skip a smaller key still stored here (the local-ordering requirement).
+// guard is ^0 when every live key was collected.
+//
+// The entries are version-stamped, not taken: the caller validates each pop
+// with TryTakeAt, and a discarded buffer leaves the items untouched in
+// their blocks. Like FindMin, the walk repopulates the per-block min cache
+// (the refill hook: one pass serves both the buffer and the cache) and
+// trims logically deleted tails. The per-block walk is bounded, so a
+// dead-item-riddled block costs O(perBlock) here and is left to
+// consolidation.
+func (d *Dist[V]) FillMin(dst []item.Snap[V], perBlock int, capKey uint64) ([]item.Snap[V], uint64) {
+	sz := int(d.size.Load())
+	guard := ^uint64(0)
+	for i := 0; i < sz; i++ {
+		b := d.blocks[i].Load()
+		if b == nil || b.ShrinkInPlace() == 0 {
+			if d.minCache {
+				d.mins[i] = nil
+			}
+			continue
+		}
+		f := b.Filled()
+		got := 0
+		scan := perBlock*4 + 16
+		foundMin := false
+		// Blocks are sorted descending, so walking j from f-1 toward 0
+		// yields ascending keys; b.Item(j).Key() lower-bounds every key at
+		// an index <= j, collected or not — the basis of the guard.
+		j := f - 1
+		for ; j >= 0; j-- {
+			if got >= perBlock || scan <= 0 {
+				break
+			}
+			scan--
+			it := b.Item(j)
+			ver := it.Version()
+			if ver&1 != 0 {
+				continue
+			}
+			if !foundMin && d.minCache {
+				d.mins[i] = it
+				foundMin = true
+			}
+			k := it.Key()
+			if k > capKey {
+				break
+			}
+			dst = append(dst, item.Snap[V]{It: it, Ver: ver, Key: k})
+			got++
+		}
+		if !foundMin && d.minCache {
+			d.mins[i] = nil
+		}
+		if j >= 0 {
+			if g := b.Item(j).Key(); g < guard {
+				guard = g
+			}
+		}
+	}
+	if d.minCache {
+		d.cacheLen = sz
+	}
+	return dst, guard
+}
+
 // scanBlockMin trims block i's logically deleted tail and returns its live
 // minimum, or nil when the slot is empty or fully dead (owner only).
 func (d *Dist[V]) scanBlockMin(i int) *item.Item[V] {

@@ -71,11 +71,28 @@ func Figure4Specs(k int) []QueueSpec {
 // the throughput tool but are not part of the paper's Figure 3 legend (so
 // "all" and the figure benchmarks stay faithful to the paper).
 func ExtraSpecs() []QueueSpec {
-	return []QueueSpec{
+	specs := []QueueSpec{
 		{Name: "kLSM(256)-nomincache", New: func(int) pqs.Queue { return klsmq.NewNoMinCache(256) }},
 		{Name: "kLSM(256)-nopool", New: func(int) pqs.Queue { return klsmq.NewNoPooling(256) }},
 		{Name: "kLSM(256)-noreclaim", New: func(int) pqs.Queue { return klsmq.NewNoReclaim(256) }},
 	}
+	// Deletion-buffer and sticky-hint ablations (E15/E16) plus the large-k
+	// frontier points of the window sweep, at every k the sweep visits.
+	for _, k := range []int{256, 4096, 8192, 65536} {
+		k := k
+		specs = append(specs,
+			QueueSpec{Name: fmt.Sprintf("kLSM(%d)-nobuf", k), New: func(int) pqs.Queue { return klsmq.NewNoDelBuf(k) }},
+			QueueSpec{Name: fmt.Sprintf("kLSM(%d)-nosticky", k), New: func(int) pqs.Queue { return klsmq.NewNoSticky(k) }},
+		)
+	}
+	for _, k := range []int{8192, 65536} {
+		k := k
+		specs = append(specs, QueueSpec{
+			Name: fmt.Sprintf("kLSM(%d)", k),
+			New:  func(int) pqs.Queue { return klsmq.New(k) },
+		})
+	}
+	return specs
 }
 
 // LookupFigure3 returns the named specs (comma-separated list, "all" for

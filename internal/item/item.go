@@ -95,6 +95,19 @@ func (it *Item[V]) TryTake() bool {
 	return v&1 == 0 && it.flag.CompareAndSwap(v, v+1)
 }
 
+// TryTakeAt attempts to logically delete the item against a version captured
+// earlier (an even value returned by Version while the item was pinned by one
+// of the block-reclamation proofs). Unlike TryTake it never re-loads the
+// flag: the CAS succeeds only when the item is still the same live
+// incarnation the caller captured, so a reference held *without* any pin — a
+// candidate-window entry or deletion-buffer entry that outlived its source
+// snapshot — can be claimed safely: if the item was taken, or taken and
+// recycled into a new incarnation, the version has moved and the attempt
+// fails instead of deleting an item the caller never selected.
+func (it *Item[V]) TryTakeAt(ver uint64) bool {
+	return ver&1 == 0 && it.flag.CompareAndSwap(ver, ver+1)
+}
+
 // Ref acquires one reference on behalf of a block lineage about to hold the
 // item. Callers must already hold a safe path to the item (a slot in a
 // block that itself holds a reference, or exclusive ownership of a freshly
@@ -118,6 +131,25 @@ func (it *Item[V]) Unref() bool {
 
 // Refs returns the current reference count, for tests and diagnostics.
 func (it *Item[V]) Refs() int64 { return it.refs.Load() }
+
+// Snap is a version-stamped reference to an item: the pointer plus the even
+// flag value and key observed while the holder still had a safe path to the
+// item. Snaps are how the candidate window and the per-handle deletion
+// buffer carry items across snapshot changes without any pin: Go's GC keeps
+// the Item struct itself alive, and TryTakeAt(Ver) claims exactly the
+// captured incarnation or fails. Key caches it.Key() from capture time — the
+// key of an incarnation never mutates, so it stays correct for exactly as
+// long as the version check passes.
+type Snap[V any] struct {
+	It  *Item[V]
+	Ver uint64
+	Key uint64
+}
+
+// Live reports whether the referenced incarnation is still live: the flag has
+// not moved since capture. A true result may be stale immediately; claiming
+// requires It.TryTakeAt(Ver).
+func (s Snap[V]) Live() bool { return s.It.flag.Load() == s.Ver }
 
 // Reset revives a taken item with a new key and payload for reuse (§4.4).
 // The caller must guarantee exclusive ownership: the item must be taken and

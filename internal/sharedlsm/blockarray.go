@@ -60,6 +60,16 @@ type BlockArray[V any] struct {
 	pivots []int
 	// k is the relaxation parameter the pivots were computed for.
 	k int
+	// pivotKey is the pivot key the offsets were computed against: one of
+	// the k+1 smallest keys present at calculation time. Every candidate in
+	// the pivot ranges has key <= pivotKey, and at most k keys present are
+	// strictly smaller — the window uses it as its entry-validity bound.
+	pivotKey uint64
+	// minKey is the smallest key present at the last pivot calculation
+	// (^0 when the array was empty). The array is immutable once published
+	// except for shrinking, so minKey lower-bounds every key the array can
+	// ever hold — the sticky skip-shared hint re-validates against it.
+	minKey uint64
 	// published marks arrays that won their CAS. Set by the owning cursor
 	// just before the publication attempt and cleared on failure, so it is
 	// only ever written while the array is private; cursors use it to
@@ -79,6 +89,8 @@ func (a *BlockArray[V]) copyInto(dst *BlockArray[V]) {
 	dst.blocks = append(dst.blocks[:0], a.blocks...)
 	dst.pivots = append(dst.pivots[:0], a.pivots...)
 	dst.k = a.k
+	dst.pivotKey = a.pivotKey
+	dst.minKey = a.minKey
 	dst.published = false
 }
 
@@ -307,6 +319,8 @@ func (a *BlockArray[V]) calculatePivots(al *alloc[V]) {
 	} else {
 		a.pivots = a.pivots[:n]
 	}
+	a.pivotKey = 0
+	a.minKey = ^uint64(0)
 	if n == 0 {
 		return
 	}
@@ -384,11 +398,15 @@ func (a *BlockArray[V]) calculatePivots(al *alloc[V]) {
 	for taken := 0; taken <= a.k && len(heapArr) > 0; taken++ {
 		c := heapPop()
 		pivot = c.key
+		if taken == 0 {
+			a.minKey = c.key
+		}
 		if c.idx > 0 {
 			ni := c.idx - 1
 			heapPush(cur{key: a.blocks[c.blk].Item(ni).Key(), blk: c.blk, idx: ni})
 		}
 	}
+	a.pivotKey = pivot
 
 	// Per block, find the first index whose key is <= pivot. Blocks are
 	// sorted descending, so this is a standard binary search.
@@ -400,41 +418,113 @@ func (a *BlockArray[V]) calculatePivots(al *alloc[V]) {
 	}
 }
 
-// candWindow is a cursor's cached delete-min candidate window. Recomputing
-// the candidate set — walking every block's pivot range and re-running the
-// Bloom-filter local-ordering scan — on every FindMin call dominates the
-// delete side once allocation is gone, yet the set only changes when the
-// private snapshot does. The window therefore materializes the candidate
-// items once per snapshot state, in a uniformly shuffled order, and
-// successive FindMin calls pop from it: drawing without replacement from the
-// same ≤ k+1 smallest keys the paper's per-call uniform draw targets, with
-// strictly fewer repeat collisions between concurrent deleters. Validity is
-// (snap pointer, generation) equality — the generation counts in-place
-// snapshot mutations, which pointer identity alone cannot see (consolidation
-// mutates the snapshot in place, and superseded shells are recycled).
+// candWindow is a cursor's cached delete-min candidate window, maintained
+// incrementally across snapshot states. Recomputing the candidate set —
+// walking every block's pivot range and re-running the Bloom-filter
+// local-ordering scan — on every FindMin call dominates the delete side once
+// allocation is gone, and rebuilding it from scratch on every snapshot change
+// (the previous design) costs O(k) per insert-churned delete at large k
+// (EXPERIMENTS E14). The window therefore keeps its entries across snapshot
+// changes and, on each sync, materializes only what the new state added: the
+// pivot ranges of blocks it has never seen, and the extension [p_new, lo) of
+// blocks whose pivot offset moved below the low-water mark lo already
+// materialized (known tracks lo per block). Taken and out-of-range entries
+// are trimmed lazily, at draw time.
 //
-// Candidates are item pointers, so a stale window entry is detected exactly
-// like everywhere else in the structure: its taken flag. Items referenced by
-// a published block are never recycled (§4.4), so a not-taken entry is still
-// a key that was within the snapshot's k+1 smallest.
+// Entries are version-stamped item references (item.Snap), not pinned
+// pointers: an entry may outlive the snapshot (and the §4.4 pin) it was read
+// under, and the item may be taken, recycled and Reset into a new incarnation
+// meanwhile. The version check at draw time — and TryTakeAt in the caller —
+// detects exactly that, so a retained entry is either the same live
+// incarnation whose key was once within a snapshot's k+1 smallest, or it is
+// discarded.
+//
+// Why a retained entry still satisfies the rank bound: a live item present in
+// a published array is present in every later published array (merges carry
+// live items forward; consolidation filters only taken/dropped ones), and
+// the cursor's snapshot is a copy of a published array it validated against
+// the shared pointer. So a live entry with key <= the *current* snapshot's
+// pivotKey is inside the current candidate bound — at most k keys of the
+// snapshot multiset are strictly smaller — regardless of which snapshot it
+// was materialized under. Entry validity at draw time is therefore exactly:
+// version unchanged AND key <= bound (the sync-time pivotKey).
+//
+// Random pop order: instead of shuffling the whole window up front, next()
+// draws one entry uniformly at random from the unconsumed suffix and swaps it
+// to the front — an on-demand Fisher–Yates step, identical in distribution to
+// the eager shuffle but O(1) per draw and compatible with appends. Two
+// bounded deviations from the per-call uniform draw are documented in
+// DESIGN.md: an item that migrated between blocks across a consolidation can
+// transiently hold two valid entries (double draw weight) until one is
+// consumed or a full rebuild dedups it, and entries the deletion buffer
+// consumed pop in ascending key order. Neither affects the rank bound, which
+// needs only that every returned key is within the pivot bound.
 type candWindow[V any] struct {
 	snap *BlockArray[V]
 	gen  uint64
 	pos  int
-	// items is the shuffled candidate set; pos advances past taken entries.
-	items []*item.Item[V]
+	// bound is the snapshot's pivotKey at the last sync: an entry is a valid
+	// candidate iff its version is unchanged and its key is <= bound.
+	bound uint64
+	// dirty marks that live candidates may have left the window without
+	// being taken — consumed into a deletion buffer, or discarded because
+	// the bound moved below their key — since the last full build. A dry
+	// window with dirty set must rebuild fully (re-materializing them from
+	// the blocks, where they still live) before concluding the candidate
+	// set is exhausted; otherwise those items would be unreachable until an
+	// unrelated structural change.
+	dirty bool
+	// items is the candidate set: [0, pos) is consumed, [pos, len) is the
+	// pool next() draws from.
+	items []item.Snap[V]
+	// known records, per block of the synced state, the lowest pivot index
+	// already materialized; sync extends only below it. scratch is the
+	// previous generation's backing array, recycled to avoid allocation.
+	known   []winSrc[V]
+	scratch []winSrc[V]
 	// local caches the blocks whose Bloom filter may contain the owning
 	// handle's id, so the local-ordering overlay skips the per-call filter
-	// scan over all blocks.
+	// scan over all blocks. lcur/lkey/lver are fillLocal's per-block merge
+	// cursors and cached head entries, kept here to avoid per-fill
+	// allocations.
 	local []*block.Block[V]
+	lcur  []int
+	lkey  []uint64
+	lver  []uint64
 }
 
-// build materializes the candidate window for array a at generation gen:
-// every not-yet-taken item inside the pivot ranges, shuffled with rng, plus
-// the Bloom-matching block list for localID (-1 disables local ordering).
-func (w *candWindow[V]) build(a *BlockArray[V], gen uint64, rng *xrand.Source, localID int64) {
-	w.snap, w.gen, w.pos = a, gen, 0
-	w.items = w.items[:0]
+// winSrc is the window's per-block low-water mark: indices [lo, filled) of
+// blk have been materialized (under some earlier filled value; filled only
+// shrinks, so the range can only have lost entries since).
+type winSrc[V any] struct {
+	blk *block.Block[V]
+	lo  int
+}
+
+// windowSlack bounds the garbage the window tolerates before a full rebuild:
+// once the unconsumed suffix exceeds this, most of it is dead or out of
+// range (the live in-bound candidates number at most k+1) and the rebuild is
+// cheaper than draw-time trimming of the accumulated entries.
+func windowSlack(k int) int { return 2*(k+1) + 64 }
+
+// sync brings the window up to date with array a at generation gen. When
+// full is false it repairs incrementally: new blocks contribute their whole
+// pivot range, known blocks only the extension below their low-water mark.
+// A full build (forced, first use, or slack exceeded) resets and
+// materializes every pivot range. It returns the number of entries
+// materialized and whether a full build ran.
+func (w *candWindow[V]) sync(a *BlockArray[V], gen uint64, localID int64, full bool) (int, bool) {
+	if !full {
+		full = len(w.known) == 0 || len(w.items)-w.pos > windowSlack(a.k)
+	}
+	if full {
+		w.items = w.items[:0]
+		w.pos = 0
+		w.known = w.known[:0]
+		w.dirty = false
+	}
+	mat := 0
+	nk := w.scratch[:0]
 	w.local = w.local[:0]
 	for i, b := range a.blocks {
 		f := b.Filled()
@@ -442,33 +532,80 @@ func (w *candWindow[V]) build(a *BlockArray[V], gen uint64, rng *xrand.Source, l
 		if p > f {
 			p = f
 		}
-		for j := p; j < f; j++ {
-			if it := b.Item(j); !it.Taken() {
-				w.items = append(w.items, it)
+		// hi is the exclusive end of the range still to materialize: the
+		// whole clamped pivot range for unseen blocks, only [p, lo) for
+		// blocks already materialized down to lo.
+		lo, hi := p, f
+		for _, src := range w.known {
+			if src.blk == b {
+				if src.lo < lo {
+					lo = src.lo
+				}
+				if src.lo < hi {
+					hi = src.lo
+				}
+				break
 			}
 		}
+		for j := p; j < hi; j++ {
+			it := b.Item(j)
+			ver := it.Version()
+			if ver&1 != 0 {
+				continue
+			}
+			w.items = append(w.items, item.Snap[V]{It: it, Ver: ver, Key: it.Key()})
+			mat++
+		}
+		nk = append(nk, winSrc[V]{blk: b, lo: lo})
 		if localID >= 0 && b.Bloom().MayContain(uint64(localID)) {
 			w.local = append(w.local, b)
 		}
 	}
-	for i := len(w.items) - 1; i > 0; i-- {
-		j := rng.Intn(i + 1)
-		w.items[i], w.items[j] = w.items[j], w.items[i]
+	w.scratch = w.known[:0]
+	w.known = nk
+	w.snap, w.gen = a, gen
+	w.bound = a.pivotKey
+	if !full {
+		// Entries whose key now exceeds the (possibly lowered) bound are
+		// stranded until a rebuild; be conservative and mark the window.
+		w.dirty = true
 	}
+	return mat, full
 }
 
-// next returns the first live candidate at or after pos, or nil when the
-// window is exhausted. pos is not advanced past a live candidate: if the
-// caller loses the race for it, the next call skips it via its taken flag.
-func (w *candWindow[V]) next() *item.Item[V] {
+// next draws one valid candidate uniformly at random from the unconsumed
+// entries (an on-demand Fisher–Yates step: swap the drawn entry to pos) and
+// returns it without consuming it — if the caller loses the take race, the
+// next draw revalidates it via its version. Invalid entries encountered are
+// compacted away. ok is false when no valid entry remains.
+func (w *candWindow[V]) next(rng *xrand.Source) (item.Snap[V], bool) {
 	for w.pos < len(w.items) {
-		it := w.items[w.pos]
-		if !it.Taken() {
-			return it
+		j := w.pos
+		if n := len(w.items) - w.pos; n > 1 {
+			j += rng.Intn(n)
+		}
+		e := w.items[j]
+		w.items[j] = w.items[w.pos]
+		w.items[w.pos] = e
+		if e.It.Version() == e.Ver {
+			if e.Key <= w.bound {
+				return e, true
+			}
+			// Live but above the current bound: stranded until rebuild.
+			w.dirty = true
 		}
 		w.pos++
 	}
-	return nil
+	return item.Snap[V]{}, false
+}
+
+// consume advances past the entry next just returned, removing it from the
+// draw pool. Used by the deletion-buffer fill, which claims entries later
+// (by version) rather than immediately; the window marks itself dirty since
+// the entry may never be taken and must then be recoverable by rebuild.
+func (w *candWindow[V]) consume() {
+	w.pos++
+	w.dirty = true
 }
 
 // localOverlay applies local ordering on top of the drawn candidate: the
@@ -477,9 +614,10 @@ func (w *candWindow[V]) next() *item.Item[V] {
 // deleted tail is trimmed in place first (the paper's benign only-shrinking
 // race on filled) — otherwise the item the caller took one call ago would be
 // handed back as a dead candidate and trigger a full consolidation per
-// delete. The returned item may still be logically deleted under a race —
-// the caller treats that as the consolidate signal.
-func (w *candWindow[V]) localOverlay(cand *item.Item[V]) *item.Item[V] {
+// delete. The returned snap may reference a logically deleted item under a
+// race (odd Ver) — the caller treats that as the consolidate signal, because
+// the block's true live minimum may still undercut the candidate.
+func (w *candWindow[V]) localOverlay(cand item.Snap[V]) item.Snap[V] {
 	for _, b := range w.local {
 		if b.ShrinkInPlace() == 0 {
 			continue
@@ -488,11 +626,108 @@ func (w *candWindow[V]) localOverlay(cand *item.Item[V]) *item.Item[V] {
 		if it == nil {
 			continue
 		}
-		if cand == nil || it.Key() < cand.Key() {
-			cand = it
+		if k := it.Key(); k < cand.Key {
+			cand = item.Snap[V]{It: it, Ver: it.Version(), Key: k}
 		}
 	}
 	return cand
+}
+
+// fillLocal collects the room globally-smallest live keys across the
+// caller's Bloom-matching blocks — a k-way ascending merge of the blocks'
+// live prefixes, none above capKey — for a deletion buffer, and returns the
+// guard: a key lower-bounding every live key of those blocks that was NOT
+// collected (^0 when everything was). Ascending buffered pops at or below
+// min(capKey, guard) can never skip one of the owner's smaller
+// shared-resident keys: any such key was collected into the same buffer and
+// sorts first. This is what lets the buffer hold several own-block
+// candidates at once, where the draw path's overlay bound admits only the
+// single current minimum. The merge matters: filling block-by-block lets
+// one block exhaust room with keys that a later block's minimum then cuts
+// at the guard, shrinking the effective fill to a handful of entries.
+// Entries are not consumed from the window; the version check at pop time
+// discards the duplicates.
+func (w *candWindow[V]) fillLocal(dst []item.Snap[V], room int, capKey uint64) ([]item.Snap[V], uint64) {
+	guard := ^uint64(0)
+	if len(w.local) == 0 || room <= 0 {
+		return dst, guard
+	}
+	// Blocks are sorted descending, so walking j downward yields ascending
+	// keys; cur[i] is block i's smallest uncollected index (-1 = exhausted).
+	// Each block's head candidate (index, key, version) is cached so a merge
+	// pick costs len(local) integer compares plus one head reload, not a
+	// rescan of every block's atomics. advance skips dead entries and folds
+	// keys beyond capKey into the guard (taken entries below j lower-bound
+	// the live ones above, so such a key bounds the whole uncollected rest).
+	cur, keys, vers := w.lcur[:0], w.lkey[:0], w.lver[:0]
+	advance := func(b *block.Block[V], j int) (int, uint64, uint64) {
+		for j >= 0 {
+			it := b.Item(j)
+			ver := it.Version()
+			if ver&1 == 0 {
+				k := it.Key()
+				if k > capKey {
+					if k < guard {
+						guard = k
+					}
+					break
+				}
+				return j, k, ver
+			}
+			j--
+		}
+		return -1, 0, 0
+	}
+	for _, b := range w.local {
+		j, k, v := advance(b, b.ShrinkInPlace()-1)
+		cur, keys, vers = append(cur, j), append(keys, k), append(vers, v)
+	}
+	w.lcur, w.lkey, w.lver = cur, keys, vers
+	for room > 0 {
+		best := -1
+		var bestKey uint64
+		for i, k := range keys {
+			if cur[i] >= 0 && (best < 0 || k < bestKey) {
+				best, bestKey = i, k
+			}
+		}
+		if best < 0 {
+			return dst, guard
+		}
+		b := w.local[best]
+		dst = append(dst, item.Snap[V]{It: b.Item(cur[best]), Ver: vers[best], Key: bestKey})
+		room--
+		cur[best], keys[best], vers[best] = advance(b, cur[best]-1)
+	}
+	// room exhausted: the smallest uncollected live key caps the guard.
+	for i, k := range keys {
+		if cur[i] >= 0 && k < guard {
+			guard = k
+		}
+	}
+	return dst, guard
+}
+
+// overlayBound returns a key that lower-bounds the live minimum of every
+// Bloom-matching block: candidates at or below it cannot violate local
+// ordering. Taken block minima are handled conservatively (their key still
+// lower-bounds the block's live minimum, keys being sorted). ^0 when no
+// local blocks exist.
+func (w *candWindow[V]) overlayBound() uint64 {
+	ov := ^uint64(0)
+	for _, b := range w.local {
+		if b.ShrinkInPlace() == 0 {
+			continue
+		}
+		it := b.Min()
+		if it == nil {
+			continue
+		}
+		if k := it.Key(); k < ov {
+			ov = k
+		}
+	}
+	return ov
 }
 
 // findMin draws one item uniformly from the candidate set (Listing 2's

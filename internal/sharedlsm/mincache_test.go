@@ -126,6 +126,87 @@ func TestMinHintDisabled(t *testing.T) {
 	}
 }
 
+// TestStickyHintCrossPublication covers the sticky generalization of the
+// skip-shared hint: a publication that moves the shared pointer no longer
+// kills the hint outright — the skip is re-granted when the new array's
+// minimum-key floor proves the shared side holds nothing below the local
+// key, re-arming the hint on the new array; the budget bounds consecutive
+// sticks and an undercutting publication denies and resets.
+func TestStickyHintCrossPublication(t *testing.T) {
+	s := newCached(4, true)
+	s.SetStickyHint(2)
+	c := newCursor(s, 1)
+	insertKeys(s, c, 100, 200, 300)
+	it := s.FindMin(c)
+	if it == nil || it.Key() != 100 {
+		t.Fatalf("FindMin = %v, want key 100", it)
+	}
+	// Exact path: same array, local key at or below the hint — no stick.
+	if !s.SkipShared(c, 50) {
+		t.Fatal("exact-array skip denied")
+	}
+	if got := c.HintSticks.Load(); got != 0 {
+		t.Fatalf("exact skip counted as a stick: %d", got)
+	}
+	// A publication moves the pointer; the floor 100 ≥ 50 proves no shared
+	// key undercuts the local one → sticky skip, hint re-armed.
+	insertKeys(s, c, 150)
+	if !s.SkipShared(c, 50) {
+		t.Fatal("sticky skip denied despite floor ≥ local key")
+	}
+	if got := c.HintSticks.Load(); got != 1 {
+		t.Fatalf("HintSticks = %d, want 1", got)
+	}
+	// Re-armed on the new array: the next skip is exact again.
+	if !s.SkipShared(c, 50) {
+		t.Fatal("re-armed skip denied")
+	}
+	if got := c.HintSticks.Load(); got != 1 {
+		t.Fatalf("exact skip after re-arm counted as a stick: %d", got)
+	}
+	// Budget: a second consecutive stick is the last the budget of 2 allows.
+	insertKeys(s, c, 160)
+	if !s.SkipShared(c, 50) {
+		t.Fatal("second sticky skip denied")
+	}
+	insertKeys(s, c, 170)
+	if s.SkipShared(c, 50) {
+		t.Fatal("sticky skip granted past the budget")
+	}
+	// A real shared query resets the streak and re-arms.
+	if s.FindMin(c) == nil {
+		t.Fatal("FindMin found nothing")
+	}
+	insertKeys(s, c, 180)
+	if !s.SkipShared(c, 50) {
+		t.Fatal("sticky skip denied after streak reset")
+	}
+	// An undercutting publication (floor below the local key) must deny:
+	// the shared side now holds a key the local minimum does not dominate.
+	insertKeys(s, c, 10)
+	if s.SkipShared(c, 50) {
+		t.Fatal("skip granted with shared key 10 below local 50")
+	}
+}
+
+// TestStickyHintDisabled: with a zero sticky budget the hint dies with its
+// array — the pre-sticky MinHint behavior.
+func TestStickyHintDisabled(t *testing.T) {
+	s := newCached(4, true)
+	c := newCursor(s, 1)
+	insertKeys(s, c, 100)
+	if s.FindMin(c) == nil {
+		t.Fatal("FindMin found nothing")
+	}
+	if !s.SkipShared(c, 50) {
+		t.Fatal("exact-array skip denied")
+	}
+	insertKeys(s, c, 150)
+	if s.SkipShared(c, 50) {
+		t.Fatal("cross-publication skip granted with stickiness disabled")
+	}
+}
+
 // TestMinCachingWindowExhaustion drains far past one window's worth of
 // candidates so exhaustion → pivot recalculation → rebuild cycles are
 // exercised.

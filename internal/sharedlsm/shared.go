@@ -56,11 +56,17 @@ type Shared[V any] struct {
 	localOrdering bool
 	// minCaching enables the per-cursor candidate-window cache (and the
 	// MinHint fast path built on it): FindMin pops successive candidates
-	// from a window computed once per snapshot state instead of re-running
-	// the pivot-range draw and Bloom scan on every call. Semantics are
-	// identical either way — every candidate the window supplies is within
-	// the same k+1-smallest bound. Set before the queue is shared.
+	// from a window maintained incrementally across snapshot states instead
+	// of re-running the pivot-range draw and Bloom scan on every call.
+	// Semantics are identical either way — every candidate the window
+	// supplies is within the same k+1-smallest bound. Set before the queue
+	// is shared.
 	minCaching bool
+	// stickyOps bounds how many consecutive skip-shared decisions a cursor
+	// may re-validate across shared publications (the MultiQueue-style
+	// sticky hint); 0 disables the sticky extension and the hint dies with
+	// its array, as in MinHint. Set before the queue is shared.
+	stickyOps int
 
 	// epoch counts winning publications that dropped blocks.
 	epoch atomic.Uint64
@@ -103,6 +109,12 @@ func (s *Shared[V]) SetDrop(drop block.DropFunc[V]) { s.drop = drop }
 // SetMinCaching toggles the candidate-window cache on cursors of this
 // structure. Must be called before the queue is shared.
 func (s *Shared[V]) SetMinCaching(enabled bool) { s.minCaching = enabled }
+
+// SetStickyHint sets the sticky skip-shared budget: the number of
+// consecutive operations a cursor's hint may survive shared publications by
+// re-validating against the new array's minimum-key floor (see SkipShared).
+// 0 disables stickiness. Must be called before the queue is shared.
+func (s *Shared[V]) SetStickyHint(ops int) { s.stickyOps = ops }
 
 // SetGuard installs the queue-wide reader guard gating block reclamation
 // (§4.4). Must be called before the queue is shared; leaving it unset only
@@ -164,22 +176,34 @@ type Cursor[V any] struct {
 	// k live keys in the shared structure are smaller) and the minima of
 	// every block that may hold this handle's items — so a caller whose
 	// local minimum is <= hintKey may skip the shared side entirely (see
-	// MinHint). Owner-only.
+	// MinHint and SkipShared). Owner-only.
 	hintArr *BlockArray[V]
 	hintKey uint64
+	// hintStreak counts consecutive sticky re-validations (SkipShared skips
+	// granted across a publication); reset whenever the shared side is
+	// actually queried or a re-validation fails, so stickiness cannot starve
+	// the shared structure of maintenance. Owner-only.
+	hintStreak int
 
 	// ConsolidatePushes counts published consolidations, for the ablation
 	// benchmarks. Atomic so diagnostics can read counters concurrently.
 	ConsolidatePushes atomic.Int64
 	// InsertRetries counts failed insert CAS attempts.
 	InsertRetries atomic.Int64
-	// WindowBuilds counts candidate-window materializations and WindowItems
-	// the total candidates materialized into them — the O(k) rebuild work
-	// the ROADMAP flags for large k under insert churn. The regression test
-	// guarding that cost (and any future lazy-materialization work) reads
-	// these.
-	WindowBuilds atomic.Int64
-	WindowItems  atomic.Int64
+	// WindowBuilds counts full candidate-window materializations,
+	// WindowRepairs incremental ones, and WindowItems the total candidate
+	// entries materialized by either — the per-delete window cost the E14
+	// regression flagged at large k. The regression test guarding that cost
+	// reads these.
+	WindowBuilds  atomic.Int64
+	WindowRepairs atomic.Int64
+	WindowItems   atomic.Int64
+	// HintSkips counts shared-side queries skipped on a valid hint
+	// (exact-pointer or sticky); HintSticks counts the sticky subset, where
+	// the skip was granted by minimum-key re-validation across a
+	// publication rather than pointer equality.
+	HintSkips  atomic.Int64
+	HintSticks atomic.Int64
 }
 
 // NewCursor returns a cursor for handle id and registers it with the
@@ -498,64 +522,115 @@ func (s *Shared[V]) Insert(c *Cursor[V], nb *block.Block[V]) *block.Block[V] {
 // FindMin returns a live item that is one of the k+1 smallest keys in the
 // shared k-LSM, or nil if the queue is (relaxed-)empty. The item is not
 // taken; callers race on item.TryTake and call FindMin again on failure.
+// New callers should prefer FindMinSnap, whose version-stamped result stays
+// claimable (TryTakeAt) even for window entries retained across snapshots.
+func (s *Shared[V]) FindMin(c *Cursor[V]) *item.Item[V] {
+	e, ok := s.FindMinSnap(c)
+	if !ok {
+		return nil
+	}
+	return e.It
+}
+
+// syncWindow brings c's candidate window up to date with its snapshot state,
+// preferring an incremental repair over a full rebuild, and maintains the
+// window cost counters. Caller guarantees c.snapshot != nil.
+func (s *Shared[V]) syncWindow(c *Cursor[V], localID int64) {
+	if c.win.snap == c.snapshot && c.win.gen == c.gen {
+		return
+	}
+	mat, full := c.win.sync(c.snapshot, c.gen, localID, false)
+	if full {
+		c.WindowBuilds.Add(1)
+	} else {
+		c.WindowRepairs.Add(1)
+	}
+	c.WindowItems.Add(int64(mat))
+}
+
+// localID returns the Bloom-filter identity FindMin enforces local ordering
+// with, or -1 when local ordering is off.
+func (s *Shared[V]) localID(c *Cursor[V]) int64 {
+	if s.localOrdering {
+		return int64(c.id)
+	}
+	return -1
+}
+
+// FindMinSnap is FindMin returning a version-stamped reference: callers
+// claim the result with It.TryTakeAt(Ver), which fails — instead of deleting
+// a different incarnation — if the item was taken (and possibly recycled)
+// since the window captured it. ok is false when the queue is
+// (relaxed-)empty.
 //
 // This is Listing 3's find_min loop: stale candidates trigger consolidation
 // of the private snapshot, and structural changes are pushed so other
 // threads benefit from the cleanup. With min caching on, the per-call
-// pivot-range draw and Bloom scan are replaced by pops from the cursor's
-// candidate window, rebuilt only when the snapshot state changed.
-func (s *Shared[V]) FindMin(c *Cursor[V]) *item.Item[V] {
+// pivot-range draw and Bloom scan are replaced by draws from the cursor's
+// candidate window, which is repaired incrementally when the snapshot state
+// changes and rebuilt in full only when entries may have been stranded (see
+// candWindow).
+func (s *Shared[V]) FindMinSnap(c *Cursor[V]) (item.Snap[V], bool) {
 	for {
 		if s.ptr.Load() != c.observed {
 			s.refresh(c)
 		}
 		if c.snapshot == nil {
-			return nil
+			return item.Snap[V]{}, false
 		}
-		localID := int64(-1)
-		if s.localOrdering {
-			localID = int64(c.id)
-		}
-		var it *item.Item[V]
+		localID := s.localID(c)
+		dry := false
 		if s.minCaching {
-			if c.win.snap != c.snapshot || c.win.gen != c.gen {
-				c.win.build(c.snapshot, c.gen, c.rng, localID)
-				c.WindowBuilds.Add(1)
-				c.WindowItems.Add(int64(len(c.win.items)))
-			}
+			s.syncWindow(c, localID)
 			// Only a window-backed candidate may be returned: the local-
 			// ordering overlay competes *downward* against it, so the
 			// result's key is <= the window entry's key <= pivot and the
 			// k+1 bound holds. When the window runs dry, an overlay-only
 			// block minimum would bound nothing — arbitrarily many smaller
 			// live keys can sit in other blocks — so fall through to the
-			// consolidation below (it == nil forces the pivot
-			// recalculation), which refills the window. (Returning the
-			// overlay-only minimum here was a genuine relaxation violation,
-			// caught by the k-bound quality suite at k=0.)
-			if wit := c.win.next(); wit != nil {
-				it = c.win.localOverlay(wit)
-				if !it.Taken() {
-					// Record the skip-shared hint: it.Key() <= wit's key <=
-					// pivot (so at most k live shared keys are smaller) and
-					// <= every Bloom-matching block minimum (so skipping
-					// cannot violate local ordering).
-					c.hintArr, c.hintKey = c.observed, it.Key()
-					return it
+			// consolidation below (dry forces the pivot recalculation),
+			// which extends the window. (Returning the overlay-only minimum
+			// here was a genuine relaxation violation, caught by the k-bound
+			// quality suite at k=0.)
+			if e, ok := c.win.next(c.rng); ok {
+				e = c.win.localOverlay(e)
+				if e.Ver&1 == 0 {
+					// Record the skip-shared hint: e.Key <= the drawn entry's
+					// key <= pivot (so at most k live shared keys are
+					// smaller) and <= every Bloom-matching block minimum (so
+					// skipping cannot violate local ordering). A real query
+					// ran, so the sticky streak restarts.
+					c.hintArr, c.hintKey = c.observed, e.Key
+					c.hintStreak = 0
+					return e, true
 				}
+				// Overlay handed back a taken block minimum: the block's
+				// live minimum may undercut every candidate — consolidate.
+			} else if c.win.dirty {
+				// The window ran dry but entries were consumed unclaimed or
+				// stranded since the last full build; they are still live in
+				// the blocks, so rebuild before concluding exhaustion.
+				mat, _ := c.win.sync(c.snapshot, c.gen, localID, true)
+				c.WindowBuilds.Add(1)
+				c.WindowItems.Add(int64(mat))
+				continue
+			} else {
+				dry = true
 			}
 		} else {
-			it = c.snapshot.findMin(c.rng, localID)
-			if it != nil && !it.Taken() {
-				return it
+			it := c.snapshot.findMin(c.rng, localID)
+			if it == nil {
+				dry = true
+			} else if v := it.Version(); v&1 == 0 {
+				return item.Snap[V]{It: it, Ver: v, Key: it.Key()}, true
 			}
 		}
 		// Candidate stale (or no candidates): clean up. When the candidate
-		// window is exhausted (nil), pivots must be recalculated to extend
-		// it; for a merely-stale candidate the recalculation is only worth
-		// it if the pass changes the structure (consolidate decides).
+		// set is exhausted (dry), pivots must be recalculated to extend it;
+		// for a merely-stale candidate the recalculation is only worth it
+		// if the pass changes the structure (consolidate decides).
 		c.gen++ // consolidate mutates the snapshot in place
-		push := c.snapshot.consolidate(s.drop, it == nil, c.al)
+		push := c.snapshot.consolidate(s.drop, dry, c.al)
 		if c.snapshot.empty() {
 			if !c.snapshot.published {
 				c.al.discardFresh()
@@ -575,6 +650,148 @@ func (s *Shared[V]) FindMin(c *Cursor[V]) *item.Item[V] {
 	}
 }
 
+// FillCandidates moves up to max candidates into dst for a per-handle
+// deletion buffer: random window draws below the overlay bound (consumed
+// from the window without being taken) plus the ascending live prefixes of
+// the caller's own Bloom-matching blocks (left in place; pop-time version
+// checks discard the window duplicates). On return with a non-empty append
+// or a usable bound, anchor is the published array the entries were drawn
+// under and capKey a key such that, while the shared pointer still equals
+// anchor, (a) at most k live keys in the shared structure are below capKey
+// and (b) every live key below capKey in a Bloom-matching block of the
+// caller is itself among the appended entries. Entries may exceed capKey
+// (the local guard can land below the pivot after the fill); the caller
+// must drop those, and then ascending pops of the survivors preserve both
+// the ρ = T·k bound and local ordering for as long as the anchor holds —
+// the buffer must be discarded when it stops holding. anchor is nil (with
+// capKey ^0) when the shared structure is empty, which the caller validates
+// the same way: the shared pointer still being nil means zero shared keys
+// exist. ok is false only when min caching is off (no window to fill from).
+//
+// The entries are *not* taken: a flushed buffer simply discards them, and
+// the items remain live in the blocks (the window marks itself dirty so a
+// later dry-window rebuild re-materializes them).
+func (s *Shared[V]) FillCandidates(c *Cursor[V], dst []item.Snap[V], max int) (_ []item.Snap[V], anchor *BlockArray[V], capKey uint64, ok bool) {
+	if !s.minCaching {
+		return dst, nil, 0, false
+	}
+	base := len(dst)
+	repivoted := false
+	for {
+		if s.ptr.Load() != c.observed {
+			s.refresh(c)
+		}
+		if c.snapshot == nil {
+			return dst, nil, ^uint64(0), true
+		}
+		localID := s.localID(c)
+		s.syncWindow(c, localID)
+		ov := c.win.overlayBound()
+		pivot := c.snapshot.pivotKey
+		hint := pivot
+		if ov < hint {
+			hint = ov
+		}
+		blocked := false
+		for len(dst)-base < max {
+			e, valid := c.win.next(c.rng)
+			if !valid {
+				break
+			}
+			if e.Key > ov {
+				// An own-block minimum undercuts the entry; drawn candidates
+				// above it cannot be buffered directly (a pop could skip the
+				// caller's own smaller key) — the local prefix fill below
+				// covers that region instead.
+				blocked = true
+				break
+			}
+			c.win.consume()
+			dst = append(dst, e)
+		}
+		// Collect the owner's Bloom-matching blocks' ascending live prefixes
+		// directly (the draw above admits only keys at or below the single
+		// current own minimum, which starves the buffer whenever the minimum
+		// is shared-resident). The guard lower-bounds every uncollected local
+		// live key, so it replaces the overlay bound as the local-ordering
+		// cap: everything local below the cap is in the buffer and ascending
+		// pops meet it first.
+		var guard uint64
+		dst, guard = c.win.fillLocal(dst, max-(len(dst)-base), pivot)
+		capKey = pivot
+		if guard < capKey {
+			capKey = guard
+		}
+		if len(dst) > base || blocked {
+			// A fill is short when it comes under both the request and half
+			// the pivot's own capacity (k+1 keys): as deletes consume the
+			// keys under the snapshot's pivot, each refill collects fewer
+			// entries but nothing ever triggers a pivot recalculation —
+			// fills shrink toward one entry and the buffer's amortization
+			// collapses. The k/2 cap keeps large drain fills from paying a
+			// consolidation for a target no pivot could ever meet.
+			short := len(dst)-base < min(max, c.snapshot.k/2+1)
+			if !repivoted && short {
+				// Discard the partial fill (consumed window draws stay
+				// recoverable via the dirty rebuild), recalculate the pivots
+				// once, and refill at the extended bound.
+				repivoted = true
+				dst = dst[:base]
+				c.gen++
+				push := c.snapshot.consolidate(s.drop, true, c.al)
+				if c.snapshot.empty() {
+					if !c.snapshot.published {
+						c.al.discardFresh()
+						c.spare = c.snapshot
+					}
+					c.snapshot = nil
+					push = true
+				}
+				if push && s.push(c) {
+					c.ConsolidatePushes.Add(1)
+				}
+				continue
+			}
+			if len(dst) > base {
+				// A real query ran: re-arm the skip-shared hint. hint =
+				// min(overlay bound, pivot) satisfies both hint guarantees at
+				// fill time — at most k live shared keys below it, and no
+				// Bloom-matching block minimum below it.
+				c.hintArr, c.hintKey = c.observed, hint
+				c.hintStreak = 0
+			}
+			return dst, c.observed, capKey, true
+		}
+		// Window dry: run the same maintenance FindMinSnap would, then
+		// retry. Stranded entries rebuild first; then consolidation extends
+		// the pivot ranges or empties the structure.
+		if c.win.dirty {
+			mat, _ := c.win.sync(c.snapshot, c.gen, localID, true)
+			c.WindowBuilds.Add(1)
+			c.WindowItems.Add(int64(mat))
+			continue
+		}
+		c.gen++
+		push := c.snapshot.consolidate(s.drop, true, c.al)
+		if c.snapshot.empty() {
+			if !c.snapshot.published {
+				c.al.discardFresh()
+				c.spare = c.snapshot
+			}
+			c.snapshot = nil
+			push = true
+		}
+		if push && s.push(c) {
+			c.ConsolidatePushes.Add(1)
+		}
+	}
+}
+
+// PtrIs reports whether the published shared pointer currently equals a —
+// the validity check for deletion-buffer anchors handed out by
+// FillCandidates (nil anchors validate an empty shared structure).
+func (s *Shared[V]) PtrIs(a *BlockArray[V]) bool { return s.ptr.Load() == a }
+
 // MinHint returns the key of c's last successful FindMin candidate, valid
 // only while the shared pointer still equals the array that produced it
 // (and min caching is on). While valid, the hint guarantees two things about
@@ -590,6 +807,58 @@ func (s *Shared[V]) MinHint(c *Cursor[V]) (uint64, bool) {
 		return 0, false
 	}
 	return c.hintKey, true
+}
+
+// SkipShared reports whether a caller holding a local candidate with key
+// localKey may return it without consulting the shared structure at all.
+// It is the sticky generalization of MinHint: while the shared pointer still
+// equals the hint's array, the skip is granted exactly as MinHint would
+// (localKey <= hintKey, no streak budget — the hint is proven for that
+// array). When the pointer has moved, the hint re-validates against the new
+// array's minimum-key floor instead of dying: a published array's minKey
+// lower-bounds every key it can ever hold, so minKey >= localKey proves the
+// shared structure holds *zero* live keys below localKey — the ρ bound
+// (0 <= k smaller keys) and local ordering (every own-block minimum >=
+// minKey >= localKey) both hold trivially, and the hint re-arms on the new
+// array with hintKey = minKey. Such cross-publication re-validations are
+// MultiQueue-style stickiness and are bounded by the configured budget
+// (SetStickyHint), counted per consecutive streak; the streak — and, on a
+// failed re-validation, the decision — resets so a handle cannot indefinitely
+// avoid the shared-side maintenance its deletes are meant to share.
+func (s *Shared[V]) SkipShared(c *Cursor[V], localKey uint64) bool {
+	if !s.minCaching || c.hintArr == nil {
+		return false
+	}
+	cur := s.ptr.Load()
+	if cur == c.hintArr {
+		if localKey <= c.hintKey {
+			c.HintSkips.Add(1)
+			return true
+		}
+		return false
+	}
+	if s.stickyOps <= 0 || c.hintStreak >= s.stickyOps {
+		c.hintStreak = 0
+		return false
+	}
+	if cur == nil {
+		// The shared structure emptied: zero shared keys, skip trivially
+		// valid. The hint cannot re-arm on nil; keep the old one so the next
+		// call re-validates against whatever is published then.
+		c.hintStreak++
+		c.HintSkips.Add(1)
+		c.HintSticks.Add(1)
+		return true
+	}
+	if floor := cur.minKey; floor >= localKey {
+		c.hintStreak++
+		c.HintSkips.Add(1)
+		c.HintSticks.Add(1)
+		c.hintArr, c.hintKey = cur, floor
+		return true
+	}
+	c.hintStreak = 0
+	return false
 }
 
 // RefreshStamp re-stamps c with the current epoch without touching its

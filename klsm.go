@@ -50,6 +50,8 @@ func buildConfig[V any](opts []Option) core.Config[V] {
 		pooling:       true,
 		minCaching:    true,
 		reclaim:       true,
+		delBuf:        32,
+		stickyOps:     64,
 	}
 	for _, o := range opts {
 		o(&cfg)
@@ -61,6 +63,10 @@ func buildConfig[V any](opts []Option) core.Config[V] {
 		DisablePooling:         !cfg.pooling,
 		DisableMinCaching:      !cfg.minCaching,
 		DisableItemReclamation: !cfg.reclaim,
+		DisableDeletionBuffer:  cfg.delBuf <= 0,
+		DeletionBufferSize:     cfg.delBuf,
+		DisableStickyHint:      cfg.stickyOps <= 0,
+		StickyHintOps:          cfg.stickyOps,
 	}
 }
 
