@@ -19,8 +19,42 @@ type KV[K, V any] struct {
 // ones). values supplies the payloads pairwise; it may be nil, inserting
 // zero values, but any non-nil values must have len(values) == len(keys) or
 // InsertBatch panics.
+// On a persistent queue the batch reserves a contiguous run of durability
+// sequence numbers, logs one WAL record per key, and publishes the block
+// stamped with them; the whole batch is durable once a Sync covering it
+// returns.
 func (h *Handle[V]) InsertBatch(keys []uint64, values []V) {
+	if p := h.persist(); p != nil {
+		h.insertBatchLogged(p, keys, values)
+		return
+	}
 	h.h.InsertBatch(keys, values)
+}
+
+// insertBatchLogged is the persistent InsertBatch path: validate first (a
+// length mismatch must panic before any record is logged), then log, then
+// publish.
+func (h *Handle[V]) insertBatchLogged(p *persister[V], keys []uint64, values []V) {
+	if values != nil && len(values) != len(keys) {
+		panic("klsm: InsertBatch: len(values) != len(keys)")
+	}
+	n := len(keys)
+	if n == 0 {
+		return
+	}
+	end := p.seq.Add(uint64(n))
+	base := end - uint64(n) + 1
+	seqs := make([]uint64, n)
+	var zero V
+	for i, k := range keys {
+		seqs[i] = base + uint64(i)
+		v := zero
+		if values != nil {
+			v = values[i]
+		}
+		h.vbuf = p.appendInsert(h.vbuf[:0], k, v, seqs[i])
+	}
+	h.h.InsertBatchSeqs(keys, values, seqs)
 }
 
 // DrainMin removes up to n items, appends them to dst in pop order, and
@@ -30,7 +64,16 @@ func (h *Handle[V]) InsertBatch(keys []uint64, values []V) {
 // len(result) - len(dst) < n signals emptiness exactly like a false
 // TryDeleteMin. The candidate window persists across the pops, making a
 // steady-state drain one window build plus n O(1) pops.
+// On a persistent queue every pop logs its delete record, with the same
+// acknowledgement rule as TryDeleteMin.
 func (h *Handle[V]) DrainMin(dst []KV[uint64, V], n int) []KV[uint64, V] {
+	if p := h.persist(); p != nil {
+		h.h.DrainMinSeq(n, func(k uint64, v V, seq uint64) {
+			p.appendDelete(k, seq)
+			dst = append(dst, KV[uint64, V]{Key: k, Value: v})
+		})
+		return dst
+	}
 	h.h.DrainMin(n, func(k uint64, v V) {
 		dst = append(dst, KV[uint64, V]{Key: k, Value: v})
 	})

@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"time"
 
 	"klsm/internal/harness"
@@ -43,13 +44,16 @@ type rankPoint struct {
 
 // rankFile is the top-level BENCH_<tag>.json document.
 type rankFile struct {
-	Tag       string      `json:"tag"`
-	Kind      string      `json:"kind"`
-	Timestamp string      `json:"timestamp"`
-	Prefill   int         `json:"prefill"`
-	Ops       int         `json:"ops"`
-	Seed      uint64      `json:"seed"`
-	Results   []rankPoint `json:"results"`
+	Tag        string      `json:"tag"`
+	Kind       string      `json:"kind"`
+	Timestamp  string      `json:"timestamp"`
+	GoMaxProcs int         `json:"gomaxprocs"`
+	NumCPU     int         `json:"numcpu"`
+	GitSHA     string      `json:"git_sha,omitempty"`
+	Prefill    int         `json:"prefill"`
+	Ops        int         `json:"ops"`
+	Seed       uint64      `json:"seed"`
+	Results    []rankPoint `json:"results"`
 }
 
 func main() {
@@ -129,12 +133,15 @@ func main() {
 		fmt.Printf("%-18s %10s %10s %12s  %s\n", "queue", "deletes", "max rank", "mean rank", "worst-case bound")
 	}
 	out := rankFile{
-		Tag:       *jsonTag,
-		Kind:      "rank-error",
-		Timestamp: time.Now().UTC().Format(time.RFC3339),
-		Prefill:   *prefill,
-		Ops:       *ops,
-		Seed:      *seed,
+		Tag:        *jsonTag,
+		Kind:       "rank-error",
+		Timestamp:  time.Now().UTC().Format(time.RFC3339),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		GitSHA:     harness.GitSHA(),
+		Prefill:    *prefill,
+		Ops:        *ops,
+		Seed:       *seed,
 	}
 	for _, e := range entries {
 		res := harness.RankError(e.queue, *prefill, *ops, *seed)

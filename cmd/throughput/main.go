@@ -25,12 +25,16 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"runtime"
+	"strings"
 	"time"
 
 	"klsm/internal/harness"
+	"klsm/internal/pqs"
+	"klsm/internal/pqs/klsmp"
 	"klsm/internal/stats"
 )
 
@@ -54,6 +58,7 @@ type benchFile struct {
 	Timestamp  string       `json:"timestamp"`
 	GoMaxProcs int          `json:"gomaxprocs"`
 	NumCPU     int          `json:"numcpu"`
+	GitSHA     string       `json:"git_sha,omitempty"`
 	Prefill    int          `json:"prefill"`
 	DurationS  float64      `json:"duration_s"`
 	Reps       int          `json:"reps"`
@@ -73,6 +78,7 @@ func main() {
 		keyRange     = flag.Uint64("keyrange", 0, "bound for random keys (0 = full uint64)")
 		insertRatio  = flag.Float64("mix", 0.5, "fraction of inserts in the op mix (paper: 0.5)")
 		batchFlag    = flag.String("batch", "0", "comma-separated batch sizes; 0 = single ops, B>1 = InsertBatch/DrainMin of B keys")
+		persistFlag  = flag.String("persist", "", "comma-separated group-commit intervals (e.g. 0,1ms,2ms); each adds a persistent kLSM(256)+wal row backed by a real temp-dir WAL")
 		seed         = flag.Uint64("seed", 1, "base workload seed")
 		csv          = flag.Bool("csv", false, "emit CSV instead of an aligned table")
 		jsonTag      = flag.String("json", "", "also write the sweep as BENCH_<tag>.json")
@@ -105,6 +111,29 @@ func main() {
 		}
 	}
 
+	for _, part := range strings.Split(*persistFlag, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		d, err := time.ParseDuration(part)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "throughput: bad -persist interval %q: %v\n", part, err)
+			os.Exit(1)
+		}
+		if d < 0 {
+			fmt.Fprintf(os.Stderr, "throughput: negative -persist interval %q\n", part)
+			os.Exit(1)
+		}
+		// The persistent twin of the default combined k-LSM: the same
+		// engine behind klsm.Open, logging to a real temp-dir WAL with
+		// group commit at interval d (0 = fsync only on close).
+		specs = append(specs, harness.QueueSpec{
+			Name: fmt.Sprintf("kLSM(256)+wal(%s)", d),
+			New:  func(int) pqs.Queue { return klsmp.New(256, d) },
+		})
+	}
+
 	if *maxProcsInfo && !*csv {
 		fmt.Printf("# Figure 3 throughput benchmark: prefill=%d duration=%v reps=%d GOMAXPROCS=%d\n",
 			*prefill, *duration, *reps, runtime.GOMAXPROCS(0))
@@ -131,6 +160,7 @@ func main() {
 		InsertMix:  *insertRatio,
 		KeyRange:   *keyRange,
 		Seed:       *seed,
+		GitSHA:     harness.GitSHA(),
 	}
 	for _, spec := range specs {
 		for _, batch := range batches {
@@ -145,8 +175,9 @@ func main() {
 				var samples []float64
 				var failed []float64
 				for r := 0; r < *reps; r++ {
+					q := spec.New(t)
 					res := harness.Throughput(harness.ThroughputConfig{
-						Queue:       spec.New(t),
+						Queue:       q,
 						Threads:     t,
 						Prefill:     *prefill,
 						Duration:    *duration,
@@ -155,6 +186,14 @@ func main() {
 						Seed:        *seed + uint64(r)*7919,
 						BatchSize:   batch,
 					})
+					// Persistent queues hold a WAL and a temp directory;
+					// releasing them between reps keeps runs independent.
+					if c, ok := q.(io.Closer); ok {
+						if err := c.Close(); err != nil {
+							fmt.Fprintln(os.Stderr, "throughput: close:", err)
+							os.Exit(1)
+						}
+					}
 					samples = append(samples, res.PerThreadPerSec)
 					failed = append(failed, float64(res.FailedDeletes))
 				}

@@ -100,4 +100,28 @@
 // the same take-CAS protocol: the ρ = T·k bound, local ordering, and
 // exactly-once deletion are identical with any of them disabled
 // (WithMinCaching(false), WithDeletionBuffer(0), WithStickyHint(0)).
+//
+// # Durability
+//
+// Open (and OpenOrdered) returns a persistent queue rooted at a directory:
+// every insert and delete appends a CRC32C-framed record to a write-ahead
+// log, and reopening the directory recovers exactly the logically live
+// items. Logging is write-behind with group commit — operations append to
+// an in-memory buffer and never block on disk; a background writer batches
+// records to the file and fsyncs on the WithSyncInterval /
+// WithSyncEvery policy (default: at most 2ms after an unsynced append). The
+// durability contract is explicit: an operation is guaranteed to survive a
+// crash once a Sync call covering it returns nil. Acknowledged inserts are
+// recovered exactly once; operations after the last acknowledgement may be
+// lost (unacked inserts) or redelivered (unacked deletes) — at-least-once
+// delivery, like any write-behind log.
+//
+// Checkpoint compacts the WAL through the Quiesce barrier into sorted
+// segment files plus an atomically renamed MANIFEST; recovery loads each
+// segment as one block publication (the batch-insert path), so reopening a
+// queue of a million items takes on the order of a second. Torn tails from
+// a crash are detected by checksum and truncated silently; provable mid-log
+// corruption is refused with ErrCorruptWAL / ErrCorruptCheckpoint — never a
+// panic, never silent loss. See DESIGN.md "Durability" for the framing,
+// the recovery soundness argument, and the crash-stress methodology.
 package klsm

@@ -225,14 +225,14 @@ func (h *Handle[V]) bufRefill() bool {
 // entries taken elsewhere and, with a Drop callback, discarding dropped
 // items) or the buffer cannot serve (empty, invalidated, or refill found
 // nothing). hit reports whether a key was returned.
-func (h *Handle[V]) bufTryDelete() (key uint64, value V, hit bool) {
+func (h *Handle[V]) bufTryDelete() (key uint64, value V, seq uint64, hit bool) {
 	drop := h.q.cfg.Drop
 	for {
 		e, ok := h.bufNext()
 		if !ok {
 			if !h.bufRefill() {
 				var zero V
-				return 0, zero, false
+				return 0, zero, 0, false
 			}
 			continue
 		}
@@ -240,7 +240,7 @@ func (h *Handle[V]) bufTryDelete() (key uint64, value V, hit bool) {
 			h.deleted.Add(1)
 			h.BufPops.Add(1)
 			if drop == nil || !drop(e.It.Key(), e.It.Value()) {
-				return e.It.Key(), e.It.Value(), true
+				return e.It.Key(), e.It.Value(), e.It.Seq(), true
 			}
 		}
 	}

@@ -502,6 +502,44 @@ func (q *Queue[V]) Quiesce() {
 	q.reaperMu.Unlock()
 }
 
+// SnapshotLive emits every live (not logically deleted) item currently in
+// the queue exactly once: all handle-local DistLSMs, the zombie DistLSMs of
+// closed DistOnly handles, and the shared k-LSM snapshot. Items reachable
+// from several blocks (spy copies, stale merge inputs) share one Item
+// pointer, so deduplication is exact pointer identity. The caller must hold
+// the same barrier Quiesce requires — no concurrent handle operation — which
+// is what makes the walk a consistent cut: nothing is mid-publication, and
+// the taken flag of every item is settled. This is the checkpoint scan of
+// the persistence layer.
+func (q *Queue[V]) SnapshotLive(emit func(key uint64, seq uint64, value V)) {
+	seen := make(map[*item.Item[V]]struct{})
+	emitBlock := func(b *block.Block[V]) {
+		if b == nil {
+			return
+		}
+		for _, it := range b.Items() {
+			if it == nil || it.Taken() {
+				continue
+			}
+			if _, dup := seen[it]; dup {
+				continue
+			}
+			seen[it] = struct{}{}
+			emit(it.Key(), it.Seq(), it.Value())
+		}
+	}
+	for _, d := range *q.victims.Load() {
+		for i := 0; i < d.Blocks(); i++ {
+			emitBlock(d.BlockAt(i))
+		}
+	}
+	if snap := q.shared.Snapshot(); snap != nil {
+		for i := 0; i < snap.Blocks(); i++ {
+			emitBlock(snap.BlockAt(i))
+		}
+	}
+}
+
 // DistStats exposes the handle's DistLSM counters for benchmarks.
 func (h *Handle[V]) DistStats() distlsm.Stats { return h.dist.Stats() }
 
@@ -512,7 +550,24 @@ func (h *Handle[V]) PoolStats() block.PoolStats { return h.pool.Stats() }
 // Insert adds key with its payload to the queue (Listing 5). It always
 // succeeds and is lock-free.
 func (h *Handle[V]) Insert(key uint64, value V) {
+	h.insertItem(h.items.Get(key, value))
+}
+
+// InsertSeq is Insert with a durability sequence number stamped on the item
+// before publication. The persistence layer assigns each insert a unique seq
+// and logs it to the write-ahead log; stamping it here lets the matching
+// delete record (TryDeleteMinSeq) identify exactly which insert it consumed,
+// no matter how many merges, spies or melds the item traveled through.
+func (h *Handle[V]) InsertSeq(key uint64, value V, seq uint64) {
 	it := h.items.Get(key, value)
+	it.SetSeq(seq)
+	h.insertItem(it)
+}
+
+// insertItem publishes a freshly obtained (unpublished) item; the shared
+// tail of Insert and InsertSeq.
+func (h *Handle[V]) insertItem(it *item.Item[V]) {
+	key := it.Key()
 	ver := it.Version()
 	h.inserted.Add(1)
 	switch h.q.cfg.Mode {
@@ -550,9 +605,23 @@ func (h *Handle[V]) Insert(key uint64, value V) {
 // exceeded). values may be nil (zero-value payloads); otherwise its length
 // must equal len(keys) or InsertBatch panics.
 func (h *Handle[V]) InsertBatch(keys []uint64, values []V) {
+	h.InsertBatchSeqs(keys, values, nil)
+}
+
+// InsertBatchSeqs is InsertBatch with per-key durability sequence numbers:
+// key i is stamped with seqs[i] before publication (see InsertSeq). seqs may
+// be nil (no stamping — identical to InsertBatch) but a non-nil seqs must
+// have len(seqs) == len(keys) or the call panics. The persistence layer uses
+// this for both live batch inserts and recovery, where each checkpoint
+// segment is re-published as one pre-sorted block carrying its items'
+// original sequence numbers.
+func (h *Handle[V]) InsertBatchSeqs(keys []uint64, values []V, seqs []uint64) {
 	n := len(keys)
 	if values != nil && len(values) != n {
 		panic("core: InsertBatch keys/values length mismatch")
+	}
+	if seqs != nil && len(seqs) != n {
+		panic("core: InsertBatch keys/seqs length mismatch")
 	}
 	if n == 0 {
 		return
@@ -562,7 +631,11 @@ func (h *Handle[V]) InsertBatch(keys []uint64, values []V) {
 		if values != nil {
 			v = values[0]
 		}
-		h.Insert(keys[0], v)
+		if seqs != nil {
+			h.InsertSeq(keys[0], v, seqs[0])
+		} else {
+			h.Insert(keys[0], v)
+		}
 		return
 	}
 	if h.bufCap > 0 {
@@ -582,7 +655,11 @@ func (h *Handle[V]) InsertBatch(keys []uint64, values []V) {
 		if values != nil {
 			v = values[i]
 		}
-		its = append(its, h.items.Get(k, v))
+		it := h.items.Get(k, v)
+		if seqs != nil {
+			it.SetSeq(seqs[i])
+		}
+		its = append(its, it)
 	}
 	// Sort once for the whole batch. pdqsort is O(n) on already-sorted or
 	// reverse-sorted input, so pre-sorted batches pay a single scan.
@@ -623,6 +700,13 @@ func (h *Handle[V]) InsertBatch(keys []uint64, values []V) {
 // steady-state drain costs one window build plus max O(1) pops rather than
 // max full scans.
 func (h *Handle[V]) DrainMin(max int, emit func(key uint64, value V)) int {
+	return h.DrainMinSeq(max, func(k uint64, v V, _ uint64) { emit(k, v) })
+}
+
+// DrainMinSeq is DrainMin with the durability sequence number of each popped
+// item passed to emit (see TryDeleteMinSeq); the persistence layer drains
+// through it so every pop can be logged as a (key, seq) delete record.
+func (h *Handle[V]) DrainMinSeq(max int, emit func(key uint64, value V, seq uint64)) int {
 	if h.bufCap > 0 && max > h.bufCap {
 		// Let refills inside this drain batch up to the drain size, so a
 		// large drain costs O(max / fill) refills instead of max / bufCap.
@@ -630,11 +714,11 @@ func (h *Handle[V]) DrainMin(max int, emit func(key uint64, value V)) int {
 		defer func() { h.fillHint = 0 }()
 	}
 	for n := 0; n < max; n++ {
-		k, v, ok := h.TryDeleteMin()
+		k, v, s, ok := h.TryDeleteMinSeq()
 		if !ok {
 			return n
 		}
-		emit(k, v)
+		emit(k, v, s)
 	}
 	if max < 0 {
 		return 0
@@ -689,9 +773,18 @@ func (h *Handle[V]) findMinCandidate() *item.Item[V] {
 // (sharedlsm.SkipShared), the shared side is skipped outright — both the ρ
 // bound and local ordering hold for the local minimum.
 func (h *Handle[V]) TryDeleteMin() (key uint64, value V, ok bool) {
+	key, value, _, ok = h.TryDeleteMinSeq()
+	return key, value, ok
+}
+
+// TryDeleteMinSeq is TryDeleteMin additionally returning the durability
+// sequence number stamped on the deleted item by InsertSeq (zero for items
+// inserted without one). The persistence layer logs a delete record as
+// (key, seq) so recovery can cancel exactly the consumed insert.
+func (h *Handle[V]) TryDeleteMinSeq() (key uint64, value V, seq uint64, ok bool) {
 	if h.bufCap > 0 {
-		if k, v, hit := h.bufTryDelete(); hit {
-			return k, v, true
+		if k, v, s, hit := h.bufTryDelete(); hit {
+			return k, v, s, true
 		}
 	}
 	drop := h.q.cfg.Drop
@@ -739,7 +832,7 @@ func (h *Handle[V]) TryDeleteMin() (key uint64, value V, ok bool) {
 			if won {
 				h.deleted.Add(1)
 				if drop == nil || !drop(it.Key(), it.Value()) {
-					return it.Key(), it.Value(), true
+					return it.Key(), it.Value(), it.Seq(), true
 				}
 				// Stale: discard and keep looking on the side that lost it.
 			}
@@ -757,7 +850,7 @@ func (h *Handle[V]) TryDeleteMin() (key uint64, value V, ok bool) {
 		}
 		if !h.spy() {
 			var zero V
-			return 0, zero, false
+			return 0, zero, 0, false
 		}
 	}
 }

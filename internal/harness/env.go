@@ -1,0 +1,17 @@
+package harness
+
+import (
+	"os/exec"
+	"strings"
+)
+
+// GitSHA returns the HEAD commit of the working tree the benchmark binary
+// runs in, or "" when git (or a repository) is unavailable. Recorded into
+// every BENCH_*.json header so results diff like-for-like across commits.
+func GitSHA() string {
+	out, err := exec.Command("git", "rev-parse", "HEAD").Output()
+	if err != nil {
+		return ""
+	}
+	return strings.TrimSpace(string(out))
+}

@@ -54,6 +54,13 @@ import "sync/atomic"
 type Item[V any] struct {
 	key   uint64
 	value V
+	// seq is the durability sequence number (write-ahead-log identity) of
+	// the current incarnation. It is meaningful only for queues running with
+	// persistence, which stamp it on every insert via SetSeq before the item
+	// is published; elsewhere it is stale or zero and never read. Like key
+	// and value it is immutable between Reset calls, so merges, spies and
+	// melds carry it along for free by sharing the Item pointer.
+	seq uint64
 	// flag is the §4.4 versioned deletion flag: even = live, odd = taken.
 	// It increments monotonically — TryTake bumps even→odd, Reset bumps
 	// odd→even — so stale CAS attempts from a previous incarnation fail.
@@ -74,6 +81,15 @@ func (it *Item[V]) Key() uint64 { return it.key }
 
 // Value returns the payload stored alongside the key.
 func (it *Item[V]) Value() V { return it.value }
+
+// Seq returns the durability sequence number stamped by SetSeq. Zero (or a
+// stale value from a previous incarnation) for queues without persistence.
+func (it *Item[V]) Seq() uint64 { return it.seq }
+
+// SetSeq stamps the durability sequence number. It must only be called
+// between obtaining the item (New, Pool.Get) and publishing it into any
+// structure — afterwards the field is shared and read-only, like key.
+func (it *Item[V]) SetSeq(seq uint64) { it.seq = seq }
 
 // Taken reports whether the item has been logically deleted. A false result
 // may be stale by the time the caller acts on it; callers that need to claim

@@ -1,0 +1,77 @@
+// Package klsmp adapts the public persistent k-LSM (klsm.Open) to the
+// benchmark harness interface, so the durability overhead can be measured
+// with the exact Figure 3 machinery that measures the volatile queue. Each
+// queue owns a fresh temporary directory; Close releases the WAL and
+// removes it. Payloads are struct{} via klsm.NoValue — the benchmark
+// measures the logging and group-commit cost, not value serialization.
+package klsmp
+
+import (
+	"os"
+	"time"
+
+	"klsm"
+	"klsm/internal/pqs"
+)
+
+// Queue wraps a persistent klsm queue for the harness.
+type Queue struct {
+	q   *klsm.Queue[struct{}]
+	dir string
+}
+
+// New opens a persistent queue with relaxation k in a fresh temporary
+// directory, group-committing on the given SyncInterval (0 means fsync only
+// on explicit Sync/Close — the upper bound of what batching can hide).
+// Benchmarks are not recovery consumers, so setup errors panic.
+func New(k int, syncInterval time.Duration) *Queue {
+	dir, err := os.MkdirTemp("", "klsmp-bench-")
+	if err != nil {
+		panic("klsmp: " + err.Error())
+	}
+	q, err := klsm.Open(dir, klsm.NoValue{},
+		klsm.WithRelaxation(k), klsm.WithSyncInterval(syncInterval))
+	if err != nil {
+		os.RemoveAll(dir)
+		panic("klsmp: " + err.Error())
+	}
+	return &Queue{q: q, dir: dir}
+}
+
+// NewHandle implements pqs.Queue.
+func (q *Queue) NewHandle() pqs.Handle {
+	return &handle{h: q.q.NewHandle()}
+}
+
+// Close flushes and closes the queue and deletes its directory. The final
+// fsync is included so a timed phase cannot defer durability work past the
+// measurement without the cost appearing somewhere.
+func (q *Queue) Close() error {
+	err := q.q.Close()
+	if rerr := os.RemoveAll(q.dir); err == nil {
+		err = rerr
+	}
+	return err
+}
+
+type handle struct {
+	h *klsm.Handle[struct{}]
+}
+
+func (h *handle) Insert(key uint64) { h.h.Insert(key, struct{}{}) }
+
+func (h *handle) TryDeleteMin() (uint64, bool) {
+	k, _, ok := h.h.TryDeleteMin()
+	return k, ok
+}
+
+// InsertBatch implements pqs.BatchHandle.
+func (h *handle) InsertBatch(keys []uint64) { h.h.InsertBatch(keys, nil) }
+
+// DrainMin implements pqs.BatchHandle.
+func (h *handle) DrainMin(dst []uint64, n int) []uint64 {
+	for _, kv := range h.h.DrainMin(nil, n) {
+		dst = append(dst, kv.Key)
+	}
+	return dst
+}

@@ -1,0 +1,316 @@
+// Package segment implements the checkpoint half of the durability layer:
+// sorted on-disk runs of live items plus the MANIFEST that names them.
+//
+// A k-LSM checkpoint is almost a structural no-op because the queue's
+// in-memory form — immutable sorted blocks — already *is* the on-disk form
+// (the LSM/SSTable duality). A checkpoint snapshots every live item under
+// the Quiesce barrier, sorts them once, and writes size-capped segment
+// files; recovery republishes each segment as a single pre-sorted block, so
+// loading a segment costs one block publication instead of one insert per
+// item.
+//
+// # Segment format
+//
+//	magic   "KLSMSEG1"
+//	count   uvarint
+//	entries count × (key uvarint, seq uvarint, vlen uvarint, value)
+//	crc     uint32 LE — CRC32C over everything before it
+//
+// # MANIFEST format
+//
+// A short text file, atomically published by write-to-temp + rename:
+//
+//	klsm-manifest v1
+//	nextseq <n>
+//	wal <name>
+//	segment <name> <count>     (zero or more)
+//	crc <8 hex digits>         (CRC32C of every preceding byte)
+//
+// The MANIFEST is the recovery root: it names the live WAL file and the
+// segment set, and everything in the directory it does not name is garbage
+// from an interrupted checkpoint, deleted on open. Both parsers return
+// typed errors (never panic) on arbitrary input and cap every allocation,
+// which the fuzz suite enforces.
+package segment
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"strconv"
+	"strings"
+
+	"klsm/internal/walfault"
+)
+
+// ManifestName is the fixed name of the recovery root in a queue directory.
+const ManifestName = "MANIFEST"
+
+// manifestTmp is the scratch name the manifest is staged under before the
+// atomic rename.
+const manifestTmp = "MANIFEST.tmp"
+
+// MaxValue caps one entry's value length (decode-time allocation bound).
+const MaxValue = 1 << 24
+
+// MaxEntries caps the declared entry count of one segment file.
+const MaxEntries = 1 << 28
+
+// maxManifest caps the manifest size a parser will look at.
+const maxManifest = 1 << 20
+
+// ErrCorrupt reports a segment or manifest that fails structural
+// validation or its checksum. It is a refusal, not a panic: durability
+// callers surface it so the operator can decide, rather than silently
+// recovering a partial queue.
+var ErrCorrupt = errors.New("segment: corrupt")
+
+var segMagic = []byte("KLSMSEG1")
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Entry is one checkpointed item.
+type Entry struct {
+	// Key is the priority key.
+	Key uint64
+	// Seq is the durability sequence number the item was inserted under.
+	Seq uint64
+	// Value is the codec-encoded payload. Entries returned by Parse alias
+	// the input buffer.
+	Value []byte
+}
+
+// Append serializes entries into a segment image appended to dst.
+func Append(dst []byte, entries []Entry) []byte {
+	start := len(dst)
+	dst = append(dst, segMagic...)
+	dst = binary.AppendUvarint(dst, uint64(len(entries)))
+	for _, e := range entries {
+		dst = binary.AppendUvarint(dst, e.Key)
+		dst = binary.AppendUvarint(dst, e.Seq)
+		dst = binary.AppendUvarint(dst, uint64(len(e.Value)))
+		dst = append(dst, e.Value...)
+	}
+	crc := crc32.Checksum(dst[start:], castagnoli)
+	return binary.LittleEndian.AppendUint32(dst, crc)
+}
+
+// Write creates the named segment file on fs, writes entries, and fsyncs it.
+func Write(fs walfault.FS, name string, entries []Entry) error {
+	f, err := fs.Create(name)
+	if err != nil {
+		return err
+	}
+	buf := Append(nil, entries)
+	if _, err := f.Write(buf); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Parse decodes a segment image. Returned values alias data. Damage of any
+// kind — bad magic, bad checksum, counts or lengths that do not add up —
+// returns an error wrapping ErrCorrupt; a checkpoint has no torn-tail
+// tolerance because segments are only ever named by a manifest written
+// after their fsync completed.
+func Parse(data []byte) ([]Entry, error) {
+	if len(data) < len(segMagic)+1+4 {
+		return nil, fmt.Errorf("%w: segment too short (%d bytes)", ErrCorrupt, len(data))
+	}
+	if string(data[:len(segMagic)]) != string(segMagic) {
+		return nil, fmt.Errorf("%w: bad segment magic", ErrCorrupt)
+	}
+	body, tail := data[:len(data)-4], data[len(data)-4:]
+	if crc32.Checksum(body, castagnoli) != binary.LittleEndian.Uint32(tail) {
+		return nil, fmt.Errorf("%w: segment checksum mismatch", ErrCorrupt)
+	}
+	rest := body[len(segMagic):]
+	count, n := binary.Uvarint(rest)
+	if n <= 0 || count > MaxEntries {
+		return nil, fmt.Errorf("%w: bad entry count", ErrCorrupt)
+	}
+	rest = rest[n:]
+	// The checksum already vouches for the bytes; the bounds checks below
+	// guard against a miswritten (not corrupted) file and hostile fuzz
+	// input, where the checksum was computed over garbage.
+	entries := make([]Entry, 0, min(count, 1<<16))
+	for i := uint64(0); i < count; i++ {
+		var e Entry
+		e.Key, n = binary.Uvarint(rest)
+		if n <= 0 {
+			return nil, fmt.Errorf("%w: entry %d: bad key", ErrCorrupt, i)
+		}
+		rest = rest[n:]
+		e.Seq, n = binary.Uvarint(rest)
+		if n <= 0 {
+			return nil, fmt.Errorf("%w: entry %d: bad seq", ErrCorrupt, i)
+		}
+		rest = rest[n:]
+		vlen, n := binary.Uvarint(rest)
+		if n <= 0 || vlen > MaxValue || uint64(len(rest)-n) < vlen {
+			return nil, fmt.Errorf("%w: entry %d: bad value length", ErrCorrupt, i)
+		}
+		e.Value = rest[n : n+int(vlen)]
+		rest = rest[n+int(vlen):]
+		entries = append(entries, e)
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes after %d entries", ErrCorrupt, len(rest), count)
+	}
+	return entries, nil
+}
+
+// Read loads and parses the named segment file.
+func Read(fs walfault.FS, name string) ([]Entry, error) {
+	data, err := fs.ReadFile(name)
+	if err != nil {
+		return nil, err
+	}
+	entries, err := Parse(data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", name, err)
+	}
+	return entries, nil
+}
+
+// Ref names one segment in a manifest.
+type Ref struct {
+	// Name is the segment's file name.
+	Name string
+	// Count is the entry count recorded at checkpoint time, validated
+	// against the parsed segment on load.
+	Count int64
+}
+
+// Manifest is the recovery root of a queue directory.
+type Manifest struct {
+	// NextSeq is the first durability sequence number not yet assigned at
+	// checkpoint time; recovery resumes the counter at or above it.
+	NextSeq uint64
+	// WAL is the name of the live write-ahead-log file.
+	WAL string
+	// Segments are the checkpoint segments, in load order.
+	Segments []Ref
+}
+
+// AppendManifest serializes m (including the trailing crc line).
+func AppendManifest(dst []byte, m Manifest) []byte {
+	start := len(dst)
+	dst = append(dst, "klsm-manifest v1\n"...)
+	dst = append(dst, "nextseq "...)
+	dst = strconv.AppendUint(dst, m.NextSeq, 10)
+	dst = append(dst, '\n')
+	dst = append(dst, "wal "...)
+	dst = append(dst, m.WAL...)
+	dst = append(dst, '\n')
+	for _, s := range m.Segments {
+		dst = append(dst, "segment "...)
+		dst = append(dst, s.Name...)
+		dst = append(dst, ' ')
+		dst = strconv.AppendInt(dst, s.Count, 10)
+		dst = append(dst, '\n')
+	}
+	crc := crc32.Checksum(dst[start:], castagnoli)
+	dst = append(dst, "crc "...)
+	dst = fmt.Appendf(dst, "%08x", crc)
+	return append(dst, '\n')
+}
+
+// ParseManifest decodes a manifest image, validating structure and the crc
+// line. All failures wrap ErrCorrupt; input is never trusted for sizes.
+func ParseManifest(data []byte) (Manifest, error) {
+	var m Manifest
+	if len(data) > maxManifest {
+		return m, fmt.Errorf("%w: manifest too large (%d bytes)", ErrCorrupt, len(data))
+	}
+	text := string(data)
+	lines := strings.Split(text, "\n")
+	if len(lines) < 2 || lines[len(lines)-1] != "" {
+		return m, fmt.Errorf("%w: manifest not newline-terminated", ErrCorrupt)
+	}
+	lines = lines[:len(lines)-1]
+	last := lines[len(lines)-1]
+	sum, ok := strings.CutPrefix(last, "crc ")
+	if !ok || len(sum) != 8 {
+		return m, fmt.Errorf("%w: missing crc line", ErrCorrupt)
+	}
+	want, err := strconv.ParseUint(sum, 16, 32)
+	if err != nil {
+		return m, fmt.Errorf("%w: bad crc line", ErrCorrupt)
+	}
+	covered := len(text) - len(last) - 1
+	if crc32.Checksum(data[:covered], castagnoli) != uint32(want) {
+		return m, fmt.Errorf("%w: manifest checksum mismatch", ErrCorrupt)
+	}
+	body := lines[:len(lines)-1]
+	if len(body) < 3 || body[0] != "klsm-manifest v1" {
+		return m, fmt.Errorf("%w: bad manifest header", ErrCorrupt)
+	}
+	ns, ok := strings.CutPrefix(body[1], "nextseq ")
+	if !ok {
+		return m, fmt.Errorf("%w: missing nextseq", ErrCorrupt)
+	}
+	if m.NextSeq, err = strconv.ParseUint(ns, 10, 64); err != nil {
+		return m, fmt.Errorf("%w: bad nextseq", ErrCorrupt)
+	}
+	if m.WAL, ok = strings.CutPrefix(body[2], "wal "); !ok || m.WAL == "" || strings.ContainsAny(m.WAL, "/\\ ") {
+		return m, fmt.Errorf("%w: bad wal line", ErrCorrupt)
+	}
+	for _, line := range body[3:] {
+		rest, ok := strings.CutPrefix(line, "segment ")
+		if !ok {
+			return m, fmt.Errorf("%w: unknown line %q", ErrCorrupt, line)
+		}
+		name, countStr, ok := strings.Cut(rest, " ")
+		if !ok || name == "" || strings.ContainsAny(name, "/\\") {
+			return m, fmt.Errorf("%w: bad segment line %q", ErrCorrupt, line)
+		}
+		count, err := strconv.ParseInt(countStr, 10, 64)
+		if err != nil || count < 0 || count > MaxEntries {
+			return m, fmt.Errorf("%w: bad segment count in %q", ErrCorrupt, line)
+		}
+		m.Segments = append(m.Segments, Ref{Name: name, Count: count})
+	}
+	return m, nil
+}
+
+// WriteManifest atomically publishes m as the directory's MANIFEST: write
+// to a temp file, fsync, rename over ManifestName, fsync the directory.
+// After it returns nil, recovery will see exactly this manifest (or a
+// complete older one — never a mix).
+func WriteManifest(fs walfault.FS, m Manifest) error {
+	f, err := fs.Create(manifestTmp)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(AppendManifest(nil, m)); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := fs.Rename(manifestTmp, ManifestName); err != nil {
+		return err
+	}
+	return fs.SyncDir()
+}
+
+// ReadManifest loads and parses the directory's MANIFEST.
+func ReadManifest(fs walfault.FS) (Manifest, error) {
+	data, err := fs.ReadFile(ManifestName)
+	if err != nil {
+		return Manifest{}, err
+	}
+	return ParseManifest(data)
+}

@@ -1,0 +1,150 @@
+package segment
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"klsm/internal/walfault"
+)
+
+func sampleEntries(n int) []Entry {
+	out := make([]Entry, n)
+	for i := range out {
+		out[i] = Entry{
+			Key:   uint64(i * 3),
+			Seq:   uint64(1000 + i),
+			Value: []byte(fmt.Sprintf("value-%d", i)),
+		}
+	}
+	return out
+}
+
+func TestSegmentRoundTrip(t *testing.T) {
+	for _, n := range []int{0, 1, 7, 1000} {
+		in := sampleEntries(n)
+		out, err := Parse(Append(nil, in))
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if len(out) != len(in) {
+			t.Fatalf("n=%d: got %d entries", n, len(out))
+		}
+		for i := range in {
+			if out[i].Key != in[i].Key || out[i].Seq != in[i].Seq || string(out[i].Value) != string(in[i].Value) {
+				t.Fatalf("n=%d entry %d: got %+v want %+v", n, i, out[i], in[i])
+			}
+		}
+	}
+}
+
+// Every single-byte flip anywhere in a segment must be detected.
+func TestSegmentFlipAnyByte(t *testing.T) {
+	buf := Append(nil, sampleEntries(5))
+	for i := range buf {
+		mut := append([]byte(nil), buf...)
+		mut[i] ^= 0x08
+		if _, err := Parse(mut); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("flip at byte %d: err %v, want ErrCorrupt", i, err)
+		}
+	}
+}
+
+func TestSegmentTruncated(t *testing.T) {
+	buf := Append(nil, sampleEntries(3))
+	for cut := 0; cut < len(buf); cut++ {
+		if _, err := Parse(buf[:cut]); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("cut %d: err %v, want ErrCorrupt", cut, err)
+		}
+	}
+}
+
+func TestSegmentWriteRead(t *testing.T) {
+	fs := walfault.NewMemFS(walfault.Faults{})
+	in := sampleEntries(42)
+	if err := Write(fs, "seg-000001", in); err != nil {
+		t.Fatal(err)
+	}
+	if fs.SyncedLen("seg-000001") == 0 {
+		t.Fatal("Write did not fsync")
+	}
+	out, err := Read(fs, "seg-000001")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("got %d entries, want %d", len(out), len(in))
+	}
+}
+
+func TestManifestRoundTrip(t *testing.T) {
+	cases := []Manifest{
+		{NextSeq: 0, WAL: "wal-000001"},
+		{NextSeq: 12345, WAL: "wal-000009", Segments: []Ref{
+			{Name: "seg-000001", Count: 100},
+			{Name: "seg-000002", Count: 0},
+		}},
+	}
+	for i, m := range cases {
+		got, err := ParseManifest(AppendManifest(nil, m))
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		if got.NextSeq != m.NextSeq || got.WAL != m.WAL || len(got.Segments) != len(m.Segments) {
+			t.Fatalf("case %d: got %+v want %+v", i, got, m)
+		}
+		for j := range m.Segments {
+			if got.Segments[j] != m.Segments[j] {
+				t.Fatalf("case %d segment %d: got %+v want %+v", i, j, got.Segments[j], m.Segments[j])
+			}
+		}
+	}
+}
+
+// Any single-byte mutation of a manifest must be rejected.
+func TestManifestFlipAnyByte(t *testing.T) {
+	buf := AppendManifest(nil, Manifest{NextSeq: 77, WAL: "wal-000002", Segments: []Ref{{Name: "seg-000001", Count: 9}}})
+	for i := range buf {
+		mut := append([]byte(nil), buf...)
+		mut[i] ^= 0x04
+		if _, err := ParseManifest(mut); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("flip at byte %d: err %v, want ErrCorrupt (manifest %q)", i, err, mut)
+		}
+	}
+}
+
+func TestManifestRejectsGarbage(t *testing.T) {
+	bad := [][]byte{
+		nil,
+		[]byte("hello\n"),
+		[]byte("klsm-manifest v1\n"),
+		[]byte("klsm-manifest v2\nnextseq 0\nwal w\ncrc 00000000\n"),
+	}
+	for i, b := range bad {
+		if _, err := ParseManifest(b); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("case %d: err %v, want ErrCorrupt", i, err)
+		}
+	}
+}
+
+// WriteManifest publishes atomically: after a crash during publication the
+// old manifest is still intact.
+func TestManifestAtomicPublish(t *testing.T) {
+	fs := walfault.NewMemFS(walfault.Faults{})
+	m1 := Manifest{NextSeq: 1, WAL: "wal-000001"}
+	if err := WriteManifest(fs, m1); err != nil {
+		t.Fatal(err)
+	}
+	m2 := Manifest{NextSeq: 2, WAL: "wal-000002"}
+	if err := WriteManifest(fs, m2); err != nil {
+		t.Fatal(err)
+	}
+	fs.Crash()
+	got, err := ReadManifest(fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NextSeq != 2 || got.WAL != "wal-000002" {
+		t.Fatalf("after crash: %+v, want the newest manifest", got)
+	}
+}

@@ -1,0 +1,224 @@
+// Package wal implements the write-ahead log of the durability layer: a
+// length-prefixed, CRC32C-framed record stream with group commit.
+//
+// # Framing
+//
+// Every record is framed as
+//
+//	len   uint32 LE  — payload length
+//	pcrc  uint32 LE  — CRC32C over the payload
+//	hcrc  uint32 LE  — CRC32C over the preceding 8 bytes (len‖pcrc)
+//	payload
+//
+// The separate header CRC is what lets recovery tell a torn tail from
+// mid-log corruption: with a valid hcrc the length is trustworthy, so a
+// payload that extends past EOF is a torn append (truncate), while a payload
+// that is fully present but fails pcrc in the middle of the log is
+// corruption (refuse). When the header itself is garbage, Scan probes
+// forward for any later record that frames and checksums correctly: in an
+// append-only log a torn write can never be followed by a complete record
+// (bytes are flushed in order), so finding one proves the damage is mid-log.
+//
+// # Payload
+//
+//	op    byte    — OpInsert or OpDelete
+//	seq   uvarint — the insert's durability sequence number
+//	key   uvarint — the priority key
+//	vlen  uvarint — value length (OpInsert only)
+//	value bytes   — (OpInsert only)
+//
+// Inserts carry (seq, key, value); deletes carry (seq, key) and cancel the
+// insert with the same seq during replay. Because records are appended in
+// operation order into one file, a durable delete implies its insert is
+// durable too (fsync covers a prefix), so replay never sees a delete whose
+// insert it cannot locate in either the WAL or a checkpoint segment.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+)
+
+// Record types.
+const (
+	OpInsert = 1
+	OpDelete = 2
+)
+
+// MaxRecord caps a record payload (and therefore every decode-time
+// allocation): a flipped length byte must not OOM recovery.
+const MaxRecord = 1 << 24
+
+// headerSize is the fixed frame prefix: len + hcrc + pcrc.
+const headerSize = 12
+
+// ErrCorrupt reports mid-log corruption: a record that is provably damaged
+// (rather than torn off by a crash) was found before the end of the log.
+// Recovery refuses to proceed past it — silently dropping an interior record
+// would un-acknowledge writes whose fsync succeeded.
+var ErrCorrupt = errors.New("wal: corrupt record")
+
+// castagnoli is the CRC32C table (the SSE4.2-accelerated polynomial).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Op is one logical WAL record.
+type Op struct {
+	// Delete distinguishes the two record types.
+	Delete bool
+	// Seq is the insert's durability sequence number; a delete names the
+	// seq of the insert it consumed.
+	Seq uint64
+	// Key is the priority key, logged on both record types so replay can
+	// sanity-check and tests can assert without a side table.
+	Key uint64
+	// Value is the encoded payload (inserts only). Decoded Ops alias the
+	// scanned buffer; copy before retaining.
+	Value []byte
+}
+
+// AppendRecord appends the framed encoding of op to dst and returns the
+// extended slice.
+func AppendRecord(dst []byte, op Op) []byte {
+	start := len(dst)
+	dst = append(dst, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0) // frame placeholder
+	if op.Delete {
+		dst = append(dst, OpDelete)
+		dst = binary.AppendUvarint(dst, op.Seq)
+		dst = binary.AppendUvarint(dst, op.Key)
+	} else {
+		dst = append(dst, OpInsert)
+		dst = binary.AppendUvarint(dst, op.Seq)
+		dst = binary.AppendUvarint(dst, op.Key)
+		dst = binary.AppendUvarint(dst, uint64(len(op.Value)))
+		dst = append(dst, op.Value...)
+	}
+	payload := dst[start+headerSize:]
+	binary.LittleEndian.PutUint32(dst[start:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(dst[start+4:], crc32.Checksum(payload, castagnoli))
+	binary.LittleEndian.PutUint32(dst[start+8:], crc32.Checksum(dst[start:start+8], castagnoli))
+	return dst
+}
+
+// decodePayload decodes one record payload.
+func decodePayload(p []byte) (Op, error) {
+	if len(p) == 0 {
+		return Op{}, fmt.Errorf("%w: empty payload", ErrCorrupt)
+	}
+	kind := p[0]
+	rest := p[1:]
+	seq, n := binary.Uvarint(rest)
+	if n <= 0 {
+		return Op{}, fmt.Errorf("%w: bad seq varint", ErrCorrupt)
+	}
+	rest = rest[n:]
+	key, n := binary.Uvarint(rest)
+	if n <= 0 {
+		return Op{}, fmt.Errorf("%w: bad key varint", ErrCorrupt)
+	}
+	rest = rest[n:]
+	switch kind {
+	case OpDelete:
+		if len(rest) != 0 {
+			return Op{}, fmt.Errorf("%w: %d trailing bytes on delete", ErrCorrupt, len(rest))
+		}
+		return Op{Delete: true, Seq: seq, Key: key}, nil
+	case OpInsert:
+		vlen, n := binary.Uvarint(rest)
+		if n <= 0 {
+			return Op{}, fmt.Errorf("%w: bad value-length varint", ErrCorrupt)
+		}
+		rest = rest[n:]
+		if vlen != uint64(len(rest)) {
+			return Op{}, fmt.Errorf("%w: value length %d, %d bytes present", ErrCorrupt, vlen, len(rest))
+		}
+		return Op{Seq: seq, Key: key, Value: rest}, nil
+	default:
+		return Op{}, fmt.Errorf("%w: unknown record type %d", ErrCorrupt, kind)
+	}
+}
+
+// ScanResult summarizes one log scan.
+type ScanResult struct {
+	// Records is the number of records emitted.
+	Records int
+	// GoodLen is the length of the clean prefix: the log should be
+	// truncated to this before appending resumes.
+	GoodLen int64
+	// Torn reports whether a torn tail (GoodLen < len(data)) was dropped.
+	Torn bool
+}
+
+// frameAt validates the frame at data[off:]. ok=false means the bytes do not
+// form a complete well-checksummed record (torn or corrupt — the caller
+// decides which).
+func frameAt(data []byte, off int64) (payload []byte, next int64, ok bool) {
+	if int64(len(data))-off < headerSize {
+		return nil, 0, false
+	}
+	h := data[off : off+headerSize]
+	if crc32.Checksum(h[:8], castagnoli) != binary.LittleEndian.Uint32(h[8:12]) {
+		return nil, 0, false
+	}
+	plen := int64(binary.LittleEndian.Uint32(h[:4]))
+	if plen > MaxRecord || off+headerSize+plen > int64(len(data)) {
+		return nil, 0, false
+	}
+	payload = data[off+headerSize : off+headerSize+plen]
+	if crc32.Checksum(payload, castagnoli) != binary.LittleEndian.Uint32(h[4:8]) {
+		return nil, 0, false
+	}
+	return payload, off + headerSize + plen, true
+}
+
+// completeRecordAhead reports whether any offset in (off, len(data)] frames
+// a complete, fully-checksummed record. In an append-only log, bytes are
+// made durable strictly in write order, so nothing that follows a torn
+// append can be complete: a hit proves the damage at off is mid-log
+// corruption, not a crash artifact.
+func completeRecordAhead(data []byte, off int64) bool {
+	for p := off + 1; p+headerSize <= int64(len(data)); p++ {
+		if _, _, ok := frameAt(data, p); ok {
+			return true
+		}
+	}
+	return false
+}
+
+// Scan replays the record stream in data, calling emit for each intact
+// record in order. A damaged region at the physical end of the log (a torn
+// append) is reported via ScanResult.Torn and excluded from GoodLen; a
+// damaged record with intact records after it is mid-log corruption and
+// fails with an error wrapping ErrCorrupt. Scan never panics on hostile
+// input and never allocates more than MaxRecord bytes at a time.
+func Scan(data []byte, emit func(Op)) (ScanResult, error) {
+	var res ScanResult
+	off := int64(0)
+	for off < int64(len(data)) {
+		payload, next, ok := frameAt(data, off)
+		if !ok {
+			// Either way the clean prefix ends here; on the corrupt return
+			// GoodLen tells a repair tool where the damage starts.
+			res.GoodLen = off
+			if completeRecordAhead(data, off) {
+				return res, fmt.Errorf("%w: damaged record at offset %d with intact records after it", ErrCorrupt, off)
+			}
+			res.Torn = true
+			return res, nil
+		}
+		op, err := decodePayload(payload)
+		if err != nil {
+			// The frame checksums held, so the payload bytes are exactly
+			// what the writer wrote — a decode failure is a corrupt (or
+			// version-skewed) record, never a torn one.
+			res.GoodLen = off
+			return res, fmt.Errorf("record at offset %d: %w", off, err)
+		}
+		emit(op)
+		res.Records++
+		off = next
+	}
+	res.GoodLen = off
+	return res, nil
+}

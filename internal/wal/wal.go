@@ -1,0 +1,340 @@
+package wal
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"klsm/internal/walfault"
+)
+
+// ErrClosed is returned by operations on a closed (or abandoned) log.
+var ErrClosed = errors.New("wal: closed")
+
+// Options tunes the group-commit policy. The zero value syncs only on
+// explicit Sync and Close — callers almost always want at least one of
+// SyncEvery or SyncInterval.
+type Options struct {
+	// SyncEvery fsyncs after this many appended records (0 = no
+	// count-based syncing). 1 syncs every write batch — still group
+	// commit, since one batch carries every record appended while the
+	// previous batch was on disk.
+	SyncEvery int
+	// SyncInterval fsyncs at most this long after an unsynced append
+	// (0 = no timer-based syncing). This is the knob that bounds the
+	// acknowledgement latency of group commit.
+	SyncInterval time.Duration
+	// BufferCap is the pending-byte high-water mark: Append blocks (in
+	// memory, waiting for the writer goroutine — never on disk) once this
+	// many bytes are buffered. 0 means the default 4 MiB.
+	BufferCap int
+}
+
+// Stats counts the log's I/O activity; all fields are cumulative.
+type Stats struct {
+	// Appends is the number of records appended.
+	Appends int64
+	// Bytes is the number of framed bytes written to the file.
+	Bytes int64
+	// Fsyncs is the number of Sync calls issued to the file.
+	Fsyncs int64
+	// SyncWaits is the number of explicit Sync calls that had to wait for
+	// the writer (a measure of how often callers outrun group commit).
+	SyncWaits int64
+}
+
+// Log is an append-only record log with group commit. The append fast path
+// encodes the record into an in-memory buffer under a short mutex and
+// returns; a single background goroutine drains the buffer to the file and
+// decides when to fsync per Options. Appends therefore never block on disk
+// (only, briefly, on the buffer mutex, or on BufferCap backpressure), and
+// one fsync acknowledges every record buffered since the previous one —
+// the group-commit batching that keeps WAL overhead sublinear in the
+// sync policy.
+type Log struct {
+	fs   walfault.FS
+	name string
+	f    walfault.File
+	opts Options
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	pending []byte // encoded frames not yet handed to the writer
+	spare   []byte // recycled batch buffer
+	pendRec int    // records in pending
+	// appended is the LSN (1-based count) of the last record accepted by
+	// Append; synced is the highest LSN known durable. Guarded by mu;
+	// synced additionally readable via the atomic for stats.
+	appended uint64
+	syncReq  bool
+	timerOn  bool
+	closed   bool
+	abandon  bool
+	err      error // sticky: first write/sync failure; the log is dead after
+	done     chan struct{}
+
+	synced  atomic.Uint64
+	appends atomic.Int64
+	bytes   atomic.Int64
+	fsyncs  atomic.Int64
+	waits   atomic.Int64
+}
+
+// Open opens (creating or appending to) the named log file on fs and starts
+// the writer goroutine. The caller must have already truncated any torn
+// tail (see Scan) — Open itself does not read the file.
+func Open(fs walfault.FS, name string, opts Options) (*Log, error) {
+	f, err := fs.Append(name)
+	if err != nil {
+		return nil, err
+	}
+	if opts.BufferCap <= 0 {
+		opts.BufferCap = 4 << 20
+	}
+	l := &Log{fs: fs, name: name, f: f, opts: opts, done: make(chan struct{})}
+	l.cond = sync.NewCond(&l.mu)
+	go l.writer()
+	return l, nil
+}
+
+// Append encodes op into the pending buffer and returns its LSN (the
+// 1-based position in the record stream). The record is durable once
+// Synced() reaches the returned LSN; Sync() blocks until everything
+// appended so far is. Append never touches the file: it blocks only on the
+// buffer mutex and, above Options.BufferCap, on writer backpressure.
+func (l *Log) Append(op Op) (uint64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for len(l.pending) >= l.opts.BufferCap && l.err == nil && !l.closed {
+		l.cond.Wait()
+	}
+	if l.err != nil {
+		return 0, l.err
+	}
+	if l.closed {
+		return 0, ErrClosed
+	}
+	l.pending = AppendRecord(l.pending, op)
+	l.pendRec++
+	l.appended++
+	l.appends.Add(1)
+	if l.pendRec == 1 {
+		// Empty→non-empty transition: the writer may be parked on the
+		// cond. While pending stays non-empty the writer is provably awake
+		// (it re-checks under this mutex before waiting), so steady-state
+		// appends skip the wakeup syscall entirely.
+		l.cond.Broadcast()
+	}
+	return l.appended, nil
+}
+
+// Sync blocks until every record appended before the call is durable (or
+// the log has failed, returning the sticky error). Concurrent Sync callers
+// share fsyncs: the writer issues one fsync for all of them.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	target := l.appended
+	if l.synced.Load() >= target {
+		return l.err
+	}
+	l.waits.Add(1)
+	l.syncReq = true
+	l.cond.Broadcast()
+	for l.synced.Load() < target && l.err == nil && !(l.closed && l.abandon) {
+		l.cond.Wait()
+	}
+	return l.err
+}
+
+// Synced returns the highest durable LSN.
+func (l *Log) Synced() uint64 { return l.synced.Load() }
+
+// Appended returns the LSN of the most recently appended record.
+func (l *Log) Appended() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.appended
+}
+
+// Err returns the sticky error, if the log has failed.
+func (l *Log) Err() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.err
+}
+
+// Stats returns the cumulative I/O counters.
+func (l *Log) Stats() Stats {
+	return Stats{
+		Appends:   l.appends.Load(),
+		Bytes:     l.bytes.Load(),
+		Fsyncs:    l.fsyncs.Load(),
+		SyncWaits: l.waits.Load(),
+	}
+}
+
+// Close flushes and fsyncs everything pending, stops the writer, and closes
+// the file. Further Appends fail with ErrClosed. Close is idempotent; it
+// returns the sticky error if the log failed earlier.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	if l.closed {
+		err := l.err
+		l.mu.Unlock()
+		<-l.done
+		return err
+	}
+	l.closed = true
+	l.syncReq = true
+	l.cond.Broadcast()
+	l.mu.Unlock()
+	<-l.done
+	l.mu.Lock()
+	err := l.err
+	l.mu.Unlock()
+	if cerr := l.f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// Abandon stops the writer goroutine without flushing or touching the file,
+// simulating the process dying mid-run: buffered records are dropped
+// exactly as a kill would drop them. Used by the crash-injection tests;
+// production shutdown is Close.
+func (l *Log) Abandon() {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		<-l.done
+		return
+	}
+	l.closed = true
+	l.abandon = true
+	if l.err == nil {
+		// Anyone mid-Sync must not report durability that never happened:
+		// the simulated crash kills their "process", so they observe an
+		// error exactly as a real fsync caller would observe a torn-down
+		// file descriptor.
+		l.err = ErrClosed
+	}
+	l.pending = nil
+	l.pendRec = 0
+	l.syncReq = false
+	l.cond.Broadcast()
+	l.mu.Unlock()
+	<-l.done
+	l.f.Close()
+}
+
+// writer is the single background goroutine: it drains pending batches to
+// the file and issues the group-commit fsyncs.
+func (l *Log) writer() {
+	defer close(l.done)
+	var unsynced int  // records written to the file but not fsynced
+	var wrote uint64  // LSN covered by the file writes so far
+	var lastErr error // local view of the sticky error
+	fail := func(err error) {
+		l.mu.Lock()
+		if l.err == nil {
+			l.err = err
+		}
+		lastErr = l.err
+		l.cond.Broadcast()
+		l.mu.Unlock()
+	}
+	for {
+		l.mu.Lock()
+		for len(l.pending) == 0 && !l.syncReq && !l.closed {
+			l.cond.Wait()
+		}
+		if l.abandon || (l.closed && len(l.pending) == 0 && !l.syncReq && unsynced == 0) {
+			l.mu.Unlock()
+			return
+		}
+		batch := l.pending
+		recs := l.pendRec
+		l.pending = l.spare[:0]
+		l.spare = nil
+		l.pendRec = 0
+		lsn := l.appended
+		doSync := l.syncReq
+		l.syncReq = false
+		closing := l.closed
+		l.mu.Unlock()
+
+		if lastErr == nil && len(batch) > 0 {
+			if _, err := l.f.Write(batch); err != nil {
+				fail(err)
+			} else {
+				l.bytes.Add(int64(len(batch)))
+				unsynced += recs
+				wrote = lsn
+			}
+		}
+		// Return the drained buffer for reuse and release backpressure.
+		l.mu.Lock()
+		if l.spare == nil && cap(batch) <= 8<<20 {
+			l.spare = batch[:0]
+		}
+		l.cond.Broadcast()
+		l.mu.Unlock()
+
+		if lastErr == nil && unsynced > 0 &&
+			(doSync || closing || (l.opts.SyncEvery > 0 && unsynced >= l.opts.SyncEvery)) {
+			if err := l.f.Sync(); err != nil {
+				fail(err)
+			} else {
+				l.fsyncs.Add(1)
+				unsynced = 0
+				l.synced.Store(wrote)
+				l.mu.Lock()
+				l.cond.Broadcast()
+				l.mu.Unlock()
+			}
+		} else if lastErr == nil && unsynced > 0 && l.opts.SyncInterval > 0 {
+			l.armTimer()
+		}
+		if lastErr != nil {
+			// Dead log: drain state so Close can finish, then park until
+			// closed. Waiters were woken with the sticky error.
+			l.mu.Lock()
+			for !l.closed {
+				l.cond.Wait()
+			}
+			l.mu.Unlock()
+			return
+		}
+		if closing && unsynced == 0 {
+			l.mu.Lock()
+			empty := len(l.pending) == 0
+			l.mu.Unlock()
+			if empty {
+				return
+			}
+		}
+	}
+}
+
+// armTimer schedules a deferred group-commit fsync SyncInterval from now,
+// if one is not already scheduled.
+func (l *Log) armTimer() {
+	l.mu.Lock()
+	if l.timerOn || l.closed {
+		l.mu.Unlock()
+		return
+	}
+	l.timerOn = true
+	l.mu.Unlock()
+	time.AfterFunc(l.opts.SyncInterval, func() {
+		l.mu.Lock()
+		l.timerOn = false
+		if !l.closed {
+			l.syncReq = true
+			l.cond.Broadcast()
+		}
+		l.mu.Unlock()
+	})
+}

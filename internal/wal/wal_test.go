@@ -1,0 +1,228 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"klsm/internal/walfault"
+)
+
+// roundTrip encodes ops, scans them back, and compares.
+func TestRecordRoundTrip(t *testing.T) {
+	in := []Op{
+		{Seq: 1, Key: 42, Value: []byte("hello")},
+		{Seq: 2, Key: 0, Value: nil},
+		{Delete: true, Seq: 1, Key: 42},
+		{Seq: 1<<63 + 5, Key: ^uint64(0), Value: make([]byte, 300)},
+	}
+	var buf []byte
+	for _, op := range in {
+		buf = AppendRecord(buf, op)
+	}
+	var out []Op
+	res, err := Scan(buf, func(op Op) {
+		op.Value = append([]byte(nil), op.Value...)
+		out = append(out, op)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Torn || res.GoodLen != int64(len(buf)) || res.Records != len(in) {
+		t.Fatalf("scan result %+v, want clean %d records over %d bytes", res, len(in), len(buf))
+	}
+	for i := range in {
+		if out[i].Delete != in[i].Delete || out[i].Seq != in[i].Seq || out[i].Key != in[i].Key ||
+			string(out[i].Value) != string(in[i].Value) {
+			t.Fatalf("record %d: got %+v want %+v", i, out[i], in[i])
+		}
+	}
+}
+
+// A truncated final record is a torn tail: dropped, not an error.
+func TestScanTornTail(t *testing.T) {
+	var buf []byte
+	buf = AppendRecord(buf, Op{Seq: 1, Key: 10, Value: []byte("abc")})
+	clean := int64(len(buf))
+	buf = AppendRecord(buf, Op{Seq: 2, Key: 20, Value: []byte("defgh")})
+	for cut := clean + 1; cut < int64(len(buf)); cut++ {
+		n := 0
+		res, err := Scan(buf[:cut], func(Op) { n++ })
+		if err != nil {
+			t.Fatalf("cut %d: %v", cut, err)
+		}
+		if !res.Torn || res.GoodLen != clean || n != 1 {
+			t.Fatalf("cut %d: got %+v (%d records), want torn with GoodLen %d", cut, res, n, clean)
+		}
+	}
+}
+
+// A damaged record with intact records after it must refuse with ErrCorrupt
+// — for every byte of the first record.
+func TestScanMidLogCorruption(t *testing.T) {
+	var buf []byte
+	buf = AppendRecord(buf, Op{Seq: 1, Key: 10, Value: []byte("abc")})
+	first := len(buf)
+	buf = AppendRecord(buf, Op{Seq: 2, Key: 20, Value: []byte("defgh")})
+	for i := 0; i < first; i++ {
+		mut := append([]byte(nil), buf...)
+		mut[i] ^= 0x40
+		_, err := Scan(mut, func(Op) {})
+		if err == nil {
+			t.Fatalf("flip at byte %d: corruption not detected", i)
+		}
+		if !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("flip at byte %d: error %v does not wrap ErrCorrupt", i, err)
+		}
+	}
+}
+
+// A flipped bit in the *final* record is indistinguishable from a torn
+// write and must truncate cleanly instead of erroring.
+func TestScanGarbledTailTruncates(t *testing.T) {
+	var buf []byte
+	buf = AppendRecord(buf, Op{Seq: 1, Key: 10, Value: []byte("abc")})
+	clean := int64(len(buf))
+	buf = AppendRecord(buf, Op{Seq: 2, Key: 20, Value: []byte("defgh")})
+	mut := append([]byte(nil), buf...)
+	mut[len(mut)-2] ^= 0x10
+	n := 0
+	res, err := Scan(mut, func(Op) { n++ })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Torn || res.GoodLen != clean || n != 1 {
+		t.Fatalf("got %+v (%d records), want torn with GoodLen %d", res, n, clean)
+	}
+}
+
+// Group commit: concurrent appenders + Sync callers, then replay and check
+// that every synced record is present and in seq order per appender.
+func TestLogGroupCommitConcurrent(t *testing.T) {
+	fs := walfault.NewMemFS(walfault.Faults{Seed: 1})
+	l, err := Open(fs, "wal", Options{SyncEvery: 8, SyncInterval: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers, each = 4, 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				seq := uint64(w*each + i + 1)
+				if _, err := l.Append(Op{Seq: seq, Key: seq, Value: []byte(fmt.Sprintf("v%d", seq))}); err != nil {
+					t.Error(err)
+					return
+				}
+				if i%100 == 99 {
+					if err := l.Sync(); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := l.Synced(), uint64(workers*each); got != want {
+		t.Fatalf("synced LSN %d, want %d", got, want)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := fs.ReadFile("wal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[uint64]bool)
+	res, err := Scan(data, func(op Op) {
+		if seen[op.Seq] {
+			t.Fatalf("seq %d appears twice", op.Seq)
+		}
+		seen[op.Seq] = true
+	})
+	if err != nil || res.Torn {
+		t.Fatalf("scan: %v torn=%v", err, res.Torn)
+	}
+	if len(seen) != workers*each {
+		t.Fatalf("replayed %d records, want %d", len(seen), workers*each)
+	}
+	if st := l.Stats(); st.Fsyncs == 0 || st.Fsyncs >= st.Appends {
+		t.Fatalf("group commit did not batch: %+v", st)
+	}
+}
+
+// After a crash, everything up to the last successful Sync must replay.
+func TestLogCrashKeepsSyncedPrefix(t *testing.T) {
+	fs := walfault.NewMemFS(walfault.Faults{Seed: 7})
+	l, err := Open(fs, "wal", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seq := uint64(1); seq <= 100; seq++ {
+		if _, err := l.Append(Op{Seq: seq, Key: seq}); err != nil {
+			t.Fatal(err)
+		}
+		if seq == 60 {
+			if err := l.Sync(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	fs.Crash()
+	l.Abandon()
+	data, err := fs.ReadFile("wal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	max := uint64(0)
+	if _, err := Scan(data, func(op Op) { max = op.Seq }); err != nil {
+		t.Fatal(err)
+	}
+	if max < 60 {
+		t.Fatalf("synced prefix lost: max replayed seq %d < 60", max)
+	}
+}
+
+// Injected fsync failures surface as sticky errors on Sync and Append.
+func TestLogSyncFailureSticky(t *testing.T) {
+	fs := walfault.NewMemFS(walfault.Faults{SyncFailRate: 1, Seed: 3})
+	l, err := Open(fs, "wal", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append(Op{Seq: 1, Key: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Sync(); !errors.Is(err, walfault.ErrSyncFault) {
+		t.Fatalf("Sync error %v, want ErrSyncFault", err)
+	}
+	if _, err := l.Append(Op{Seq: 2, Key: 2}); !errors.Is(err, walfault.ErrSyncFault) {
+		t.Fatalf("Append after failure: %v, want sticky ErrSyncFault", err)
+	}
+	if err := l.Close(); !errors.Is(err, walfault.ErrSyncFault) {
+		t.Fatalf("Close: %v, want sticky ErrSyncFault", err)
+	}
+}
+
+// Short writes surface as sticky errors too (the log never silently skips).
+func TestLogShortWriteFails(t *testing.T) {
+	fs := walfault.NewMemFS(walfault.Faults{ShortWriteRate: 1, Seed: 11})
+	l, err := Open(fs, "wal", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Append(Op{Seq: 1, Key: 1, Value: make([]byte, 64)})
+	if err := l.Sync(); err == nil {
+		t.Fatal("Sync succeeded over an injected short write")
+	}
+	l.Close()
+}

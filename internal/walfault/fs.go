@@ -1,0 +1,124 @@
+// Package walfault provides the filesystem seam of the durability layer and
+// its fault-injection implementation.
+//
+// The write-ahead log (internal/wal) and the checkpoint machinery
+// (internal/segment) never touch the os package directly: they operate on the
+// FS interface below. Production uses OS, a thin wrapper over one directory.
+// Tests use MemFS, an in-memory filesystem that models exactly the failure
+// surface a WAL must survive:
+//
+//   - short writes (a Write persists only a prefix),
+//   - fsync errors (Sync fails and the file enters an unknown state),
+//   - torn tails (a crash preserves synced bytes but only an arbitrary
+//     prefix of unsynced ones),
+//   - bit flips (media corruption of already-synced bytes).
+//
+// MemFS.Crash simulates a kill: everything not fsynced is cut down to a
+// random prefix (per file), optionally garbled, and the filesystem can then
+// be "rebooted" into a fresh set of handles — which is how the
+// crash-recovery stress test kills and reopens a queue hundreds of times per
+// second without spawning processes.
+package walfault
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// File is the writable-file surface the durability layer needs. Reads go
+// through FS.ReadFile (recovery always reads whole files).
+type File interface {
+	io.WriteCloser
+	// Sync makes every byte written so far durable: after Sync returns nil,
+	// the bytes survive a crash. On error the durable state of unsynced
+	// bytes is unknown (the POSIX fsync contract).
+	Sync() error
+}
+
+// FS is a flat (directory-free) filesystem rooted at one directory. Names
+// are bare file names; implementations reject path separators.
+type FS interface {
+	// Create creates or truncates name for writing.
+	Create(name string) (File, error)
+	// Append opens name for appending, creating it if absent.
+	Append(name string) (File, error)
+	// ReadFile returns the full contents of name.
+	ReadFile(name string) ([]byte, error)
+	// Rename atomically replaces newname with oldname (the os.Rename
+	// contract on POSIX). The durability layer relies on this atomicity for
+	// MANIFEST publication.
+	Rename(oldname, newname string) error
+	// Remove deletes name; removing a missing file is an error.
+	Remove(name string) error
+	// Truncate cuts name down to size bytes (used to drop a torn WAL tail).
+	Truncate(name string, size int64) error
+	// List returns the names of all files, sorted.
+	List() ([]string, error)
+	// SyncDir makes directory-level operations (Create, Rename, Remove)
+	// durable.
+	SyncDir() error
+}
+
+// osFS implements FS over one real directory.
+type osFS struct {
+	dir string
+}
+
+// OS returns the production FS rooted at dir, creating the directory (and
+// parents) if needed.
+func OS(dir string) (FS, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	return &osFS{dir: dir}, nil
+}
+
+func (fs *osFS) path(name string) string { return filepath.Join(fs.dir, name) }
+
+func (fs *osFS) Create(name string) (File, error) {
+	return os.OpenFile(fs.path(name), os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+}
+
+func (fs *osFS) Append(name string) (File, error) {
+	return os.OpenFile(fs.path(name), os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
+}
+
+func (fs *osFS) ReadFile(name string) ([]byte, error) {
+	return os.ReadFile(fs.path(name))
+}
+
+func (fs *osFS) Rename(oldname, newname string) error {
+	return os.Rename(fs.path(oldname), fs.path(newname))
+}
+
+func (fs *osFS) Remove(name string) error { return os.Remove(fs.path(name)) }
+
+func (fs *osFS) Truncate(name string, size int64) error {
+	return os.Truncate(fs.path(name), size)
+}
+
+func (fs *osFS) List() ([]string, error) {
+	ents, err := os.ReadDir(fs.dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range ents {
+		if !e.IsDir() {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+func (fs *osFS) SyncDir() error {
+	d, err := os.Open(fs.dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}

@@ -1,0 +1,293 @@
+package walfault
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"sort"
+	"strings"
+	"sync"
+
+	"klsm/internal/xrand"
+)
+
+// Errors returned by MemFS.
+var (
+	// ErrCrashed is returned to writers whose file handle predates a Crash:
+	// the process those writes belonged to is dead, so nothing they write
+	// may reach the disk image.
+	ErrCrashed = errors.New("walfault: file handle invalidated by crash")
+	// ErrSyncFault is the injected fsync failure.
+	ErrSyncFault = errors.New("walfault: injected fsync error")
+)
+
+// Faults configures the probabilistic fault injection of a MemFS. A rate N
+// means "roughly one in N operations"; 0 disables that fault.
+type Faults struct {
+	// ShortWriteRate injects short writes: one in N Write calls persists
+	// only a strict prefix of its buffer and returns io.ErrShortWrite.
+	ShortWriteRate int
+	// SyncFailRate injects fsync failures: one in N Sync calls fails with
+	// ErrSyncFault, leaving the unsynced bytes volatile (they may be lost by
+	// the next Crash) — the conservative reading of the POSIX contract.
+	SyncFailRate int
+	// TornGarbleRate garbles torn tails: one in N crashes that keep a
+	// non-empty unsynced prefix also flips one random bit inside it,
+	// modeling a sector written while power failed.
+	TornGarbleRate int
+	// Seed makes the injection deterministic.
+	Seed uint64
+}
+
+// memFile is the disk image of one file: synced bytes survive a crash,
+// unsynced bytes survive only as an arbitrary prefix.
+type memFile struct {
+	synced   []byte
+	unsynced []byte
+}
+
+// MemFS is the in-memory crash-simulating FS. All methods are
+// goroutine-safe; a background WAL writer and a test driver may race freely,
+// exactly like a real writer racing a kill signal.
+type MemFS struct {
+	mu      sync.Mutex
+	files   map[string]*memFile
+	rng     *xrand.Source
+	faults  Faults
+	epoch   uint64 // bumped by Crash; stale handles are rejected
+	crashes int64
+	flips   int64
+}
+
+// NewMemFS returns an empty MemFS with the given fault plan.
+func NewMemFS(f Faults) *MemFS {
+	return &MemFS{
+		files:  make(map[string]*memFile),
+		rng:    xrand.NewSeeded(f.Seed*0x9e3779b97f4a7c15 + 0x1234567),
+		faults: f,
+	}
+}
+
+func checkName(name string) error {
+	if name == "" || strings.ContainsAny(name, "/\\") {
+		return fmt.Errorf("walfault: bad file name %q", name)
+	}
+	return nil
+}
+
+// hit reports one-in-rate, rate 0 meaning never. Caller holds mu.
+func (m *MemFS) hit(rate int) bool {
+	return rate > 0 && m.rng.Intn(rate) == 0
+}
+
+// memHandle is a write handle bound to the epoch it was opened in.
+type memHandle struct {
+	fs    *MemFS
+	name  string
+	epoch uint64
+}
+
+func (h *memHandle) file() (*memFile, error) {
+	f := h.fs.files[h.name]
+	if h.epoch != h.fs.epoch {
+		return nil, ErrCrashed
+	}
+	if f == nil {
+		return nil, fs.ErrNotExist
+	}
+	return f, nil
+}
+
+func (h *memHandle) Write(p []byte) (int, error) {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	f, err := h.file()
+	if err != nil {
+		return 0, err
+	}
+	if len(p) > 1 && h.fs.hit(h.fs.faults.ShortWriteRate) {
+		n := 1 + h.fs.rng.Intn(len(p)-1) // strict non-empty prefix
+		f.unsynced = append(f.unsynced, p[:n]...)
+		return n, io.ErrShortWrite
+	}
+	f.unsynced = append(f.unsynced, p...)
+	return len(p), nil
+}
+
+func (h *memHandle) Sync() error {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	f, err := h.file()
+	if err != nil {
+		return err
+	}
+	if h.fs.hit(h.fs.faults.SyncFailRate) {
+		return ErrSyncFault
+	}
+	f.synced = append(f.synced, f.unsynced...)
+	f.unsynced = f.unsynced[:0]
+	return nil
+}
+
+func (h *memHandle) Close() error { return nil }
+
+func (m *MemFS) Create(name string) (File, error) {
+	if err := checkName(name); err != nil {
+		return nil, err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.files[name] = &memFile{}
+	return &memHandle{fs: m, name: name, epoch: m.epoch}, nil
+}
+
+func (m *MemFS) Append(name string) (File, error) {
+	if err := checkName(name); err != nil {
+		return nil, err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.files[name] == nil {
+		m.files[name] = &memFile{}
+	}
+	return &memHandle{fs: m, name: name, epoch: m.epoch}, nil
+}
+
+func (m *MemFS) ReadFile(name string) ([]byte, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f := m.files[name]
+	if f == nil {
+		return nil, fmt.Errorf("walfault: %s: %w", name, fs.ErrNotExist)
+	}
+	out := make([]byte, 0, len(f.synced)+len(f.unsynced))
+	out = append(out, f.synced...)
+	return append(out, f.unsynced...), nil
+}
+
+func (m *MemFS) Rename(oldname, newname string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f := m.files[oldname]
+	if f == nil {
+		return fmt.Errorf("walfault: %s: %w", oldname, fs.ErrNotExist)
+	}
+	delete(m.files, oldname)
+	m.files[newname] = f
+	return nil
+}
+
+func (m *MemFS) Remove(name string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.files[name] == nil {
+		return fmt.Errorf("walfault: %s: %w", name, fs.ErrNotExist)
+	}
+	delete(m.files, name)
+	return nil
+}
+
+func (m *MemFS) Truncate(name string, size int64) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f := m.files[name]
+	if f == nil {
+		return fmt.Errorf("walfault: %s: %w", name, fs.ErrNotExist)
+	}
+	total := int64(len(f.synced) + len(f.unsynced))
+	if size < 0 || size > total {
+		return fmt.Errorf("walfault: truncate %s to %d (size %d)", name, size, total)
+	}
+	if size <= int64(len(f.synced)) {
+		f.synced = f.synced[:size]
+		f.unsynced = f.unsynced[:0]
+	} else {
+		f.unsynced = f.unsynced[:size-int64(len(f.synced))]
+	}
+	return nil
+}
+
+func (m *MemFS) List() ([]string, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	names := make([]string, 0, len(m.files))
+	for n := range m.files {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// SyncDir is a no-op: MemFS models directory operations (Create, Rename,
+// Remove) as immediately durable, which matches the rename-atomicity
+// assumption the MANIFEST protocol already makes of real filesystems. File
+// *contents* are what crash-tearing targets.
+func (m *MemFS) SyncDir() error { return nil }
+
+// Crash simulates a kill -9 plus power loss: for every file, the synced
+// bytes survive intact and the unsynced bytes are cut to an arbitrary
+// (random, possibly empty, possibly complete) prefix — the torn tail.
+// Depending on TornGarbleRate the kept prefix may additionally have one bit
+// flipped. All open handles are invalidated: a background writer goroutine
+// that outlives the "process" can no longer reach the disk image. The FS
+// remains usable — reopening files afterwards models the post-reboot
+// recovery.
+func (m *MemFS) Crash() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.epoch++
+	m.crashes++
+	for _, f := range m.files {
+		if len(f.unsynced) == 0 {
+			continue
+		}
+		keep := m.rng.Intn(len(f.unsynced) + 1)
+		tail := f.unsynced[:keep]
+		if keep > 0 && m.hit(m.faults.TornGarbleRate) {
+			bit := m.rng.Intn(keep * 8)
+			tail[bit/8] ^= 1 << (bit % 8)
+			m.flips++
+		}
+		f.synced = append(f.synced, tail...)
+		f.unsynced = nil
+	}
+}
+
+// FlipBit flips one bit of the durable image of name (bitOffset counts from
+// the start of the file), modeling media corruption of already-synced data —
+// the mid-log corruption recovery must refuse. The offset must lie within
+// the synced region.
+func (m *MemFS) FlipBit(name string, bitOffset int64) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f := m.files[name]
+	if f == nil {
+		return fmt.Errorf("walfault: %s: %w", name, fs.ErrNotExist)
+	}
+	if bitOffset < 0 || bitOffset >= int64(len(f.synced))*8 {
+		return fmt.Errorf("walfault: FlipBit offset %d outside synced %d bytes of %s",
+			bitOffset, len(f.synced), name)
+	}
+	f.synced[bitOffset/8] ^= 1 << (bitOffset % 8)
+	m.flips++
+	return nil
+}
+
+// SyncedLen returns how many bytes of name are durable, for tests that
+// want to corrupt or assert around the synced/unsynced boundary.
+func (m *MemFS) SyncedLen(name string) int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if f := m.files[name]; f != nil {
+		return int64(len(f.synced))
+	}
+	return 0
+}
+
+// Crashes returns how many times Crash ran; Flips how many bits were
+// flipped (torn-tail garbling plus FlipBit).
+func (m *MemFS) Crashes() int64 { return m.crashes }
+
+// Flips returns the number of bits flipped so far.
+func (m *MemFS) Flips() int64 { return m.flips }

@@ -1,0 +1,150 @@
+package walfault
+
+import (
+	"errors"
+	"io"
+	"testing"
+)
+
+// Crash keeps synced bytes intact and cuts unsynced bytes to a prefix.
+func TestCrashKeepsSyncedPrefix(t *testing.T) {
+	m := NewMemFS(Faults{Seed: 1})
+	f, err := m.Create("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write([]byte("durable-"))
+	f.Sync()
+	f.Write([]byte("volatile"))
+	m.Crash()
+	data, err := m.ReadFile("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) < len("durable-") || string(data[:8]) != "durable-" {
+		t.Fatalf("synced prefix damaged: %q", data)
+	}
+	if len(data) > len("durable-volatile") {
+		t.Fatalf("crash grew the file: %q", data)
+	}
+}
+
+// Handles opened before a crash are dead afterwards.
+func TestCrashInvalidatesHandles(t *testing.T) {
+	m := NewMemFS(Faults{Seed: 2})
+	f, _ := m.Create("f")
+	m.Crash()
+	if _, err := f.Write([]byte("x")); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("Write on stale handle: %v, want ErrCrashed", err)
+	}
+	if err := f.Sync(); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("Sync on stale handle: %v, want ErrCrashed", err)
+	}
+	// A fresh handle works.
+	g, err := m.Append("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Write([]byte("y")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Injected short writes persist a strict non-empty prefix.
+func TestShortWriteInjection(t *testing.T) {
+	m := NewMemFS(Faults{ShortWriteRate: 1, Seed: 3})
+	f, _ := m.Create("f")
+	n, err := f.Write(make([]byte, 100))
+	if !errors.Is(err, io.ErrShortWrite) {
+		t.Fatalf("err %v, want ErrShortWrite", err)
+	}
+	if n <= 0 || n >= 100 {
+		t.Fatalf("short write persisted %d bytes, want strict non-empty prefix", n)
+	}
+	data, _ := m.ReadFile("f")
+	if len(data) != n {
+		t.Fatalf("file has %d bytes, reported %d", len(data), n)
+	}
+}
+
+// Injected fsync failures leave the bytes volatile: a crash may drop them.
+func TestSyncFaultLeavesBytesVolatile(t *testing.T) {
+	m := NewMemFS(Faults{SyncFailRate: 1, Seed: 4})
+	f, _ := m.Create("f")
+	f.Write([]byte("abc"))
+	if err := f.Sync(); !errors.Is(err, ErrSyncFault) {
+		t.Fatalf("err %v, want ErrSyncFault", err)
+	}
+	if m.SyncedLen("f") != 0 {
+		t.Fatal("failed fsync must not mark bytes durable")
+	}
+}
+
+// Rename replaces the target and survives crashes (rename atomicity).
+func TestRenameAtomic(t *testing.T) {
+	m := NewMemFS(Faults{Seed: 5})
+	f, _ := m.Create("tmp")
+	f.Write([]byte("new"))
+	f.Sync()
+	g, _ := m.Create("target")
+	g.Write([]byte("old"))
+	g.Sync()
+	if err := m.Rename("tmp", "target"); err != nil {
+		t.Fatal(err)
+	}
+	m.Crash()
+	data, err := m.ReadFile("target")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "new" {
+		t.Fatalf("target = %q after rename+crash", data)
+	}
+	if _, err := m.ReadFile("tmp"); err == nil {
+		t.Fatal("tmp still exists after rename")
+	}
+}
+
+// FlipBit corrupts durable data only within bounds.
+func TestFlipBit(t *testing.T) {
+	m := NewMemFS(Faults{Seed: 6})
+	f, _ := m.Create("f")
+	f.Write([]byte{0x00})
+	f.Sync()
+	if err := m.FlipBit("f", 3); err != nil {
+		t.Fatal(err)
+	}
+	data, _ := m.ReadFile("f")
+	if data[0] != 0x08 {
+		t.Fatalf("byte = %#x, want 0x08", data[0])
+	}
+	if err := m.FlipBit("f", 8); err == nil {
+		t.Fatal("FlipBit past synced region must fail")
+	}
+}
+
+// Truncate cuts the combined synced+unsynced view.
+func TestTruncate(t *testing.T) {
+	m := NewMemFS(Faults{Seed: 7})
+	f, _ := m.Create("f")
+	f.Write([]byte("abcd"))
+	f.Sync()
+	f.Write([]byte("efgh"))
+	if err := m.Truncate("f", 6); err != nil {
+		t.Fatal(err)
+	}
+	data, _ := m.ReadFile("f")
+	if string(data) != "abcdef" {
+		t.Fatalf("after truncate: %q", data)
+	}
+	if err := m.Truncate("f", 2); err != nil {
+		t.Fatal(err)
+	}
+	data, _ = m.ReadFile("f")
+	if string(data) != "ab" {
+		t.Fatalf("after second truncate: %q", data)
+	}
+	if err := m.Truncate("f", 100); err == nil {
+		t.Fatal("truncate past EOF must fail")
+	}
+}

@@ -2,6 +2,8 @@ package klsm
 
 import (
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"klsm/internal/core"
 )
@@ -16,6 +18,13 @@ import (
 type Queue[V any] struct {
 	q *core.Queue[V]
 
+	// p is the durability state; nil for queues created by New. Non-nil
+	// routes every mutation through the write-ahead log (see Open).
+	p *persister[V]
+	// closed flips on Close; operations afterwards return or panic with
+	// ErrClosed.
+	closed atomic.Bool
+
 	// freeMu guards freeHandles, the registry backing the handle-free
 	// operations: handles not currently borrowed by an in-flight
 	// queue-level operation. Recycling keeps T — and ρ = T·k — bounded by
@@ -28,9 +37,28 @@ type Queue[V any] struct {
 // used by two goroutines concurrently; create one Handle per worker.
 type Handle[V any] struct {
 	h *core.Handle[V]
+	// q backs the closed check and the persistence routing.
+	q *Queue[V]
 	// enc is the ordered-API batch-encode scratch. Owner-only, like the
 	// handle itself — registry borrowers own it exclusively while borrowed.
 	enc []uint64
+	// vbuf is the value-codec scratch of the persistent insert path.
+	// Owner-only, like enc.
+	vbuf []byte
+}
+
+// persist performs the per-operation preamble: it panics with ErrClosed on
+// a closed queue and returns the durability state (nil for queues created
+// by New). One atomic load on the hot path.
+func (h *Handle[V]) persist() *persister[V] {
+	q := h.q
+	if q == nil {
+		return nil
+	}
+	if q.closed.Load() {
+		panic(ErrClosed)
+	}
+	return q.p
 }
 
 // DropFunc is the lazy-deletion callback (paper §4.5): return true for items
@@ -39,10 +67,11 @@ type Handle[V any] struct {
 // instead of returning them from TryDeleteMin.
 type DropFunc[V any] func(key uint64, value V) bool
 
-// buildConfig resolves opts against the defaults: the paper's recommended
+// resolveOptions applies opts to the defaults: the paper's recommended
 // general-purpose setting (combined k-LSM, k = 256, local ordering) with
-// §4.4 memory pooling enabled.
-func buildConfig[V any](opts []Option) core.Config[V] {
+// §4.4 memory pooling enabled, and — for persistent queues — 2ms
+// timer-driven group commit.
+func resolveOptions(opts []Option) options {
 	cfg := options{
 		k:             256,
 		mode:          core.Combined,
@@ -52,10 +81,19 @@ func buildConfig[V any](opts []Option) core.Config[V] {
 		reclaim:       true,
 		delBuf:        32,
 		stickyOps:     64,
+		syncInterval:  2 * time.Millisecond,
 	}
 	for _, o := range opts {
 		o(&cfg)
 	}
+	if cfg.syncInterval < 0 { // WithSyncInterval(0): explicitly timerless
+		cfg.syncInterval = 0
+	}
+	return cfg
+}
+
+// coreConfig translates resolved options into the engine configuration.
+func coreConfig[V any](cfg options) core.Config[V] {
 	return core.Config[V]{
 		K:                      cfg.k,
 		Mode:                   cfg.mode,
@@ -70,30 +108,51 @@ func buildConfig[V any](opts []Option) core.Config[V] {
 	}
 }
 
+// newCoreQueue builds the engine queue for resolved options, wiring the
+// optional lazy-deletion callback.
+func newCoreQueue[V any](cfg options, drop func(key uint64, value V) bool) *core.Queue[V] {
+	ccfg := coreConfig[V](cfg)
+	ccfg.Drop = drop
+	return core.NewQueue(ccfg)
+}
+
 // New returns an empty queue configured by opts. The default configuration
 // is the paper's recommended general-purpose setting: the combined k-LSM
 // with k = 256, local ordering enabled, §4.4 memory pooling with
 // deterministic item reclamation on, and the delete-min min-caching fast
-// path on.
+// path on. For a durable queue use Open — New panics if WithPersistence is
+// among opts, because persistence needs a ValueCodec that cannot travel
+// through the non-generic Option type.
 func New[V any](opts ...Option) *Queue[V] {
-	return &Queue[V]{q: core.NewQueue(buildConfig[V](opts))}
+	cfg := resolveOptions(opts)
+	if cfg.persistDir != "" {
+		panic("klsm: WithPersistence requires klsm.Open (New cannot take the value codec)")
+	}
+	return &Queue[V]{q: newCoreQueue[V](cfg, nil)}
 }
 
 // NewWithDrop is New with a lazy-deletion callback; the callback type is
 // generic, so it cannot be passed through Option.
 func NewWithDrop[V any](drop DropFunc[V], opts ...Option) *Queue[V] {
-	ccfg := buildConfig[V](opts)
-	if drop != nil {
-		ccfg.Drop = func(key uint64, value V) bool { return drop(key, value) }
+	cfg := resolveOptions(opts)
+	if cfg.persistDir != "" {
+		panic("klsm: WithPersistence requires klsm.Open (New cannot take the value codec)")
 	}
-	return &Queue[V]{q: core.NewQueue(ccfg)}
+	var coreDrop func(key uint64, value V) bool
+	if drop != nil {
+		coreDrop = func(key uint64, value V) bool { return drop(key, value) }
+	}
+	return &Queue[V]{q: newCoreQueue[V](cfg, coreDrop)}
 }
 
 // NewHandle registers a new handle. Handles count toward the relaxation
 // bound: with T handles, TryDeleteMin returns one of the T·k+1 smallest
 // keys.
 func (q *Queue[V]) NewHandle() *Handle[V] {
-	return &Handle[V]{h: q.q.NewHandle()}
+	if q.closed.Load() {
+		panic(ErrClosed)
+	}
+	return &Handle[V]{h: q.q.NewHandle(), q: q}
 }
 
 // Size returns the number of keys in the queue. Like the paper's size
@@ -137,9 +196,19 @@ func (q *Queue[V]) Quiesce() { q.q.Quiesce() }
 // paper §4.5): concurrent observers may see intermediate states. other must
 // be quiescent for inserts during the meld and should be discarded
 // afterwards.
+//
+// Meld panics when either queue is persistent: melded items move by block
+// adoption and would bypass the write-ahead log, silently losing them on
+// recovery. Drain the source and re-insert instead.
 func (h *Handle[V]) Meld(other *Queue[V]) {
 	if other == nil {
 		return
+	}
+	if h.persist() != nil || other.p != nil {
+		panic("klsm: Meld on a persistent queue would bypass the WAL; drain and re-insert instead")
+	}
+	if other.closed.Load() {
+		panic(ErrClosed)
 	}
 	h.h.Meld(other.q)
 }
@@ -149,18 +218,42 @@ func (h *Handle[V]) Meld(other *Queue[V]) {
 // toward ρ = T·k. Call it when a worker goroutine exits for good; the
 // handle must not be used afterwards. Closing is optional for short-lived
 // queues but prevents unbounded victim-list growth under handle churn.
-func (h *Handle[V]) Close() { h.h.Close() }
+func (h *Handle[V]) Close() {
+	h.persist()
+	h.h.Close()
+}
 
 // Insert adds key with the given payload. Insert always succeeds and is
-// lock-free.
-func (h *Handle[V]) Insert(key uint64, value V) { h.h.Insert(key, value) }
+// lock-free; on a persistent queue it additionally appends a WAL record
+// (in memory — disk I/O happens on the group-commit writer), is durable
+// once a Sync covering it returns, and panics if the ValueCodec rejects
+// value. Insert panics with ErrClosed after Close.
+func (h *Handle[V]) Insert(key uint64, value V) {
+	if p := h.persist(); p != nil {
+		seq := p.seq.Add(1)
+		h.vbuf = p.appendInsert(h.vbuf[:0], key, value, seq)
+		h.h.InsertSeq(key, value, seq)
+		return
+	}
+	h.h.Insert(key, value)
+}
 
 // TryDeleteMin removes and returns a key among the ρ+1 smallest in the
 // queue (ρ = T·k), preferring this handle's own minimal key (local
 // ordering). ok is false when no key was found; under concurrent
 // modification this can be spurious, so callers with external knowledge
-// that items remain should retry.
+// that items remain should retry. On a persistent queue a successful
+// delete appends a WAL record; once a Sync covering it returns, the item
+// will not reappear after a crash (unacknowledged deletes may be
+// redelivered — at-least-once, like any write-behind log).
 func (h *Handle[V]) TryDeleteMin() (key uint64, value V, ok bool) {
+	if p := h.persist(); p != nil {
+		k, v, seq, ok := h.h.TryDeleteMinSeq()
+		if ok {
+			p.appendDelete(k, seq)
+		}
+		return k, v, ok
+	}
 	return h.h.TryDeleteMin()
 }
 
@@ -168,5 +261,6 @@ func (h *Handle[V]) TryDeleteMin() (key uint64, value V, ok bool) {
 // result is relaxed exactly like TryDeleteMin's and may be stale by the
 // time the caller acts on it.
 func (h *Handle[V]) PeekMin() (key uint64, value V, ok bool) {
+	h.persist()
 	return h.h.PeekMin()
 }

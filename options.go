@@ -1,6 +1,10 @@
 package klsm
 
-import "klsm/internal/core"
+import (
+	"time"
+
+	"klsm/internal/core"
+)
 
 // options collects the non-generic configuration set by Option values.
 type options struct {
@@ -12,6 +16,12 @@ type options struct {
 	reclaim       bool
 	delBuf        int
 	stickyOps     int
+
+	// Durability (Open-only; New panics when persistDir is set).
+	persistDir   string
+	syncEvery    int
+	syncInterval time.Duration
+	walBuffer    int
 }
 
 // Option configures New.
@@ -99,6 +109,47 @@ func WithMinCaching(enabled bool) Option {
 // caching: with WithMinCaching(false) it is implicitly disabled.
 func WithDeletionBuffer(n int) Option {
 	return func(o *options) { o.delBuf = n }
+}
+
+// WithPersistence declares the directory a persistent queue lives in. It is
+// default-off and only meaningful through Open, which already takes the
+// directory — the option exists so option lists can be built and passed
+// around uniformly. New panics when it is set, directing callers to Open:
+// the value codec persistence requires is generic and cannot travel through
+// the non-generic Option type.
+func WithPersistence(dir string) Option {
+	return func(o *options) { o.persistDir = dir }
+}
+
+// WithSyncEvery sets the count half of the WAL group-commit policy: an
+// fsync is issued once this many records have been appended since the last
+// one (0 disables count-based syncing; the default). Explicit Sync calls
+// and Close always force an fsync regardless.
+func WithSyncEvery(n int) Option {
+	return func(o *options) { o.syncEvery = n }
+}
+
+// WithSyncInterval sets the time half of the WAL group-commit policy: an
+// fsync is issued at most d after an unsynced append, bounding how long an
+// unacknowledged operation can linger (default 2ms; 0 disables timer-based
+// syncing, leaving only WithSyncEvery, explicit Sync and Close). Smaller
+// intervals tighten the durability window and cost proportionally more
+// fsyncs; group commit means each fsync still covers every record appended
+// since the previous one.
+func WithSyncInterval(d time.Duration) Option {
+	return func(o *options) {
+		o.syncInterval = d
+		if d <= 0 {
+			o.syncInterval = -1 // explicit off; resolveOptions maps to 0
+		}
+	}
+}
+
+// WithWALBuffer sets the WAL's in-memory pending-buffer high-water mark in
+// bytes (default 4 MiB): appends block — in memory, never on disk — once
+// this much encoded data awaits the background writer.
+func WithWALBuffer(bytes int) Option {
+	return func(o *options) { o.walBuffer = bytes }
 }
 
 // WithStickyHint sets the sticky skip-shared budget (default 64): how many

@@ -44,6 +44,33 @@ func NewOrderedWithDrop[K, V any](codec KeyCodec[K], drop func(key K, value V) b
 	return &OrderedQueue[K, V]{q: NewWithDrop(wrapped, opts...), codec: codec}
 }
 
+// OpenOrdered is Open for ordered key types: a persistent queue rooted at
+// dir, keyed by K through keyCodec, with payloads serialized by valueCodec.
+// Only the encoded uint64 keys are persisted, so the key codec must be
+// stable across restarts (the same caveat as any persisted encoding).
+func OpenOrdered[K, V any](dir string, keyCodec KeyCodec[K], valueCodec ValueCodec[V], opts ...Option) (*OrderedQueue[K, V], error) {
+	if keyCodec == nil {
+		panic("klsm: nil KeyCodec")
+	}
+	q, err := Open(dir, valueCodec, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return &OrderedQueue[K, V]{q: q, codec: keyCodec}, nil
+}
+
+// Close shuts the queue down; see Queue.Close.
+func (q *OrderedQueue[K, V]) Close() error { return q.q.Close() }
+
+// Sync blocks until every prior operation is durable; see Queue.Sync.
+func (q *OrderedQueue[K, V]) Sync() error { return q.q.Sync() }
+
+// Checkpoint compacts the durability state; see Queue.Checkpoint.
+func (q *OrderedQueue[K, V]) Checkpoint() error { return q.q.Checkpoint() }
+
+// PersistStats returns the durability counters; see Queue.PersistStats.
+func (q *OrderedQueue[K, V]) PersistStats() PersistStats { return q.q.PersistStats() }
+
 // NewHandle registers a new handle; see Queue.NewHandle for the handle
 // contract and the effect on ρ.
 func (q *OrderedQueue[K, V]) NewHandle() *OrderedHandle[K, V] {

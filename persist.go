@@ -1,0 +1,532 @@
+package klsm
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"klsm/internal/segment"
+	"klsm/internal/wal"
+	"klsm/internal/walfault"
+)
+
+// Durability errors. Both corruption errors are aliases of the internal
+// sentinels, so errors.Is works across the package boundary.
+var (
+	// ErrClosed reports an operation on a closed queue. Error-returning
+	// operations (Sync, Checkpoint, Close) return it; error-less operations
+	// (Insert, TryDeleteMin, ...) panic with it, like other use-after-finish
+	// misuse in the standard library.
+	ErrClosed = errors.New("klsm: queue closed")
+	// ErrNotPersistent reports a durability operation on a queue created by
+	// New rather than Open.
+	ErrNotPersistent = errors.New("klsm: queue has no persistence (created by New, not Open)")
+	// ErrCorruptWAL reports provable mid-log corruption in the write-ahead
+	// log: an interior record is damaged while later records are intact.
+	// Open refuses to recover past it — silently dropping the record would
+	// un-acknowledge an insert whose fsync succeeded. (A damaged *final*
+	// record is a torn crash artifact, truncated silently; see Open.)
+	ErrCorruptWAL = wal.ErrCorrupt
+	// ErrCorruptCheckpoint reports a damaged checkpoint artifact: a segment
+	// file or the MANIFEST fails its checksum or structural validation.
+	ErrCorruptCheckpoint = segment.ErrCorrupt
+)
+
+// ckptChunk caps the entries per checkpoint segment file, so recovery loads
+// each segment as one reasonably-sized pre-sorted block publication.
+const ckptChunk = 128 << 10
+
+// RecoveryStats describes what Open found and rebuilt.
+type RecoveryStats struct {
+	// Recovered is false when Open initialized a fresh directory.
+	Recovered bool
+	// SegmentItems counts items loaded from checkpoint segments (after
+	// cancelling WAL-logged deletes).
+	SegmentItems int64
+	// WALRecords counts records replayed from the WAL tail.
+	WALRecords int64
+	// WALInserts counts WAL-tail inserts that survived (were re-applied).
+	WALInserts int64
+	// WALDeletes counts WAL-tail delete records.
+	WALDeletes int64
+	// UnknownDeletes counts delete records whose insert appeared in neither
+	// the WAL nor any segment. They are counted, not fatal: a crash between
+	// a checkpoint's segment fsync and its WAL switch cannot produce one,
+	// but a WAL truncated by an operator can.
+	UnknownDeletes int64
+	// TornBytes is the length of the torn WAL tail Open truncated (bytes
+	// past the last complete record — never acknowledged, by construction).
+	TornBytes int64
+}
+
+// PersistStats is a snapshot of the durability layer's counters.
+type PersistStats struct {
+	// WALAppends, WALBytes and WALFsyncs count records appended, framed
+	// bytes written and group-commit fsyncs on the live WAL since Open.
+	WALAppends int64
+	// WALBytes counts framed bytes written to the live WAL.
+	WALBytes int64
+	// WALFsyncs counts fsyncs issued on the live WAL.
+	WALFsyncs int64
+	// WALSyncWaits counts explicit Sync calls that had to wait for the
+	// group-commit writer.
+	WALSyncWaits int64
+	// Checkpoints counts completed Checkpoint calls and CheckpointTime their
+	// cumulative duration.
+	Checkpoints int64
+	// CheckpointTime is the cumulative wall time spent in Checkpoint.
+	CheckpointTime time.Duration
+	// Segments is the number of live checkpoint segment files.
+	Segments int
+	// NextSeq is the next unassigned durability sequence number.
+	NextSeq uint64
+	// Recovery describes what Open found.
+	Recovery RecoveryStats
+}
+
+// persister is the durability state of a queue created by Open.
+type persister[V any] struct {
+	fs    walfault.FS
+	dir   string
+	codec ValueCodec[V]
+	wopts wal.Options
+
+	// log is the live WAL; swapped by Checkpoint. Atomic so the (quiescent
+	// by contract, but race-detector-visible) op path reads it safely.
+	log atomic.Pointer[wal.Log]
+	// seq is the last assigned durability sequence number.
+	seq atomic.Uint64
+
+	// ckptMu serializes Checkpoint and Close against each other and guards
+	// the fields below.
+	ckptMu   sync.Mutex
+	walName  string
+	segs     []segment.Ref
+	walOrd   uint64 // ordinal for the next WAL file name
+	segOrd   uint64 // ordinal for the next segment file name
+	recovery RecoveryStats
+
+	ckpts     atomic.Int64
+	ckptNanos atomic.Int64
+}
+
+// Open opens (or initializes) a persistent queue rooted at directory dir.
+// codec serializes the payloads; opts accepts every New option plus the
+// durability options (WithSyncEvery, WithSyncInterval, WithWALBuffer).
+//
+// On an existing directory Open recovers: it loads the checkpoint segments
+// named by the MANIFEST, replays the WAL tail (re-applying inserts whose
+// delete was never logged, cancelling the rest), truncates a torn final
+// record, and resumes appending to the same WAL. Acknowledged operations —
+// those covered by a Sync (or SyncEvery/SyncInterval group commit) that
+// returned before the crash — survive exactly once. Unacknowledged ones may
+// or may not, exactly like any write-behind log. Provable mid-log damage
+// refuses with ErrCorruptWAL or ErrCorruptCheckpoint rather than silently
+// recovering a partial queue.
+func Open[V any](dir string, codec ValueCodec[V], opts ...Option) (*Queue[V], error) {
+	fsys, err := walfault.OS(dir)
+	if err != nil {
+		return nil, err
+	}
+	return openFS(fsys, dir, codec, opts...)
+}
+
+// openFS is Open over an abstract filesystem — the crash-injection tests
+// call it with a walfault.MemFS.
+func openFS[V any](fsys walfault.FS, dir string, codec ValueCodec[V], opts ...Option) (*Queue[V], error) {
+	if codec == nil {
+		return nil, errors.New("klsm: Open requires a ValueCodec")
+	}
+	o := resolveOptions(opts)
+	p := &persister[V]{
+		fs:    fsys,
+		dir:   dir,
+		codec: codec,
+		wopts: wal.Options{SyncEvery: o.syncEvery, SyncInterval: o.syncInterval, BufferCap: o.walBuffer},
+	}
+
+	m, err := segment.ReadManifest(fsys)
+	switch {
+	case err == nil:
+		p.recovery.Recovered = true
+	case errors.Is(err, fs.ErrNotExist):
+		// Fresh directory: create an empty WAL, then publish the manifest
+		// naming it. A crash between the two leaves an orphan WAL and no
+		// manifest — the next Open simply initializes again.
+		m = segment.Manifest{NextSeq: 1, WAL: ordName("wal", 1)}
+		if err := createEmpty(fsys, m.WAL); err != nil {
+			return nil, err
+		}
+		if err := segment.WriteManifest(fsys, m); err != nil {
+			return nil, err
+		}
+	default:
+		return nil, err
+	}
+
+	// Scan the WAL tail before touching segments: deletes logged there
+	// cancel items wherever they live. Records are appended in operation
+	// order into one file, so a durable delete implies its insert is durable
+	// too — in this WAL or in a segment.
+	walData, err := fsys.ReadFile(m.WAL)
+	if err != nil {
+		return nil, fmt.Errorf("klsm: manifest names missing WAL %s: %w", m.WAL, err)
+	}
+	var inserts []wal.Op
+	deleted := make(map[uint64]bool) // seq -> matched to its insert yet?
+	maxSeq := uint64(0)
+	res, err := wal.Scan(walData, func(op wal.Op) {
+		if op.Seq > maxSeq {
+			maxSeq = op.Seq
+		}
+		if op.Delete {
+			deleted[op.Seq] = false
+			p.recovery.WALDeletes++
+		} else {
+			inserts = append(inserts, op)
+		}
+	})
+	if err != nil {
+		return nil, fmt.Errorf("klsm: %s: %w", m.WAL, err)
+	}
+	p.recovery.WALRecords = int64(res.Records)
+	p.recovery.TornBytes = int64(len(walData)) - res.GoodLen
+
+	q := &Queue[V]{q: newCoreQueue[V](o, nil)}
+	q.p = p
+	lh := q.q.NewHandle() // core-level loader handle: bypasses WAL logging
+
+	// Load each checkpoint segment as one pre-sorted batch, skipping items
+	// whose delete the WAL logged.
+	var keys, seqs []uint64
+	var vals []V
+	for _, ref := range m.Segments {
+		entries, err := segment.Read(fsys, ref.Name)
+		if err != nil {
+			return nil, fmt.Errorf("klsm: %w", err)
+		}
+		if int64(len(entries)) != ref.Count {
+			return nil, fmt.Errorf("%w: klsm: segment %s holds %d entries, manifest says %d",
+				ErrCorruptCheckpoint, ref.Name, len(entries), ref.Count)
+		}
+		keys, vals, seqs = keys[:0], vals[:0], seqs[:0]
+		for _, e := range entries {
+			if e.Seq > maxSeq {
+				maxSeq = e.Seq
+			}
+			if _, dead := deleted[e.Seq]; dead {
+				deleted[e.Seq] = true
+				continue
+			}
+			v, err := codec.Decode(e.Value)
+			if err != nil {
+				return nil, fmt.Errorf("klsm: segment %s seq %d: decoding value: %w", ref.Name, e.Seq, err)
+			}
+			keys = append(keys, e.Key)
+			vals = append(vals, v)
+			seqs = append(seqs, e.Seq)
+		}
+		lh.InsertBatchSeqs(keys, vals, seqs)
+		p.recovery.SegmentItems += int64(len(keys))
+	}
+
+	// Re-apply the WAL-tail inserts that were never deleted, as one batch.
+	keys, vals, seqs = keys[:0], vals[:0], seqs[:0]
+	for _, op := range inserts {
+		if _, dead := deleted[op.Seq]; dead {
+			deleted[op.Seq] = true
+			continue
+		}
+		v, err := codec.Decode(op.Value)
+		if err != nil {
+			return nil, fmt.Errorf("klsm: %s seq %d: decoding value: %w", m.WAL, op.Seq, err)
+		}
+		keys = append(keys, op.Key)
+		vals = append(vals, v)
+		seqs = append(seqs, op.Seq)
+	}
+	lh.InsertBatchSeqs(keys, vals, seqs)
+	p.recovery.WALInserts = int64(len(keys))
+	for _, matched := range deleted {
+		if !matched {
+			p.recovery.UnknownDeletes++
+		}
+	}
+	lh.Close()
+
+	// Drop the torn tail so appends resume at the last complete record, and
+	// sweep artifacts the manifest does not name (half-written segments or
+	// WALs from an interrupted checkpoint, a stale MANIFEST.tmp).
+	if res.Torn {
+		if err := fsys.Truncate(m.WAL, res.GoodLen); err != nil {
+			return nil, err
+		}
+	}
+	live := map[string]bool{segment.ManifestName: true, m.WAL: true}
+	p.walOrd = ordOf(m.WAL) + 1
+	for _, ref := range m.Segments {
+		live[ref.Name] = true
+		if n := ordOf(ref.Name); n >= p.segOrd {
+			p.segOrd = n + 1
+		}
+	}
+	if p.segOrd == 0 {
+		p.segOrd = 1
+	}
+	if names, err := fsys.List(); err == nil {
+		for _, n := range names {
+			if !live[n] {
+				fsys.Remove(n)
+			}
+		}
+	}
+
+	if m.NextSeq > 0 && m.NextSeq-1 > maxSeq {
+		maxSeq = m.NextSeq - 1
+	}
+	p.seq.Store(maxSeq)
+	p.walName = m.WAL
+	p.segs = m.Segments
+
+	l, err := wal.Open(fsys, m.WAL, p.wopts)
+	if err != nil {
+		return nil, err
+	}
+	p.log.Store(l)
+	return q, nil
+}
+
+// appendInsert encodes value into scratch, appends the insert record, and
+// returns the (possibly grown) scratch for reuse. WAL errors are sticky and
+// deliberately not surfaced here — the insert still lands in memory, and the
+// failure reports on the next Sync, Checkpoint or Close, like any
+// write-behind log.
+func (p *persister[V]) appendInsert(scratch []byte, key uint64, value V, seq uint64) []byte {
+	buf, err := p.codec.Encode(scratch, value)
+	if err != nil {
+		panic(fmt.Errorf("klsm: value codec failed on insert: %w", err))
+	}
+	p.log.Load().Append(wal.Op{Seq: seq, Key: key, Value: buf})
+	return buf
+}
+
+// appendDelete logs the consumption of the insert with the given seq.
+func (p *persister[V]) appendDelete(key, seq uint64) {
+	p.log.Load().Append(wal.Op{Delete: true, Seq: seq, Key: key})
+}
+
+// Sync blocks until every operation performed before the call is durable,
+// and returns the WAL's sticky error if the log has failed. An operation is
+// acknowledged — guaranteed to survive recovery exactly once — precisely
+// when a Sync covering it has returned nil (group commit acknowledges
+// batches: one fsync covers every operation since the previous one). On a
+// queue created by New, Sync is a no-op.
+func (q *Queue[V]) Sync() error {
+	if q.closed.Load() {
+		return ErrClosed
+	}
+	if q.p == nil {
+		return nil
+	}
+	return q.p.log.Load().Sync()
+}
+
+// Checkpoint compacts the durability state: it snapshots every live item
+// into sorted segment files, publishes a new MANIFEST naming them plus a
+// fresh empty WAL, and deletes the old WAL and segments. Recovery cost
+// thereafter is proportional to the live item count plus the short new WAL,
+// not to the operation history.
+//
+// Checkpoint runs the Quiesce barrier and therefore must not run
+// concurrently with any queue operation (same contract as Quiesce). It
+// returns ErrNotPersistent on a queue created by New and ErrClosed after
+// Close. A crash at any point during Checkpoint is safe: the MANIFEST is
+// published by atomic rename, so recovery sees either the complete old
+// state or the complete new one, and sweeps the loser's files.
+func (q *Queue[V]) Checkpoint() error {
+	p := q.p
+	if p == nil {
+		return ErrNotPersistent
+	}
+	p.ckptMu.Lock()
+	defer p.ckptMu.Unlock()
+	if q.closed.Load() {
+		return ErrClosed
+	}
+	start := time.Now()
+	old := p.log.Load()
+	// Make the WAL prefix durable first: if we crash mid-checkpoint, the
+	// old manifest still rules and every acknowledged op replays from it.
+	if err := old.Sync(); err != nil {
+		return err
+	}
+	q.q.Quiesce()
+
+	var entries []segment.Entry
+	var encErr error
+	q.q.SnapshotLive(func(key uint64, seq uint64, value V) {
+		if encErr != nil {
+			return
+		}
+		b, err := p.codec.Encode(nil, value)
+		if err != nil {
+			encErr = fmt.Errorf("klsm: value codec failed during checkpoint: %w", err)
+			return
+		}
+		entries = append(entries, segment.Entry{Key: key, Seq: seq, Value: b})
+	})
+	if encErr != nil {
+		return encErr
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].Key != entries[j].Key {
+			return entries[i].Key < entries[j].Key
+		}
+		return entries[i].Seq < entries[j].Seq
+	})
+
+	// Stage the new state: segment files and an empty WAL, all fsynced,
+	// none named by the (still-old) MANIFEST yet.
+	var refs []segment.Ref
+	var staged []string
+	abort := func(err error) error {
+		for _, n := range staged {
+			p.fs.Remove(n)
+		}
+		return err
+	}
+	for off := 0; off < len(entries); off += ckptChunk {
+		chunk := entries[off:min(off+ckptChunk, len(entries))]
+		name := ordName("seg", p.segOrd)
+		p.segOrd++
+		if err := segment.Write(p.fs, name, chunk); err != nil {
+			return abort(err)
+		}
+		staged = append(staged, name)
+		refs = append(refs, segment.Ref{Name: name, Count: int64(len(chunk))})
+	}
+	newWAL := ordName("wal", p.walOrd)
+	p.walOrd++
+	if err := createEmpty(p.fs, newWAL); err != nil {
+		return abort(err)
+	}
+	staged = append(staged, newWAL)
+	nl, err := wal.Open(p.fs, newWAL, p.wopts)
+	if err != nil {
+		return abort(err)
+	}
+
+	// The commit point: after this rename is durable, recovery uses the new
+	// state; before it, the old. Nothing in between exists.
+	m := segment.Manifest{NextSeq: p.seq.Load() + 1, WAL: newWAL, Segments: refs}
+	if err := segment.WriteManifest(p.fs, m); err != nil {
+		nl.Close()
+		return abort(err)
+	}
+
+	p.log.Store(nl)
+	closeErr := old.Close()
+	p.fs.Remove(p.walName)
+	for _, s := range p.segs {
+		p.fs.Remove(s.Name)
+	}
+	p.walName = newWAL
+	p.segs = refs
+	p.ckpts.Add(1)
+	p.ckptNanos.Add(time.Since(start).Nanoseconds())
+	return closeErr
+}
+
+// Close shuts the queue down: registry handles are retired, deferred
+// reclamation is driven to completion (Quiesce), and — on persistent
+// queues — the WAL is flushed, fsynced and closed, so a clean Close
+// acknowledges everything. Close is not a checkpoint; call Checkpoint first
+// to compact recovery cost. After Close, error-returning operations return
+// ErrClosed and error-less ones panic with it. A second Close returns
+// ErrClosed.
+//
+// Close must not run concurrently with queue operations (the Quiesce
+// contract); explicit Handles should be closed first.
+func (q *Queue[V]) Close() error {
+	if q.closed.Swap(true) {
+		return ErrClosed
+	}
+	q.freeMu.Lock()
+	hs := q.freeHandles
+	q.freeHandles = nil
+	q.freeMu.Unlock()
+	for _, h := range hs {
+		h.h.Close()
+	}
+	q.q.Quiesce()
+	if q.p == nil {
+		return nil
+	}
+	p := q.p
+	p.ckptMu.Lock()
+	defer p.ckptMu.Unlock()
+	return p.log.Load().Close()
+}
+
+// PersistStats returns a snapshot of the durability counters; the zero
+// PersistStats on a queue created by New.
+func (q *Queue[V]) PersistStats() PersistStats {
+	p := q.p
+	if p == nil {
+		return PersistStats{}
+	}
+	ws := p.log.Load().Stats()
+	p.ckptMu.Lock()
+	nsegs := len(p.segs)
+	rec := p.recovery
+	p.ckptMu.Unlock()
+	return PersistStats{
+		WALAppends:     ws.Appends,
+		WALBytes:       ws.Bytes,
+		WALFsyncs:      ws.Fsyncs,
+		WALSyncWaits:   ws.SyncWaits,
+		Checkpoints:    p.ckpts.Load(),
+		CheckpointTime: time.Duration(p.ckptNanos.Load()),
+		Segments:       nsegs,
+		NextSeq:        p.seq.Load() + 1,
+		Recovery:       rec,
+	}
+}
+
+// createEmpty creates name as an empty durable file.
+func createEmpty(fsys walfault.FS, name string) error {
+	f, err := fsys.Create(name)
+	if err != nil {
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ordName formats the n-th file of a kind: "wal-000001", "seg-000042".
+func ordName(prefix string, n uint64) string {
+	return fmt.Sprintf("%s-%06d", prefix, n)
+}
+
+// ordOf parses the ordinal back out of an ordName-shaped name (0 if the
+// name was produced elsewhere — the counters then restart above the rest).
+func ordOf(name string) uint64 {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return 0
+	}
+	n, err := strconv.ParseUint(name[i+1:], 10, 64)
+	if err != nil {
+		return 0
+	}
+	return n
+}

@@ -1,0 +1,89 @@
+package klsm
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// ValueCodec serializes payloads of type V for the durability layer: every
+// persisted insert writes Encode(value) into the write-ahead log, and
+// recovery rebuilds values with Decode. Open requires one; queues created by
+// New never serialize and need none. It is the payload-side sibling of
+// KeyCodec: keys translate into the uint64 priority space, values translate
+// into bytes.
+//
+// A codec must be stateless enough for concurrent use: inserts encode inline
+// on their caller's goroutine, possibly many at once. Recovery decodes
+// single-threaded.
+type ValueCodec[V any] interface {
+	// Encode appends the serialized form of v to dst and returns the
+	// extended slice (append semantics — dst may be nil or recycled
+	// scratch). An error aborts the operation: Insert panics on it
+	// (documented there), Checkpoint returns it.
+	Encode(dst []byte, v V) ([]byte, error)
+	// Decode rebuilds a value. data is only valid during the call (it
+	// aliases a replay buffer); implementations must copy anything they
+	// retain.
+	Decode(data []byte) (V, error)
+}
+
+// BytesValue is the ValueCodec for raw []byte payloads. Decode copies, so
+// recovered values never alias recovery buffers.
+type BytesValue struct{}
+
+// Encode implements ValueCodec.
+func (BytesValue) Encode(dst []byte, v []byte) ([]byte, error) { return append(dst, v...), nil }
+
+// Decode implements ValueCodec.
+func (BytesValue) Decode(data []byte) ([]byte, error) {
+	if len(data) == 0 {
+		return nil, nil
+	}
+	return append([]byte(nil), data...), nil
+}
+
+// StringValue is the ValueCodec for string payloads.
+type StringValue struct{}
+
+// Encode implements ValueCodec.
+func (StringValue) Encode(dst []byte, v string) ([]byte, error) { return append(dst, v...), nil }
+
+// Decode implements ValueCodec.
+func (StringValue) Decode(data []byte) (string, error) { return string(data), nil }
+
+// NoValue is the ValueCodec for valueless queues (V = struct{}): it encodes
+// to zero bytes, keeping WAL records as small as the key alone allows.
+type NoValue struct{}
+
+// Encode implements ValueCodec.
+func (NoValue) Encode(dst []byte, _ struct{}) ([]byte, error) { return dst, nil }
+
+// Decode implements ValueCodec.
+func (NoValue) Decode(data []byte) (struct{}, error) {
+	if len(data) != 0 {
+		return struct{}{}, fmt.Errorf("klsm: NoValue: %d unexpected payload bytes", len(data))
+	}
+	return struct{}{}, nil
+}
+
+// jsonValue adapts encoding/json into a ValueCodec.
+type jsonValue[V any] struct{}
+
+func (jsonValue[V]) Encode(dst []byte, v V) ([]byte, error) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return dst, err
+	}
+	return append(dst, b...), nil
+}
+
+func (jsonValue[V]) Decode(data []byte) (V, error) {
+	var v V
+	err := json.Unmarshal(data, &v)
+	return v, err
+}
+
+// JSONValue returns a ValueCodec that serializes V with encoding/json — the
+// zero-effort codec for struct payloads. Applications with hot insert paths
+// should prefer a hand-written codec; JSON encoding allocates per insert.
+func JSONValue[V any]() ValueCodec[V] { return jsonValue[V]{} }
