@@ -1,0 +1,187 @@
+// Command klsmload drives insert/dequeue mixes against a klsmd server and
+// records the sweep in the same BENCH_<tag>.json schema cmd/throughput
+// writes, so the served queue joins the recorded throughput trajectory.
+//
+// Against a running server:
+//
+//	klsmload -addr http://127.0.0.1:7070 -workers 1,2,4 -batch 16 -duration 1s -reps 3 -json pr8-klsmd
+//
+// Self-hosted (boots an in-process server on a loopback port, still over
+// real HTTP; -persist puts the shards in a temporary durable directory):
+//
+//	klsmload -launch -shards 4 -workers 1,2,4 -batch 8,64 -json pr8-klsmd
+//
+// Rows are named klsmd(S=<shards>[,wal]); threads is the worker count and
+// batch the items per request, matching the throughput tool's per-key op
+// accounting.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"time"
+
+	"klsm"
+	"klsm/internal/harness"
+	"klsm/internal/loadgen"
+	"klsm/internal/server"
+	"klsm/internal/stats"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", "", "base URL of a running klsmd (e.g. http://127.0.0.1:7070)")
+		launch      = flag.Bool("launch", false, "boot an in-process server on a loopback port instead of -addr")
+		shards      = flag.Int("shards", 4, "shard count for -launch")
+		k           = flag.Int("k", 256, "relaxation parameter for -launch")
+		persist     = flag.Bool("persist", false, "-launch with durable shards in a temp directory")
+		workersFlag = flag.String("workers", "1,2,4", "comma-separated worker counts")
+		batchFlag   = flag.String("batch", "16", "comma-separated items-per-request sizes")
+		duration    = flag.Duration("duration", time.Second, "timed phase length per rep")
+		opsFlag     = flag.Int64("ops", 0, "bound reps by acked key count instead of -duration")
+		mix         = flag.Float64("mix", 0.5, "fraction of requests that enqueue")
+		topics      = flag.Int("topics", 16, "distinct topics (consistent-hashed onto shards)")
+		prefillN    = flag.Int("prefill", 20_000, "keys enqueued before each rep's timed phase")
+		keyRange    = flag.Uint64("keyrange", 0, "bound for random keys (0 = full uint64)")
+		reps        = flag.Int("reps", 3, "repetitions per (workers, batch) point")
+		seed        = flag.Uint64("seed", 1, "base workload seed")
+		jsonTag     = flag.String("json", "", "write the sweep as BENCH_<tag>.json")
+		jsonDir     = flag.String("jsondir", ".", "directory for the -json output file")
+		drainAfter  = flag.Bool("drain", true, "globally drain the server between reps (keeps queue size from compounding)")
+	)
+	flag.Parse()
+
+	base := *addr
+	queueName := "klsmd"
+	var shutdown func()
+	if *launch {
+		if base != "" {
+			fatal(fmt.Errorf("-launch and -addr are mutually exclusive"))
+		}
+		dir := ""
+		if *persist {
+			d, err := os.MkdirTemp("", "klsmload-")
+			if err != nil {
+				fatal(err)
+			}
+			defer os.RemoveAll(d)
+			dir = d
+		}
+		srv, err := server.New(server.Config{
+			Shards:       *shards,
+			Dir:          dir,
+			QueueOptions: []klsm.Option{klsm.WithRelaxation(*k)},
+		})
+		if err != nil {
+			fatal(err)
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			fatal(err)
+		}
+		go srv.Serve(ln)
+		base = "http://" + ln.Addr().String()
+		queueName = fmt.Sprintf("klsmd(S=%d)", *shards)
+		if *persist {
+			queueName = fmt.Sprintf("klsmd(S=%d,wal)", *shards)
+		}
+		shutdown = func() {
+			ctx, cancel := context.WithTimeout(context.Background(), server.ShutdownTimeout)
+			defer cancel()
+			if err := srv.Shutdown(ctx); err != nil {
+				fatal(err)
+			}
+		}
+		fmt.Printf("# launched %s on %s\n", queueName, base)
+	} else if base == "" {
+		fatal(fmt.Errorf("need -addr or -launch"))
+	}
+
+	workers, err := harness.ParseIntList(*workersFlag)
+	if err != nil {
+		fatal(err)
+	}
+	batches, err := harness.ParseIntList(*batchFlag)
+	if err != nil {
+		fatal(err)
+	}
+
+	out := harness.NewBenchFile(*jsonTag)
+	out.Prefill = *prefillN
+	out.DurationS = duration.Seconds()
+	out.Reps = *reps
+	out.InsertMix = *mix
+	out.KeyRange = *keyRange
+	out.Seed = *seed
+
+	fmt.Printf("# klsmd loadgen: base=%s mix=%.2f prefill=%d duration=%v reps=%d\n",
+		base, *mix, *prefillN, *duration, *reps)
+	fmt.Printf("%-20s %8s %8s %14s %10s %10s\n", "queue", "workers", "batch", "acked/w/s", "rejected", "errors")
+	cli := loadgen.NewClient(base)
+	for _, b := range batches {
+		for _, w := range workers {
+			var samples, failed []float64
+			var rejected, errs int64
+			for r := 0; r < *reps; r++ {
+				res, err := loadgen.Run(loadgen.Config{
+					BaseURL:     base,
+					Workers:     w,
+					Ops:         *opsFlag,
+					Duration:    *duration,
+					InsertRatio: *mix,
+					Batch:       b,
+					Topics:      *topics,
+					KeyRange:    *keyRange,
+					Seed:        *seed + uint64(r)*7919,
+					Prefill:     *prefillN,
+				})
+				if err != nil {
+					fatal(err)
+				}
+				samples = append(samples, res.PerWorkerPerSec)
+				failed = append(failed, float64(res.FailedDeletes))
+				rejected += res.Rejected
+				errs += res.Errors
+				if *drainAfter {
+					if _, err := cli.Drain("*", -1, 4096, nil); err != nil {
+						fatal(fmt.Errorf("inter-rep drain: %w", err))
+					}
+				}
+			}
+			s := stats.Summarize(samples)
+			fmean := stats.Summarize(failed).Mean
+			bp := harness.BenchPoint{
+				Queue:             queueName,
+				Threads:           w,
+				MeanOpsPerThread:  s.Mean,
+				CI95:              s.CI95,
+				FailedDeletesMean: fmean,
+			}
+			if b > 1 {
+				bp.Batch = b
+			}
+			out.Results = append(out.Results, bp)
+			fmt.Printf("%-20s %8d %8d %14s %10d %10d\n", queueName, w, b,
+				fmt.Sprintf("%.3gk ±%.2g", s.Mean/1e3, s.CI95/1e3), rejected, errs)
+		}
+	}
+
+	if shutdown != nil {
+		shutdown()
+	}
+	if *jsonTag != "" {
+		path, err := out.Write(*jsonDir)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("# wrote %s\n", path)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "klsmload:", err)
+	os.Exit(1)
+}

@@ -22,12 +22,10 @@
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
-	"path/filepath"
 	"runtime"
 	"strings"
 	"time"
@@ -37,36 +35,6 @@ import (
 	"klsm/internal/pqs/klsmp"
 	"klsm/internal/stats"
 )
-
-// benchPoint is one (queue, thread-count, batch-size) cell of the sweep as
-// serialized into the BENCH_<tag>.json trajectory files. Batch 0 (omitted)
-// is the single-operation mode; Batch B > 1 drives the run through the v2
-// batch API, with ops still counted per key so the two modes compare
-// directly.
-type benchPoint struct {
-	Queue             string  `json:"queue"`
-	Threads           int     `json:"threads"`
-	Batch             int     `json:"batch,omitempty"`
-	MeanOpsPerThread  float64 `json:"mean_ops_per_thread_per_s"`
-	CI95              float64 `json:"ci95"`
-	FailedDeletesMean float64 `json:"failed_deletes_mean"`
-}
-
-// benchFile is the top-level BENCH_<tag>.json document.
-type benchFile struct {
-	Tag        string       `json:"tag"`
-	Timestamp  string       `json:"timestamp"`
-	GoMaxProcs int          `json:"gomaxprocs"`
-	NumCPU     int          `json:"numcpu"`
-	GitSHA     string       `json:"git_sha,omitempty"`
-	Prefill    int          `json:"prefill"`
-	DurationS  float64      `json:"duration_s"`
-	Reps       int          `json:"reps"`
-	InsertMix  float64      `json:"insert_mix"`
-	KeyRange   uint64       `json:"keyrange"`
-	Seed       uint64       `json:"seed"`
-	Results    []benchPoint `json:"results"`
-}
 
 func main() {
 	var (
@@ -149,19 +117,13 @@ func main() {
 		fmt.Println()
 	}
 
-	out := benchFile{
-		Tag:        *jsonTag,
-		Timestamp:  time.Now().UTC().Format(time.RFC3339),
-		GoMaxProcs: runtime.GOMAXPROCS(0),
-		NumCPU:     runtime.NumCPU(),
-		Prefill:    *prefill,
-		DurationS:  duration.Seconds(),
-		Reps:       *reps,
-		InsertMix:  *insertRatio,
-		KeyRange:   *keyRange,
-		Seed:       *seed,
-		GitSHA:     harness.GitSHA(),
-	}
+	out := harness.NewBenchFile(*jsonTag)
+	out.Prefill = *prefill
+	out.DurationS = duration.Seconds()
+	out.Reps = *reps
+	out.InsertMix = *insertRatio
+	out.KeyRange = *keyRange
+	out.Seed = *seed
 	for _, spec := range specs {
 		for _, batch := range batches {
 			label := spec.Name
@@ -199,7 +161,7 @@ func main() {
 				}
 				s := stats.Summarize(samples)
 				fmean := stats.Summarize(failed).Mean
-				bp := benchPoint{
+				bp := harness.BenchPoint{
 					Queue:             spec.Name,
 					Threads:           t,
 					MeanOpsPerThread:  s.Mean,
@@ -225,14 +187,8 @@ func main() {
 	}
 
 	if *jsonTag != "" {
-		path := filepath.Join(*jsonDir, "BENCH_"+*jsonTag+".json")
-		buf, err := json.MarshalIndent(out, "", "  ")
+		path, err := out.Write(*jsonDir)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "throughput: marshal:", err)
-			os.Exit(1)
-		}
-		buf = append(buf, '\n')
-		if err := os.WriteFile(path, buf, 0o644); err != nil {
 			fmt.Fprintln(os.Stderr, "throughput:", err)
 			os.Exit(1)
 		}

@@ -1,0 +1,68 @@
+package harness
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"runtime"
+	"time"
+)
+
+// BenchPoint is one (queue, thread-count, batch-size) cell of a recorded
+// sweep as serialized into the BENCH_<tag>.json trajectory files. Batch 0
+// (omitted) is the single-operation mode; Batch B > 1 drives the run
+// through the v2 batch API (or, for the klsmd load generator, B items per
+// HTTP request), with ops always counted per key so modes compare
+// directly.
+type BenchPoint struct {
+	Queue             string  `json:"queue"`
+	Threads           int     `json:"threads"`
+	Batch             int     `json:"batch,omitempty"`
+	MeanOpsPerThread  float64 `json:"mean_ops_per_thread_per_s"`
+	CI95              float64 `json:"ci95"`
+	FailedDeletesMean float64 `json:"failed_deletes_mean"`
+}
+
+// BenchFile is the top-level BENCH_<tag>.json document, shared by
+// cmd/throughput (in-process sweeps) and cmd/klsmload (sweeps over a live
+// klsmd) so the recorded trajectory stays diffable across harnesses.
+type BenchFile struct {
+	Tag        string       `json:"tag"`
+	Timestamp  string       `json:"timestamp"`
+	GoMaxProcs int          `json:"gomaxprocs"`
+	NumCPU     int          `json:"numcpu"`
+	GitSHA     string       `json:"git_sha,omitempty"`
+	Prefill    int          `json:"prefill"`
+	DurationS  float64      `json:"duration_s"`
+	Reps       int          `json:"reps"`
+	InsertMix  float64      `json:"insert_mix"`
+	KeyRange   uint64       `json:"keyrange"`
+	Seed       uint64       `json:"seed"`
+	Results    []BenchPoint `json:"results"`
+}
+
+// NewBenchFile starts a document with the environment header every recorded
+// sweep carries (GOMAXPROCS, CPU count, git SHA, wall-clock timestamp).
+func NewBenchFile(tag string) BenchFile {
+	return BenchFile{
+		Tag:        tag,
+		Timestamp:  time.Now().UTC().Format(time.RFC3339),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		GitSHA:     GitSHA(),
+	}
+}
+
+// Write writes the document to dir/BENCH_<tag>.json and returns the path.
+func (f *BenchFile) Write(dir string) (string, error) {
+	path := filepath.Join(dir, "BENCH_"+f.Tag+".json")
+	buf, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		return "", err
+	}
+	return path, nil
+}

@@ -1,0 +1,378 @@
+// Package loadgen drives insert/dequeue/drain mixes against a live klsmd
+// server over HTTP and measures acknowledged throughput, mirroring the
+// in-process harness (internal/harness.Throughput) closely enough that
+// cmd/klsmload can emit the same BENCH_<tag>.json rows the throughput tool
+// writes: ops are counted per acknowledged key, a dequeue that returns
+// fewer items than asked counts one failed delete, and the metric is
+// ops/worker/second.
+package loadgen
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"klsm/internal/server"
+	"klsm/internal/xrand"
+)
+
+// Config parameterizes one load-generation run.
+type Config struct {
+	// BaseURL is the server root, e.g. "http://127.0.0.1:7070".
+	BaseURL string
+	// Workers is the number of concurrent client goroutines, each holding
+	// one keep-alive connection (the server's per-connection batching unit).
+	Workers int
+	// Ops bounds the run by acknowledged key count (>= 1); 0 switches to
+	// timed mode over Duration.
+	Ops int64
+	// Duration bounds a timed run (ignored when Ops > 0; default 1s).
+	Duration time.Duration
+	// InsertRatio is the fraction of requests that enqueue (default 0.5).
+	InsertRatio float64
+	// Batch is the number of items per request, both enqueue batch size and
+	// dequeue max (default 16).
+	Batch int
+	// Topics is the number of distinct topics the workers spread over
+	// (default 16). Topics shard by consistent hashing server-side.
+	Topics int
+	// KeyRange bounds random keys (exclusive; 0 = full uint64).
+	KeyRange uint64
+	// Seed makes workloads reproducible.
+	Seed uint64
+	// Prefill enqueues this many keys before the measured phase (not
+	// counted in Result.Ops).
+	Prefill int
+}
+
+// Result is one measured run.
+type Result struct {
+	// Ops counts acknowledged keys moved: enqueued items covered by a 200,
+	// plus items returned by dequeue responses.
+	Ops int64
+	// Inserts and Dequeued split Ops by direction.
+	Inserts int64
+	// Dequeued counts items returned by dequeue responses.
+	Dequeued int64
+	// FailedDeletes counts dequeue requests that returned fewer items than
+	// asked (the empty-queue signal, as in the in-process harness).
+	FailedDeletes int64
+	// Rejected counts 429 backpressure rejections (retried, not fatal).
+	Rejected int64
+	// Errors counts non-2xx, non-429 responses and transport failures.
+	Errors int64
+	// Elapsed is the measured wall time and PerWorkerPerSec the Figure 3
+	// style metric Ops/Elapsed/Workers.
+	Elapsed time.Duration
+	// PerWorkerPerSec is Ops per second per worker.
+	PerWorkerPerSec float64
+}
+
+// Client is a thin JSON client for the klsmd HTTP API, shared by the load
+// workers and the integration tests.
+type Client struct {
+	// Base is the server root URL.
+	Base string
+	// HTTP is the underlying client; nil uses a keep-alive transport sized
+	// for many concurrent workers.
+	HTTP *http.Client
+}
+
+// NewClient returns a client with a keep-alive transport.
+func NewClient(base string) *Client {
+	tr := &http.Transport{MaxIdleConns: 256, MaxIdleConnsPerHost: 256}
+	return &Client{Base: base, HTTP: &http.Client{Transport: tr, Timeout: 30 * time.Second}}
+}
+
+// Item is one key/payload pair on the wire.
+type Item struct {
+	// Key is the priority key.
+	Key uint64 `json:"key"`
+	// Value is the opaque payload.
+	Value string `json:"value,omitempty"`
+}
+
+// ErrStatus reports a non-2xx response.
+type ErrStatus struct {
+	// Code is the HTTP status code.
+	Code int
+	// Body is the (truncated) response body.
+	Body string
+}
+
+// Error implements error.
+func (e *ErrStatus) Error() string { return fmt.Sprintf("http %d: %s", e.Code, e.Body) }
+
+// post sends a JSON body and decodes a JSON reply into out.
+func (c *Client) post(path string, body, out any) error {
+	buf, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	resp, err := c.HTTP.Post(c.Base+path, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		b, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
+		return &ErrStatus{Code: resp.StatusCode, Body: string(bytes.TrimSpace(b))}
+	}
+	if out == nil {
+		io.Copy(io.Discard, resp.Body)
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// Enqueue inserts items under topic; nil error means every item is
+// acknowledged (durably, on a persistent server).
+func (c *Client) Enqueue(topic string, items []Item) error {
+	return c.post("/v1/enqueue", map[string]any{"topic": topic, "items": items}, nil)
+}
+
+// Dequeue pops up to max items from topic ("*" = global).
+func (c *Client) Dequeue(topic string, max int) ([]Item, error) {
+	var out struct {
+		Items []Item `json:"items"`
+	}
+	if err := c.post("/v1/dequeue", map[string]any{"topic": topic, "max": max}, &out); err != nil {
+		return nil, err
+	}
+	return out.Items, nil
+}
+
+// Drain streams topic's items ("*" = global) through the NDJSON drain
+// endpoint, calling visit per item, and returns the server's drained count
+// from the summary line. A missing summary line returns an error: the
+// stream ended without the server's clean-completion marker.
+func (c *Client) Drain(topic string, max int64, batch int, visit func(Item)) (int64, error) {
+	url := fmt.Sprintf("%s/v1/drain?topic=%s&batch=%d", c.Base, topic, batch)
+	if max >= 0 {
+		url += fmt.Sprintf("&max=%d", max)
+	}
+	resp, err := c.HTTP.Get(url)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		b, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
+		return 0, &ErrStatus{Code: resp.StatusCode, Body: string(bytes.TrimSpace(b))}
+	}
+	dec := json.NewDecoder(resp.Body)
+	for {
+		var line struct {
+			Key     *uint64 `json:"key"`
+			Value   string  `json:"value"`
+			Drained *int64  `json:"drained"`
+		}
+		if err := dec.Decode(&line); err != nil {
+			if err == io.EOF {
+				return 0, fmt.Errorf("drain stream ended without summary line")
+			}
+			return 0, err
+		}
+		if line.Drained != nil {
+			return *line.Drained, nil
+		}
+		if line.Key == nil {
+			return 0, fmt.Errorf("drain stream: line has neither key nor summary")
+		}
+		if visit != nil {
+			visit(Item{Key: *line.Key, Value: line.Value})
+		}
+	}
+}
+
+// Stats fetches and decodes /statsz.
+func (c *Client) Stats() (server.Statsz, error) {
+	var doc server.Statsz
+	resp, err := c.HTTP.Get(c.Base + "/statsz")
+	if err != nil {
+		return doc, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		return doc, &ErrStatus{Code: resp.StatusCode}
+	}
+	return doc, json.NewDecoder(resp.Body).Decode(&doc)
+}
+
+// Run executes one load-generation run against cfg.BaseURL.
+func Run(cfg Config) (Result, error) {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 1
+	}
+	if cfg.Batch <= 0 {
+		cfg.Batch = 16
+	}
+	if cfg.Topics <= 0 {
+		cfg.Topics = 16
+	}
+	if cfg.InsertRatio <= 0 {
+		cfg.InsertRatio = 0.5
+	}
+	if cfg.Ops <= 0 && cfg.Duration <= 0 {
+		cfg.Duration = time.Second
+	}
+	c := NewClient(cfg.BaseURL)
+
+	if cfg.Prefill > 0 {
+		if err := prefill(c, cfg); err != nil {
+			return Result{}, fmt.Errorf("loadgen: prefill: %w", err)
+		}
+	}
+
+	var (
+		budget  atomic.Int64 // remaining keys in bounded mode
+		stop    atomic.Bool
+		wg      sync.WaitGroup
+		results = make([]Result, cfg.Workers)
+	)
+	budget.Store(cfg.Ops)
+	begin := time.Now()
+	if cfg.Ops <= 0 {
+		timer := time.AfterFunc(cfg.Duration, func() { stop.Store(true) })
+		defer timer.Stop()
+	}
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			worker(c, cfg, id, &budget, &stop, &results[id])
+		}(w)
+	}
+	wg.Wait()
+
+	var res Result
+	for _, r := range results {
+		res.Ops += r.Ops
+		res.Inserts += r.Inserts
+		res.Dequeued += r.Dequeued
+		res.FailedDeletes += r.FailedDeletes
+		res.Rejected += r.Rejected
+		res.Errors += r.Errors
+	}
+	res.Elapsed = time.Since(begin)
+	res.PerWorkerPerSec = float64(res.Ops) / res.Elapsed.Seconds() / float64(cfg.Workers)
+	return res, nil
+}
+
+// prefill loads cfg.Prefill keys through one connection before the
+// measured phase.
+func prefill(c *Client, cfg Config) error {
+	rng := xrand.NewSeeded(cfg.Seed*31 + 7)
+	items := make([]Item, 0, 512)
+	for left := cfg.Prefill; left > 0; {
+		n := min(512, left)
+		items = items[:0]
+		for i := 0; i < n; i++ {
+			items = append(items, Item{Key: draw(rng, cfg.KeyRange)})
+		}
+		if err := c.Enqueue(topicName(int(rng.Uint64n(uint64(cfg.Topics)))), items); err != nil {
+			return err
+		}
+		left -= n
+	}
+	return nil
+}
+
+// worker is one client goroutine: a random insert/dequeue request mix, one
+// request in flight at a time over a keep-alive connection.
+func worker(c *Client, cfg Config, id int, budget *atomic.Int64, stop *atomic.Bool, out *Result) {
+	rng := xrand.NewSeeded(cfg.Seed*1_000_003 + uint64(id))
+	items := make([]Item, cfg.Batch)
+	bounded := cfg.Ops > 0
+	emptyStreak := 0 // consecutive all-empty dequeues (bounded-mode spin guard)
+	for !stop.Load() {
+		n := cfg.Batch
+		if bounded {
+			if claimed := budget.Add(int64(-n)); claimed < 0 {
+				if n = int(claimed) + n; n <= 0 {
+					return
+				}
+			}
+		}
+		if rng.Float64() < cfg.InsertRatio {
+			batch := items[:n]
+			for i := range batch {
+				batch[i] = Item{
+					Key:   draw(rng, cfg.KeyRange),
+					Value: fmt.Sprintf("w%d-%d", id, out.Inserts+int64(i)),
+				}
+			}
+			err := c.Enqueue(topicName(int(rng.Uint64n(uint64(cfg.Topics)))), batch)
+			switch {
+			case err == nil:
+				out.Inserts += int64(n)
+				out.Ops += int64(n)
+			case isRetryable(err):
+				out.Rejected++
+				refund(budget, bounded, n)
+				time.Sleep(time.Millisecond)
+			default:
+				out.Errors++
+				refund(budget, bounded, n)
+			}
+		} else {
+			got, err := c.Dequeue(topicName(int(rng.Uint64n(uint64(cfg.Topics)))), n)
+			switch {
+			case err == nil:
+				out.Dequeued += int64(len(got))
+				out.Ops += int64(len(got))
+				if len(got) > 0 {
+					emptyStreak = 0
+				} else if emptyStreak++; bounded && emptyStreak > 64 {
+					// Bounded mode must terminate even when the mix cannot
+					// reach the op budget (dequeue-heavy against a drained
+					// queue): a long all-empty streak means this worker's
+					// share of the budget is unservable.
+					return
+				}
+				if len(got) < n {
+					out.FailedDeletes++
+					refund(budget, bounded, n-len(got))
+				}
+			case isRetryable(err):
+				out.Rejected++
+				refund(budget, bounded, n)
+				time.Sleep(time.Millisecond)
+			default:
+				out.Errors++
+				refund(budget, bounded, n)
+			}
+		}
+	}
+}
+
+// refund returns unused budget in bounded mode (failed or short requests),
+// so the run converges on cfg.Ops acknowledged keys.
+func refund(budget *atomic.Int64, bounded bool, n int) {
+	if bounded && n > 0 {
+		budget.Add(int64(n))
+	}
+}
+
+// isRetryable reports backpressure rejections (429).
+func isRetryable(err error) bool {
+	var st *ErrStatus
+	return errors.As(err, &st) && st.Code == http.StatusTooManyRequests
+}
+
+// topicName formats the i-th topic.
+func topicName(i int) string { return fmt.Sprintf("topic-%03d", i) }
+
+// draw returns a random key within keyRange (0 = full uint64).
+func draw(rng *xrand.Source, keyRange uint64) uint64 {
+	if keyRange == 0 {
+		return rng.Uint64()
+	}
+	return rng.Uint64n(keyRange)
+}

@@ -1,0 +1,136 @@
+package server
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"klsm"
+)
+
+// flushChunk caps the keys fed to one InsertBatch call by the flusher, so a
+// burst of enqueues becomes a few level-⌈log₂flushChunk⌉ block publications
+// instead of one giant block.
+const flushChunk = 8192
+
+// shardSrv is one shard's serving state: the queue, the flusher goroutine's
+// private handle, the pending enqueue batch, and the shard's operation
+// counters.
+//
+// Enqueue requests never call InsertBatch themselves. They append their
+// items to the pending batch and wait; a single flusher goroutine drains
+// the batch through one owned klsm.Handle and — on persistent shards —
+// calls Sync once for the whole batch before waking the waiters. This is
+// group commit at the serving layer: concurrent requests that arrive while
+// a flush (and its fsync) is in progress accumulate into the next batch, so
+// one InsertBatch publication and one fsync acknowledge them all. A 200
+// response therefore means the items are in the queue and, on a persistent
+// shard, covered by a nil-returning Sync — the exactly-once recovery
+// contract of klsm.Open, surfaced through HTTP.
+type shardSrv struct {
+	q *klsm.Queue[string]
+
+	// mu guards the pending batch and waiter list. wake (capacity 1) nudges
+	// the flusher; closed stops it after a final drain.
+	mu       sync.Mutex
+	wake     chan struct{}
+	pendKeys []uint64
+	pendVals []string
+	waiters  []chan error
+	closed   bool
+	done     chan struct{}
+
+	// enqueued counts acknowledged inserted items, dequeued items returned
+	// by dequeue/drain responses, flushes completed flusher rounds. Together
+	// with Queue.Size they give /statsz its conservation identity
+	// enqueued == dequeued + size (exact when quiescent).
+	enqueued atomic.Int64
+	dequeued atomic.Int64
+	flushes  atomic.Int64
+}
+
+func newShardSrv(q *klsm.Queue[string]) *shardSrv {
+	s := &shardSrv{q: q, wake: make(chan struct{}, 1), done: make(chan struct{})}
+	go s.flusher()
+	return s
+}
+
+// enqueue appends the batch to the pending set and blocks until the flush
+// covering it completes, returning the flush's Sync error (nil on volatile
+// shards). keys and values are copied before return — callers may reuse
+// their slices — because the append below is the copy.
+func (s *shardSrv) enqueue(keys []uint64, values []string) error {
+	if len(keys) == 0 {
+		return nil
+	}
+	ch := make(chan error, 1)
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return klsm.ErrClosed
+	}
+	s.pendKeys = append(s.pendKeys, keys...)
+	s.pendVals = append(s.pendVals, values...)
+	s.waiters = append(s.waiters, ch)
+	s.mu.Unlock()
+	select {
+	case s.wake <- struct{}{}:
+	default:
+	}
+	return <-ch
+}
+
+// flusher is the shard's single writer: it swaps out the pending batch,
+// publishes it in flushChunk-sized InsertBatch calls through its private
+// handle, syncs once, and releases the batch's waiters with the result.
+func (s *shardSrv) flusher() {
+	defer close(s.done)
+	h := s.q.NewHandle()
+	defer h.Close()
+	for {
+		s.mu.Lock()
+		for len(s.pendKeys) == 0 {
+			if s.closed {
+				s.mu.Unlock()
+				return
+			}
+			s.mu.Unlock()
+			<-s.wake
+			s.mu.Lock()
+		}
+		keys, vals, waiters := s.pendKeys, s.pendVals, s.waiters
+		s.pendKeys, s.pendVals, s.waiters = nil, nil, nil
+		s.mu.Unlock()
+
+		for off := 0; off < len(keys); off += flushChunk {
+			end := min(off+flushChunk, len(keys))
+			h.InsertBatch(keys[off:end], vals[off:end])
+		}
+		err := s.q.Sync()
+		if err == nil {
+			s.enqueued.Add(int64(len(keys)))
+		}
+		s.flushes.Add(1)
+		for _, ch := range waiters {
+			ch <- err
+		}
+	}
+}
+
+// close stops accepting enqueues, waits for the flusher to drain the
+// pending batch, and retires the flusher's handle. The queue itself is
+// closed by the server afterwards.
+func (s *shardSrv) close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		<-s.done
+		return
+	}
+	s.closed = true
+	s.mu.Unlock()
+	select {
+	case s.wake <- struct{}{}:
+	default:
+	}
+	<-s.done
+}

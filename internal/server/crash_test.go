@@ -1,0 +1,319 @@
+package server_test
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"klsm"
+	"klsm/internal/loadgen"
+	"klsm/internal/server"
+)
+
+// The crash suite kills a real klsmd process with SIGKILL mid-load and
+// checks the durability contract over the HTTP API. The server under test
+// is this test binary re-executed in child mode (TestMain dispatches on
+// KLSMD_CRASH_CHILD), the process-level analog of the in-process fault
+// injection in internal/walfault: no goroutine cleanup, no flushed caches —
+// the kernel reclaims the process and only what was fsynced survives.
+
+const (
+	crashChildEnv  = "KLSMD_CRASH_CHILD"
+	crashDirEnv    = "KLSMD_CRASH_DIR"
+	crashShardsEnv = "KLSMD_CRASH_SHARDS"
+	crashAddrEnv   = "KLSMD_CRASH_ADDRFILE"
+)
+
+func TestMain(m *testing.M) {
+	if os.Getenv(crashChildEnv) == "1" {
+		runCrashChild()
+		return
+	}
+	os.Exit(m.Run())
+}
+
+// runCrashChild is the server side of the crash suite: a persistent server
+// over the inherited directory, listening on a kernel-chosen port published
+// through the addr file (written via rename so the parent never reads a
+// partial line). It serves until killed.
+func runCrashChild() {
+	shards, err := strconv.Atoi(os.Getenv(crashShardsEnv))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "crash child: bad shard count:", err)
+		os.Exit(1)
+	}
+	srv, err := server.New(server.Config{
+		Shards: shards,
+		Dir:    os.Getenv(crashDirEnv),
+		QueueOptions: []klsm.Option{
+			klsm.WithRelaxation(64),
+			klsm.WithSyncInterval(time.Millisecond),
+		},
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "crash child: server.New:", err)
+		os.Exit(1)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "crash child: listen:", err)
+		os.Exit(1)
+	}
+	addrFile := os.Getenv(crashAddrEnv)
+	tmp := addrFile + ".tmp"
+	if err := os.WriteFile(tmp, []byte("http://"+ln.Addr().String()), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "crash child: addr file:", err)
+		os.Exit(1)
+	}
+	if err := os.Rename(tmp, addrFile); err != nil {
+		fmt.Fprintln(os.Stderr, "crash child: addr file:", err)
+		os.Exit(1)
+	}
+	if err := srv.Serve(ln); err != nil {
+		fmt.Fprintln(os.Stderr, "crash child: serve:", err)
+		os.Exit(1)
+	}
+}
+
+// startCrashChild re-executes the test binary in child mode over dir and
+// waits for it to publish its address and answer /healthz.
+func startCrashChild(t *testing.T, dir string, shards int) (*exec.Cmd, *loadgen.Client) {
+	t.Helper()
+	addrFile := filepath.Join(t.TempDir(), "addr")
+	cmd := exec.Command(os.Args[0])
+	cmd.Env = append(os.Environ(),
+		crashChildEnv+"=1",
+		crashDirEnv+"="+dir,
+		crashShardsEnv+"="+strconv.Itoa(shards),
+		crashAddrEnv+"="+addrFile,
+	)
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("starting child: %v", err)
+	}
+	t.Cleanup(func() {
+		cmd.Process.Kill()
+		cmd.Wait()
+	})
+	// Recovery replays the WAL before the address appears; give a race-
+	// instrumented child on a loaded machine plenty of rope.
+	deadline := time.Now().Add(30 * time.Second)
+	var base string
+	for base == "" {
+		if time.Now().After(deadline) {
+			t.Fatal("child never published its address")
+		}
+		if b, err := os.ReadFile(addrFile); err == nil && strings.HasPrefix(string(b), "http://") {
+			base = string(b)
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	cli := loadgen.NewClient(base)
+	for {
+		if time.Now().After(deadline) {
+			t.Fatal("child never became healthy")
+		}
+		if resp, err := cli.HTTP.Get(base + "/healthz"); err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == 200 {
+				break
+			}
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	return cmd, cli
+}
+
+// killChild SIGKILLs the child and reaps it.
+func killChild(t *testing.T, cmd *exec.Cmd) {
+	t.Helper()
+	if err := cmd.Process.Kill(); err != nil {
+		t.Fatalf("kill: %v", err)
+	}
+	cmd.Wait()
+}
+
+// TestCrashRestartNoLostAcks is the durability acceptance test: cycles of
+// boot → concurrent load → SIGKILL mid-insert → restart → full drain, with
+// a client-side ledger checked against everything the HTTP API returned.
+//
+// The contract under test, phrased over the wire:
+//   - an insert covered by a 200 survives the crash (exactly-once): it is
+//     observed in exactly one dequeue/drain response, ever;
+//   - an insert whose response was lost to the crash is indeterminate: it
+//     appears at most once (the request died before or after the covering
+//     group commit — both are legal, duplication is not);
+//   - an item returned by a dequeue or drain response never reappears after
+//     the crash (deletes are synced before the response is written).
+//
+// Dequeue workers are stopped — and their in-flight responses delivered —
+// before the kill, so the ledger's "acked but not yet dequeued" set is
+// exact at crash time; insert workers are still firing when the SIGKILL
+// lands. Values are globally unique, making duplicates unambiguous.
+func TestCrashRestartNoLostAcks(t *testing.T) {
+	const shards = 2
+	cycles := 3
+	loadFor := 150 * time.Millisecond
+	if testing.Short() {
+		cycles = 2
+		loadFor = 80 * time.Millisecond
+	}
+	dir := t.TempDir()
+
+	var (
+		mu            sync.Mutex
+		pending       = map[string]bool{} // enqueue request sent, response not yet seen
+		outstanding   = map[string]bool{} // acked inserts not yet observed in a response
+		indeterminate = map[string]bool{} // inserts whose ack was lost: each may appear <= once
+		observed      = map[string]bool{} // every value any dequeue/drain ever returned
+		totalAcked    int64
+	)
+	// record checks one value coming back out of the service. A value still
+	// pending is fine — the server can serve a pop from an insert whose ack
+	// is still on the wire back to its worker; the worker reconciles when
+	// the response lands.
+	record := func(v string) {
+		mu.Lock()
+		defer mu.Unlock()
+		if observed[v] {
+			t.Errorf("value %q observed twice (duplicate across crash)", v)
+		}
+		observed[v] = true
+		switch {
+		case outstanding[v]:
+			delete(outstanding, v)
+		case indeterminate[v]:
+			delete(indeterminate, v)
+		case pending[v]:
+		default:
+			t.Errorf("value %q returned but never inserted (or already consumed)", v)
+		}
+	}
+
+	for cycle := 0; cycle < cycles; cycle++ {
+		cmd, cli := startCrashChild(t, dir, shards)
+
+		var (
+			insStop, deqStop atomic.Bool
+			insWG, deqWG     sync.WaitGroup
+		)
+		// Insert workers: unique values, acked batches move into
+		// outstanding, errored batches into indeterminate. They keep firing
+		// through the kill; post-kill transport errors just extend the
+		// indeterminate set.
+		for w := 0; w < 2; w++ {
+			insWG.Add(1)
+			go func(w int) {
+				defer insWG.Done()
+				n := 0
+				for !insStop.Load() {
+					items := make([]loadgen.Item, 5)
+					mu.Lock()
+					for i := range items {
+						items[i] = loadgen.Item{
+							Key:   uint64((cycle*31+w*17+n)*2654435761) % (1 << 30),
+							Value: fmt.Sprintf("c%d-w%d-%d", cycle, w, n),
+						}
+						pending[items[i].Value] = true
+						n++
+					}
+					mu.Unlock()
+					err := cli.Enqueue(fmt.Sprintf("topic-%d", n%8), items)
+					mu.Lock()
+					for _, it := range items {
+						delete(pending, it.Value)
+						if err == nil {
+							totalAcked++
+						}
+						// A value the dequeuers already returned needs no
+						// further tracking — it existed, it appeared once.
+						if observed[it.Value] {
+							continue
+						}
+						if err == nil {
+							outstanding[it.Value] = true
+						} else {
+							indeterminate[it.Value] = true
+						}
+					}
+					mu.Unlock()
+				}
+			}(w)
+		}
+		// Dequeue workers: alternate the global and a topic-scoped pop.
+		// They stop before the kill, so every response they trigger is
+		// delivered and recorded.
+		for w := 0; w < 2; w++ {
+			deqWG.Add(1)
+			go func(w int) {
+				defer deqWG.Done()
+				n := 0
+				for !deqStop.Load() {
+					topic := "*"
+					if n%2 == 1 {
+						topic = fmt.Sprintf("topic-%d", n%8)
+					}
+					n++
+					items, err := cli.Dequeue(topic, 4)
+					if err != nil {
+						t.Errorf("cycle %d: dequeue before kill failed: %v", cycle, err)
+						return
+					}
+					for _, it := range items {
+						record(it.Value)
+					}
+				}
+			}(w)
+		}
+
+		time.Sleep(loadFor)
+		deqStop.Store(true)
+		deqWG.Wait()
+		time.Sleep(20 * time.Millisecond) // keep inserts in flight across the kill
+		killChild(t, cmd)
+		insStop.Store(true)
+		insWG.Wait()
+
+		// Restart over the same directory and drain everything the WAL
+		// recovered; record() catches losses, duplicates and fabrications.
+		cmd2, cli := startCrashChild(t, dir, shards)
+		if _, err := cli.Drain("*", -1, 256, func(it loadgen.Item) { record(it.Value) }); err != nil {
+			t.Fatalf("cycle %d: drain after restart: %v", cycle, err)
+		}
+
+		mu.Lock()
+		if len(pending) != 0 {
+			t.Fatalf("cycle %d: %d values still pending after workers stopped (ledger bug)", cycle, len(pending))
+		}
+		lost := len(outstanding)
+		if lost != 0 {
+			i := 0
+			for v := range outstanding {
+				if i < 5 {
+					t.Errorf("cycle %d: acked insert %q lost in crash", cycle, v)
+				}
+				i++
+			}
+			t.Fatalf("cycle %d: %d acked inserts lost (of %d acked so far)", cycle, lost, totalAcked)
+		}
+		t.Logf("cycle %d: acked so far %d, indeterminate in flight %d, all acked recovered",
+			cycle, totalAcked, len(indeterminate))
+		mu.Unlock()
+		// The drain's deletes are synced, so killing the recovered child
+		// here is safe: the next cycle opens the same directory (one owner
+		// at a time) and recovers an empty queue plus its own load.
+		killChild(t, cmd2)
+	}
+	if totalAcked == 0 {
+		t.Fatal("no insert was ever acknowledged; the crash window never saw real load")
+	}
+}

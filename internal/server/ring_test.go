@@ -1,0 +1,51 @@
+package server
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestRingDeterministicPlacement pins the placement contract persistence
+// depends on: the ring is a pure function of (shards, vnodes), so a topic
+// maps to the same shard in every process and across restarts.
+func TestRingDeterministicPlacement(t *testing.T) {
+	a := newRing(4, 64)
+	b := newRing(4, 64)
+	for i := 0; i < 1000; i++ {
+		topic := fmt.Sprintf("topic-%d", i)
+		if sa, sb := a.lookup(topic), b.lookup(topic); sa != sb {
+			t.Fatalf("topic %q: ring built twice disagrees (%d vs %d)", topic, sa, sb)
+		}
+	}
+}
+
+func TestRingSingleShard(t *testing.T) {
+	r := newRing(1, 0)
+	for i := 0; i < 100; i++ {
+		if s := r.lookup(fmt.Sprintf("t%d", i)); s != 0 {
+			t.Fatalf("single-shard ring placed %q on shard %d", fmt.Sprintf("t%d", i), s)
+		}
+	}
+}
+
+// TestRingBalance sanity-checks the vnode spread: with the default 64
+// vnodes per shard no shard should own a vanishing share of a large topic
+// population. The threshold is loose — this guards against a broken hash
+// or sort, not statistical perfection.
+func TestRingBalance(t *testing.T) {
+	const shards, topicsN = 4, 10_000
+	r := newRing(shards, 0)
+	counts := make([]int, shards)
+	for i := 0; i < topicsN; i++ {
+		s := r.lookup(fmt.Sprintf("topic-%d-%d", i, i*7919))
+		if s < 0 || s >= shards {
+			t.Fatalf("lookup returned out-of-range shard %d", s)
+		}
+		counts[s]++
+	}
+	for s, c := range counts {
+		if c < topicsN/shards/4 {
+			t.Errorf("shard %d owns only %d of %d topics (degenerate spread %v)", s, c, topicsN, counts)
+		}
+	}
+}

@@ -1,0 +1,333 @@
+package server_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"klsm"
+	"klsm/internal/loadgen"
+	"klsm/internal/server"
+)
+
+// newTestServer boots a server on a loopback port and returns it with a
+// client pointed at it. The caller shuts it down (shutdownServer) unless the
+// test kills it deliberately.
+func newTestServer(t *testing.T, cfg server.Config) (*server.Server, *loadgen.Client) {
+	t.Helper()
+	srv, err := server.New(cfg)
+	if err != nil {
+		t.Fatalf("server.New: %v", err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	go srv.Serve(ln)
+	return srv, loadgen.NewClient("http://" + ln.Addr().String())
+}
+
+func shutdownServer(t *testing.T, srv *server.Server) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), server.ShutdownTimeout)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+}
+
+// TestLoadgenSmoke is the end-to-end smoke: boot a volatile 4-shard server
+// on a random port, run a bounded loadgen mix against it over real HTTP,
+// and check the conservation identity at /statsz — every acknowledged
+// insert is either dequeued or still in a shard, with the server-side
+// counters agreeing exactly with the client-side ledger.
+func TestLoadgenSmoke(t *testing.T) {
+	srv, cli := newTestServer(t, server.Config{
+		Shards:       4,
+		QueueOptions: []klsm.Option{klsm.WithRelaxation(64)},
+	})
+	res, err := loadgen.Run(loadgen.Config{
+		BaseURL:     cli.Base,
+		Workers:     4,
+		Ops:         4_000,
+		InsertRatio: 0.6,
+		Batch:       8,
+		Topics:      8,
+		Seed:        42,
+	})
+	if err != nil {
+		t.Fatalf("loadgen.Run: %v", err)
+	}
+	if res.Errors != 0 {
+		t.Fatalf("loadgen saw %d errors", res.Errors)
+	}
+	if res.Inserts == 0 || res.Dequeued == 0 {
+		t.Fatalf("degenerate mix: inserts=%d dequeued=%d", res.Inserts, res.Dequeued)
+	}
+
+	// The run is over and the server quiescent: client and server ledgers
+	// must agree, and conservation must hold exactly.
+	st, err := cli.Stats()
+	if err != nil {
+		t.Fatalf("statsz: %v", err)
+	}
+	if st.Enqueued != res.Inserts {
+		t.Errorf("server enqueued %d, client acked %d inserts", st.Enqueued, res.Inserts)
+	}
+	if st.Dequeued != res.Dequeued {
+		t.Errorf("server dequeued %d, client received %d", st.Dequeued, res.Dequeued)
+	}
+	if st.Enqueued != st.Dequeued+int64(st.Size) {
+		t.Errorf("conservation violated: enqueued %d != dequeued %d + size %d",
+			st.Enqueued, st.Dequeued, st.Size)
+	}
+	if want := srv.Router().Rho(); st.Rho != want {
+		t.Errorf("statsz rho = %d, router says %d", st.Rho, want)
+	}
+
+	// Drain the remainder and re-check: the stream must deliver exactly the
+	// residual size and leave the server empty.
+	drained, err := cli.Drain("*", -1, 512, nil)
+	if err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	if drained != int64(st.Size) {
+		t.Errorf("drained %d, statsz size was %d", drained, st.Size)
+	}
+	st2, err := cli.Stats()
+	if err != nil {
+		t.Fatalf("statsz: %v", err)
+	}
+	if st2.Size != 0 || st2.Enqueued != st2.Dequeued {
+		t.Errorf("after drain: size=%d enqueued=%d dequeued=%d (want empty, balanced)",
+			st2.Size, st2.Enqueued, st2.Dequeued)
+	}
+	shutdownServer(t, srv)
+}
+
+// TestBackpressure exercises the admission-control contract: a request
+// whose declared body would blow the in-flight byte budget draws 429 with a
+// Retry-After hint and enqueues nothing; oversized bodies draw 413; chunked
+// POSTs (no Content-Length) draw 411; and a small request right after a
+// rejection still succeeds — rejections must not leak budget.
+func TestBackpressure(t *testing.T) {
+	srv, cli := newTestServer(t, server.Config{
+		Shards:           1,
+		MaxInFlightBytes: 1 << 10,
+		MaxBodyBytes:     8 << 10,
+	})
+
+	big := loadgen.Item{Value: strings.Repeat("x", 2<<10)}
+	err := cli.Enqueue("t", []loadgen.Item{big})
+	var st *loadgen.ErrStatus
+	if !errors.As(err, &st) || st.Code != http.StatusTooManyRequests {
+		t.Fatalf("2KiB body against a 1KiB budget: got %v, want 429", err)
+	}
+
+	// Raw request to see the Retry-After header the client hides.
+	body := fmt.Sprintf(`{"topic":"t","items":[{"key":1,"value":%q}]}`, strings.Repeat("x", 2<<10))
+	resp, err := http.Post(cli.Base+"/v1/enqueue", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("raw post: %v", err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("raw oversized post: status %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("429 without Retry-After hint")
+	}
+
+	huge := loadgen.Item{Value: strings.Repeat("x", 16<<10)}
+	if err := cli.Enqueue("t", []loadgen.Item{huge}); !errors.As(err, &st) || st.Code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("16KiB body against an 8KiB cap: got %v, want 413", err)
+	}
+
+	// io.MultiReader defeats NewRequest's length detection, producing a
+	// chunked POST with no Content-Length.
+	req, err := http.NewRequest("POST", cli.Base+"/v1/enqueue",
+		io.MultiReader(strings.NewReader(`{"topic":"t","items":[{"key":1}]}`)))
+	if err != nil {
+		t.Fatalf("new request: %v", err)
+	}
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("chunked post: %v", err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusLengthRequired {
+		t.Fatalf("chunked post: status %d, want 411", resp.StatusCode)
+	}
+
+	// Nothing above was admitted, so a well-formed request still fits.
+	if err := cli.Enqueue("t", []loadgen.Item{{Key: 7, Value: "ok"}}); err != nil {
+		t.Fatalf("small enqueue after rejections: %v", err)
+	}
+	stz, err := cli.Stats()
+	if err != nil {
+		t.Fatalf("statsz: %v", err)
+	}
+	if stz.Rejected < 2 {
+		t.Errorf("statsz rejected = %d, want >= 2", stz.Rejected)
+	}
+	if stz.Enqueued != 1 || stz.Size != 1 {
+		t.Errorf("after rejections: enqueued=%d size=%d, want exactly the one admitted item",
+			stz.Enqueued, stz.Size)
+	}
+	shutdownServer(t, srv)
+}
+
+// TestEnqueueValidation pins the request-validation edges: enqueue needs a
+// concrete topic ("" and the global wildcard "*" are rejected), and an
+// empty item list acks zero without touching a shard.
+func TestEnqueueValidation(t *testing.T) {
+	srv, cli := newTestServer(t, server.Config{Shards: 2})
+	var st *loadgen.ErrStatus
+	if err := cli.Enqueue("", []loadgen.Item{{Key: 1}}); !errors.As(err, &st) || st.Code != http.StatusBadRequest {
+		t.Errorf("empty topic: got %v, want 400", err)
+	}
+	if err := cli.Enqueue("*", []loadgen.Item{{Key: 1}}); !errors.As(err, &st) || st.Code != http.StatusBadRequest {
+		t.Errorf("wildcard topic: got %v, want 400", err)
+	}
+	if err := cli.Enqueue("t", nil); err != nil {
+		t.Errorf("empty item list: %v", err)
+	}
+	stz, err := cli.Stats()
+	if err != nil {
+		t.Fatalf("statsz: %v", err)
+	}
+	if stz.Enqueued != 0 || stz.Size != 0 {
+		t.Errorf("rejected requests reached a shard: enqueued=%d size=%d", stz.Enqueued, stz.Size)
+	}
+	shutdownServer(t, srv)
+}
+
+// TestStreamingDrain checks the NDJSON drain end to end: every enqueued
+// item arrives exactly once, the summary line count matches, and a max=
+// budget stops the stream exactly at the budget with its own clean summary.
+func TestStreamingDrain(t *testing.T) {
+	srv, cli := newTestServer(t, server.Config{
+		Shards:       2,
+		QueueOptions: []klsm.Option{klsm.WithRelaxation(16)},
+	})
+	const total = 1000
+	want := make(map[string]bool, total)
+	var items []loadgen.Item
+	for i := 0; i < total; i++ {
+		v := fmt.Sprintf("v%04d", i)
+		want[v] = true
+		items = append(items, loadgen.Item{Key: uint64(i*7919) % total, Value: v})
+		if len(items) == 100 {
+			if err := cli.Enqueue(fmt.Sprintf("topic-%d", i%5), items); err != nil {
+				t.Fatalf("enqueue: %v", err)
+			}
+			items = items[:0]
+		}
+	}
+
+	got := make(map[string]bool, total)
+	visit := func(it loadgen.Item) {
+		if got[it.Value] {
+			t.Errorf("value %q drained twice", it.Value)
+		}
+		got[it.Value] = true
+	}
+	n, err := cli.Drain("*", 100, 32, visit)
+	if err != nil {
+		t.Fatalf("bounded drain: %v", err)
+	}
+	if n != 100 || len(got) != 100 {
+		t.Fatalf("bounded drain: summary=%d received=%d, want exactly 100", n, len(got))
+	}
+	n, err = cli.Drain("*", -1, 64, visit)
+	if err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	if n != total-100 {
+		t.Errorf("residual drain summary = %d, want %d", n, total-100)
+	}
+	if len(got) != total {
+		t.Fatalf("received %d distinct values, want %d", len(got), total)
+	}
+	for v := range got {
+		if !want[v] {
+			t.Errorf("drained value %q was never enqueued", v)
+		}
+	}
+	shutdownServer(t, srv)
+}
+
+// TestPersistentCleanCloseReopen checks the durable lifecycle without a
+// crash: acked inserts survive a graceful Shutdown, a new server over the
+// same directory recovers them all, and the partial dequeues from the first
+// life never reappear.
+func TestPersistentCleanCloseReopen(t *testing.T) {
+	dir := t.TempDir()
+	cfg := server.Config{
+		Shards:       2,
+		Dir:          dir,
+		QueueOptions: []klsm.Option{klsm.WithRelaxation(16), klsm.WithSyncInterval(time.Millisecond)},
+	}
+	srv, cli := newTestServer(t, cfg)
+
+	const total = 300
+	inserted := make(map[string]bool, total)
+	var items []loadgen.Item
+	for i := 0; i < total; i++ {
+		v := fmt.Sprintf("p%04d", i)
+		inserted[v] = true
+		items = append(items, loadgen.Item{Key: uint64(i), Value: v})
+		if len(items) == 50 {
+			if err := cli.Enqueue(fmt.Sprintf("topic-%d", i%7), items); err != nil {
+				t.Fatalf("enqueue: %v", err)
+			}
+			items = items[:0]
+		}
+	}
+	popped, err := cli.Dequeue("*", 50)
+	if err != nil {
+		t.Fatalf("dequeue: %v", err)
+	}
+	seen := make(map[string]bool, total)
+	for _, it := range popped {
+		seen[it.Value] = true
+	}
+	shutdownServer(t, srv)
+
+	srv2, cli2 := newTestServer(t, cfg)
+	st, err := cli2.Stats()
+	if err != nil {
+		t.Fatalf("statsz after reopen: %v", err)
+	}
+	if !st.Persistent {
+		t.Error("statsz does not report persistent shards")
+	}
+	if want := total - len(popped); st.Size != want {
+		t.Errorf("recovered size %d, want %d", st.Size, want)
+	}
+	n, err := cli2.Drain("*", -1, 64, func(it loadgen.Item) {
+		if seen[it.Value] {
+			t.Errorf("value %q seen twice across shutdown", it.Value)
+		}
+		if !inserted[it.Value] {
+			t.Errorf("recovered value %q was never enqueued", it.Value)
+		}
+		seen[it.Value] = true
+	})
+	if err != nil {
+		t.Fatalf("drain after reopen: %v", err)
+	}
+	if int(n)+len(popped) != total || len(seen) != total {
+		t.Errorf("recovered %d + dequeued %d != %d inserted (distinct seen %d)",
+			n, len(popped), total, len(seen))
+	}
+	shutdownServer(t, srv2)
+}
