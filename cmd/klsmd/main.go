@@ -47,13 +47,19 @@ func main() {
 		syncInterval = flag.Duration("sync-interval", 2*time.Millisecond, "WAL group-commit interval (persistent mode)")
 		maxInflight  = flag.Int64("max-inflight", 32<<20, "in-flight request-byte bound before 429 (backpressure; <0 disables)")
 		checkpoint   = flag.Bool("checkpoint-on-exit", false, "compact shard WALs into checkpoint segments during shutdown")
+		ckptBytes    = flag.Int64("checkpoint-wal-bytes", 64<<20, "per-shard WAL size that triggers an automatic checkpoint (persistent mode; 0 disables the size trigger)")
+		ckptEvery    = flag.Duration("checkpoint-interval", 0, "per-shard max age of un-checkpointed work before an automatic checkpoint (0 disables the age trigger)")
 	)
 	flag.Parse()
 
+	qopts := []klsm.Option{klsm.WithRelaxation(*k), klsm.WithSyncInterval(*syncInterval)}
+	if *dir != "" {
+		qopts = append(qopts, klsm.WithAutoCheckpoint(*ckptBytes, *ckptEvery))
+	}
 	srv, err := server.New(server.Config{
 		Shards:           *shards,
 		Dir:              *dir,
-		QueueOptions:     []klsm.Option{klsm.WithRelaxation(*k), klsm.WithSyncInterval(*syncInterval)},
+		QueueOptions:     qopts,
 		MaxInFlightBytes: *maxInflight,
 	})
 	if err != nil {
@@ -86,9 +92,10 @@ func main() {
 	}
 
 	if *checkpoint {
-		// Checkpoint needs quiescent shards; stop traffic first, then
-		// compact, then the final Shutdown below closes everything. A
-		// second Shutdown call only repeats the (idempotent) close step.
+		// Checkpoint is safe under traffic, but draining HTTP first makes
+		// the compaction capture the final state; the Shutdown below then
+		// closes everything (a second Shutdown only repeats the idempotent
+		// close step).
 		ctx, cancel := context.WithTimeout(context.Background(), server.ShutdownTimeout)
 		srv.ShutdownHTTP(ctx)
 		cancel()

@@ -116,10 +116,15 @@
 // lost (unacked inserts) or redelivered (unacked deletes) — at-least-once
 // delivery, like any write-behind log.
 //
-// Checkpoint compacts the WAL through the Quiesce barrier into sorted
-// segment files plus an atomically renamed MANIFEST; recovery loads each
-// segment as one block publication (the batch-insert path), so reopening a
-// queue of a million items takes on the order of a second. Torn tails from
+// Checkpoint compacts the log without stopping the queue: it rotates the
+// WAL (publishing a manifest that freezes the old file), merges the frozen
+// records with the existing segments into fresh sorted segment files, and
+// publishes the result with a second atomically renamed MANIFEST — safe to
+// run concurrently with inserts and deletes, and crash-safe at every
+// intermediate cut. WithAutoCheckpoint runs it automatically on size/age
+// triggers and sweeps orphaned files. Recovery loads each segment as one
+// block publication (the batch-insert path), so reopening a queue of a
+// million items takes on the order of a second. Torn tails from
 // a crash are detected by checksum and truncated silently; provable mid-log
 // corruption is refused with ErrCorruptWAL / ErrCorruptCheckpoint — never a
 // panic, never silent loss. See DESIGN.md "Durability" for the framing,

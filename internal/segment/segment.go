@@ -23,8 +23,15 @@
 //	klsm-manifest v1
 //	nextseq <n>
 //	wal <name>
+//	frozen <name>              (zero or more)
 //	segment <name> <count>     (zero or more)
 //	crc <8 hex digits>         (CRC32C of every preceding byte)
+//
+// Frozen lines name retired WAL files a checkpoint rotated away from but has
+// not yet compacted into segments: recovery replays them (oldest first)
+// before the live WAL. A manifest without frozen lines — every manifest
+// written before log-structured checkpoints existed — parses identically, so
+// the format change is backward compatible.
 //
 // The MANIFEST is the recovery root: it names the live WAL file and the
 // segment set, and everything in the directory it does not name is garbage
@@ -195,6 +202,11 @@ type Manifest struct {
 	NextSeq uint64
 	// WAL is the name of the live write-ahead-log file.
 	WAL string
+	// Frozen are retired WAL files awaiting compaction, in append order
+	// (oldest first): a checkpoint publishes the live WAL here before
+	// rotating, and clears the list once their records are merged into
+	// Segments. Recovery replays them before WAL.
+	Frozen []string
 	// Segments are the checkpoint segments, in load order.
 	Segments []Ref
 }
@@ -209,6 +221,11 @@ func AppendManifest(dst []byte, m Manifest) []byte {
 	dst = append(dst, "wal "...)
 	dst = append(dst, m.WAL...)
 	dst = append(dst, '\n')
+	for _, f := range m.Frozen {
+		dst = append(dst, "frozen "...)
+		dst = append(dst, f...)
+		dst = append(dst, '\n')
+	}
 	for _, s := range m.Segments {
 		dst = append(dst, "segment "...)
 		dst = append(dst, s.Name...)
@@ -263,6 +280,16 @@ func ParseManifest(data []byte) (Manifest, error) {
 		return m, fmt.Errorf("%w: bad wal line", ErrCorrupt)
 	}
 	for _, line := range body[3:] {
+		if name, ok := strings.CutPrefix(line, "frozen "); ok {
+			if name == "" || strings.ContainsAny(name, "/\\ ") {
+				return m, fmt.Errorf("%w: bad frozen line %q", ErrCorrupt, line)
+			}
+			if len(m.Segments) > 0 {
+				return m, fmt.Errorf("%w: frozen line %q after segment lines", ErrCorrupt, line)
+			}
+			m.Frozen = append(m.Frozen, name)
+			continue
+		}
 		rest, ok := strings.CutPrefix(line, "segment ")
 		if !ok {
 			return m, fmt.Errorf("%w: unknown line %q", ErrCorrupt, line)

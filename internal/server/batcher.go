@@ -12,6 +12,12 @@ import (
 // instead of one giant block.
 const flushChunk = 8192
 
+// ackPool recycles the one-shot acknowledgement channels enqueue waits on.
+// Each channel carries exactly one send (by the flusher) and one receive
+// (by the enqueuer that created it) per lease, so a returned channel is
+// always empty and safe to reuse.
+var ackPool = sync.Pool{New: func() any { return make(chan error, 1) }}
+
 // shardSrv is one shard's serving state: the queue, the flusher goroutine's
 // private handle, the pending enqueue batch, and the shard's operation
 // counters.
@@ -29,23 +35,37 @@ const flushChunk = 8192
 type shardSrv struct {
 	q *klsm.Queue[string]
 
-	// mu guards the pending batch and waiter list. wake (capacity 1) nudges
-	// the flusher; closed stops it after a final drain.
+	// mu guards the pending batch, the spare (recycled) batch buffers and
+	// the waiter list. wake (capacity 1) nudges the flusher; closed stops it
+	// after a final drain.
 	mu       sync.Mutex
 	wake     chan struct{}
 	pendKeys []uint64
 	pendVals []string
 	waiters  []chan error
-	closed   bool
-	done     chan struct{}
+	// spare* are last round's batch buffers, cleared and handed back by the
+	// flusher so the swap ping-pongs between two buffer sets instead of
+	// allocating fresh slices every round.
+	spareKeys    []uint64
+	spareVals    []string
+	spareWaiters []chan error
+	closed       bool
+	done         chan struct{}
 
-	// enqueued counts acknowledged inserted items, dequeued items returned
-	// by dequeue/drain responses, flushes completed flusher rounds. Together
-	// with Queue.Size they give /statsz its conservation identity
-	// enqueued == dequeued + size (exact when quiescent).
-	enqueued atomic.Int64
-	dequeued atomic.Int64
-	flushes  atomic.Int64
+	// enqueued counts items published by InsertBatch — counted at
+	// publication, not at acknowledgement, because a published item is in
+	// the queue (and will be dequeued, drained and counted on that side)
+	// whether or not the covering Sync succeeds. syncFails counts flusher
+	// rounds whose Sync failed: those items were published but not
+	// acknowledged (the waiters got the error). dequeued counts items
+	// returned by dequeue/drain responses, flushes completed flusher
+	// rounds. Together with Queue.Size, enqueued and dequeued give /statsz
+	// its conservation identity enqueued == dequeued + size (exact when
+	// quiescent).
+	enqueued  atomic.Int64
+	dequeued  atomic.Int64
+	flushes   atomic.Int64
+	syncFails atomic.Int64
 }
 
 func newShardSrv(q *klsm.Queue[string]) *shardSrv {
@@ -62,10 +82,11 @@ func (s *shardSrv) enqueue(keys []uint64, values []string) error {
 	if len(keys) == 0 {
 		return nil
 	}
-	ch := make(chan error, 1)
+	ch := ackPool.Get().(chan error)
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
+		ackPool.Put(ch)
 		return klsm.ErrClosed
 	}
 	s.pendKeys = append(s.pendKeys, keys...)
@@ -76,12 +97,15 @@ func (s *shardSrv) enqueue(keys []uint64, values []string) error {
 	case s.wake <- struct{}{}:
 	default:
 	}
-	return <-ch
+	err := <-ch
+	ackPool.Put(ch)
+	return err
 }
 
-// flusher is the shard's single writer: it swaps out the pending batch,
-// publishes it in flushChunk-sized InsertBatch calls through its private
-// handle, syncs once, and releases the batch's waiters with the result.
+// flusher is the shard's single writer: it swaps out the pending batch
+// (double-buffered against last round's slices), publishes it in
+// flushChunk-sized InsertBatch calls through its private handle, syncs once,
+// and releases the batch's waiters with the result.
 func (s *shardSrv) flusher() {
 	defer close(s.done)
 	h := s.q.NewHandle()
@@ -98,21 +122,40 @@ func (s *shardSrv) flusher() {
 			s.mu.Lock()
 		}
 		keys, vals, waiters := s.pendKeys, s.pendVals, s.waiters
-		s.pendKeys, s.pendVals, s.waiters = nil, nil, nil
+		s.pendKeys = s.spareKeys[:0]
+		s.pendVals = s.spareVals[:0]
+		s.waiters = s.spareWaiters[:0]
+		s.spareKeys, s.spareVals, s.spareWaiters = nil, nil, nil
 		s.mu.Unlock()
 
 		for off := 0; off < len(keys); off += flushChunk {
 			end := min(off+flushChunk, len(keys))
 			h.InsertBatch(keys[off:end], vals[off:end])
 		}
+		// Count at publication: the items are in the queue now, visible to
+		// dequeuers, regardless of how the Sync below fares. Counting only
+		// acknowledged items would leak every synced-failed batch out of the
+		// enqueued == dequeued + size conservation identity.
+		s.enqueued.Add(int64(len(keys)))
 		err := s.q.Sync()
-		if err == nil {
-			s.enqueued.Add(int64(len(keys)))
+		if err != nil {
+			s.syncFails.Add(1)
 		}
 		s.flushes.Add(1)
 		for _, ch := range waiters {
 			ch <- err
 		}
+		// Hand the drained buffers back as next round's pending set, dropping
+		// the payload and channel references they pin.
+		clear(vals)
+		clear(waiters)
+		s.mu.Lock()
+		if s.spareKeys == nil {
+			s.spareKeys = keys[:0]
+			s.spareVals = vals[:0]
+			s.spareWaiters = waiters[:0]
+		}
+		s.mu.Unlock()
 	}
 }
 

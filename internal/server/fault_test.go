@@ -1,0 +1,129 @@
+package server_test
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"klsm"
+	"klsm/internal/loadgen"
+	"klsm/internal/server"
+	"klsm/internal/walfault"
+)
+
+// failFS wraps a walfault.FS so the test can deterministically start failing
+// every fsync at a chosen moment — after the server opened cleanly — instead
+// of relying on probabilistic injection.
+type failFS struct {
+	walfault.FS
+	armed atomic.Bool
+}
+
+func (f *failFS) Create(name string) (walfault.File, error) {
+	h, err := f.FS.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	return &failFile{File: h, fs: f}, nil
+}
+
+func (f *failFS) Append(name string) (walfault.File, error) {
+	h, err := f.FS.Append(name)
+	if err != nil {
+		return nil, err
+	}
+	return &failFile{File: h, fs: f}, nil
+}
+
+type failFile struct {
+	walfault.File
+	fs *failFS
+}
+
+func (h *failFile) Sync() error {
+	if h.fs.armed.Load() {
+		return walfault.ErrSyncFault
+	}
+	return h.File.Sync()
+}
+
+func shutdownServerIgnoringError(srv *server.Server) {
+	ctx, cancel := context.WithTimeout(context.Background(), server.ShutdownTimeout)
+	defer cancel()
+	srv.Shutdown(ctx)
+}
+
+// TestEnqueueAccountingUnderSyncFailure is the regression test for the
+// flusher's conservation bug: items a flush round published via InsertBatch
+// were not counted in the shard's enqueued total when the round's Sync
+// failed, so every sync-failed batch leaked out of the /statsz identity
+// enqueued == dequeued + size even though the items sat in the queue (and
+// would be dequeued and counted on that side). The fix counts at
+// publication and reports the sync failure separately (sync_fails).
+func TestEnqueueAccountingUnderSyncFailure(t *testing.T) {
+	fs := &failFS{FS: walfault.NewMemFS(walfault.Faults{})}
+	srv, cli := newTestServer(t, server.Config{
+		Shards: 1,
+		FS:     func(int) walfault.FS { return fs },
+		QueueOptions: []klsm.Option{
+			klsm.WithRelaxation(64),
+			klsm.WithSyncInterval(time.Millisecond),
+		},
+	})
+	defer func() {
+		// Shutdown reports the WAL's sticky injected error; that is the
+		// expected terminal state here, not a test failure.
+		shutdownServerIgnoringError(srv)
+	}()
+
+	batch := func(base uint64, n int) []loadgen.Item {
+		items := make([]loadgen.Item, n)
+		for i := range items {
+			items[i] = loadgen.Item{Key: base + uint64(i), Value: "v"}
+		}
+		return items
+	}
+
+	const perBatch = 10
+	var sent int64
+	for i := 0; i < 5; i++ {
+		if err := cli.Enqueue("t", batch(uint64(i*perBatch), perBatch)); err != nil {
+			t.Fatalf("enqueue before fault: %v", err)
+		}
+		sent += perBatch
+	}
+
+	fs.armed.Store(true)
+	var failed int
+	for i := 5; i < 15; i++ {
+		err := cli.Enqueue("t", batch(uint64(i*perBatch), perBatch))
+		if err != nil {
+			failed++
+		}
+		// Failed or not, the batch reached the flusher and was published:
+		// enqueue only errors after InsertBatch, via the covering Sync.
+		sent += perBatch
+	}
+	if failed == 0 {
+		t.Fatal("no enqueue failed with every fsync failing — fault injection did not reach the WAL")
+	}
+
+	st, err := cli.Stats()
+	if err != nil {
+		t.Fatalf("stats: %v", err)
+	}
+	if st.Enqueued != sent {
+		t.Errorf("enqueued = %d, want %d: sync-failed batches were published but not counted", st.Enqueued, sent)
+	}
+	if got := int64(st.Size) + st.Dequeued; st.Enqueued != got {
+		t.Errorf("conservation broken: enqueued=%d, dequeued+size=%d", st.Enqueued, got)
+	}
+	var syncFails int64
+	for _, sh := range st.Shards {
+		syncFails += sh.SyncFails
+	}
+	if syncFails == 0 {
+		t.Errorf("sync_fails = 0, want > 0: failed rounds must be reported separately")
+	}
+}

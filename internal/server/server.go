@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"klsm"
+	"klsm/internal/walfault"
 )
 
 // Config parameterizes a Server.
@@ -29,6 +30,12 @@ type Config struct {
 	// Dir, when non-empty, makes every shard persistent: shard i opens
 	// klsm.Open(Dir/shard-000i). Empty runs in memory.
 	Dir string
+	// FS, when non-nil, supplies each shard's filesystem instead of a real
+	// directory: shard i opens klsm.OpenFS(FS(i), ...), and the server is
+	// persistent regardless of Dir. The fault-injection tests use it to run
+	// shards on a walfault.MemFS — injected fsync failures, crashes — through
+	// the full HTTP stack.
+	FS func(shard int) walfault.FS
 	// QueueOptions configures every shard queue (relaxation, sync interval,
 	// ...).
 	QueueOptions []klsm.Option
@@ -98,15 +105,20 @@ func New(cfg Config) (*Server, error) {
 	}
 	queues := make([]*klsm.Queue[string], cfg.Shards)
 	for i := range queues {
-		if cfg.Dir == "" {
-			queues[i] = klsm.New[string](cfg.QueueOptions...)
-			continue
+		var q *klsm.Queue[string]
+		var err error
+		switch {
+		case cfg.FS != nil:
+			q, err = klsm.OpenFS(cfg.FS(i), fmt.Sprintf("shard-%03d", i),
+				klsm.StringValue{}, cfg.QueueOptions...)
+		case cfg.Dir != "":
+			dir := filepath.Join(cfg.Dir, fmt.Sprintf("shard-%03d", i))
+			if err = os.MkdirAll(dir, 0o755); err == nil {
+				q, err = klsm.Open(dir, klsm.StringValue{}, cfg.QueueOptions...)
+			}
+		default:
+			q = klsm.New[string](cfg.QueueOptions...)
 		}
-		dir := filepath.Join(cfg.Dir, fmt.Sprintf("shard-%03d", i))
-		if err := os.MkdirAll(dir, 0o755); err != nil {
-			return nil, err
-		}
-		q, err := klsm.Open(dir, klsm.StringValue{}, cfg.QueueOptions...)
 		if err != nil {
 			for _, p := range queues[:i] {
 				p.Close()
@@ -406,6 +418,10 @@ type ShardStats struct {
 	// Flushes counts completed flusher rounds (each is >= 1 InsertBatch
 	// publication plus at most one Sync).
 	Flushes int64 `json:"flushes"`
+	// SyncFails counts flusher rounds whose covering Sync failed: the
+	// round's items were published (and counted in Enqueued) but the
+	// enqueuers were answered with the error instead of a 200.
+	SyncFails int64 `json:"sync_fails,omitempty"`
 	// Queue is the shard's structural counter snapshot.
 	Queue klsm.Stats `json:"queue"`
 	// Persist is the shard's durability counters; nil on volatile shards.
@@ -436,22 +452,24 @@ type Statsz struct {
 
 // Stats assembles the /statsz document.
 func (s *Server) Stats() Statsz {
+	persistent := s.cfg.Dir != "" || s.cfg.FS != nil
 	doc := Statsz{
 		InFlightBytes: s.inflight.Load(),
 		Rejected:      s.rejected.Load(),
 		Rho:           s.router.Rho(),
-		Persistent:    s.cfg.Dir != "",
+		Persistent:    persistent,
 	}
 	for i, sh := range s.shards {
 		row := ShardStats{
-			Shard:    i,
-			Size:     sh.q.Size(),
-			Enqueued: sh.enqueued.Load(),
-			Dequeued: sh.dequeued.Load(),
-			Flushes:  sh.flushes.Load(),
-			Queue:    sh.q.Stats(),
+			Shard:     i,
+			Size:      sh.q.Size(),
+			Enqueued:  sh.enqueued.Load(),
+			Dequeued:  sh.dequeued.Load(),
+			Flushes:   sh.flushes.Load(),
+			SyncFails: sh.syncFails.Load(),
+			Queue:     sh.q.Stats(),
 		}
-		if s.cfg.Dir != "" {
+		if persistent {
 			ps := sh.q.PersistStats()
 			row.Persist = &ps
 		}

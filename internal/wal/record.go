@@ -82,6 +82,17 @@ type Op struct {
 // extended slice.
 func AppendRecord(dst []byte, op Op) []byte {
 	start := len(dst)
+	dst = appendUnsealed(dst, op)
+	sealFrames(dst[start:])
+	return dst
+}
+
+// appendUnsealed appends op's frame with the length field filled and both
+// CRC fields left zero. This is the mutator half of the split encode: Append
+// runs it under the buffer mutex, and the writer goroutine seals the CRCs
+// (sealFrames) off the hot path. The sealed bytes are exactly AppendRecord's.
+func appendUnsealed(dst []byte, op Op) []byte {
+	start := len(dst)
 	dst = append(dst, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0) // frame placeholder
 	if op.Delete {
 		dst = append(dst, OpDelete)
@@ -94,11 +105,22 @@ func AppendRecord(dst []byte, op Op) []byte {
 		dst = binary.AppendUvarint(dst, uint64(len(op.Value)))
 		dst = append(dst, op.Value...)
 	}
-	payload := dst[start+headerSize:]
-	binary.LittleEndian.PutUint32(dst[start:], uint32(len(payload)))
-	binary.LittleEndian.PutUint32(dst[start+4:], crc32.Checksum(payload, castagnoli))
-	binary.LittleEndian.PutUint32(dst[start+8:], crc32.Checksum(dst[start:start+8], castagnoli))
+	binary.LittleEndian.PutUint32(dst[start:], uint32(len(dst)-start-headerSize))
 	return dst
+}
+
+// sealFrames fills the pcrc/hcrc fields of every frame in buf, which must
+// hold a whole number of frames with valid length fields (the writer's batch
+// buffer — appendUnsealed is the only producer). One tight pass over the
+// batch replaces a per-record checksum on the mutator's critical path.
+func sealFrames(buf []byte) {
+	for off := 0; off+headerSize <= len(buf); {
+		plen := int(binary.LittleEndian.Uint32(buf[off:]))
+		payload := buf[off+headerSize : off+headerSize+plen]
+		binary.LittleEndian.PutUint32(buf[off+4:], crc32.Checksum(payload, castagnoli))
+		binary.LittleEndian.PutUint32(buf[off+8:], crc32.Checksum(buf[off:off+8], castagnoli))
+		off += headerSize + plen
+	}
 }
 
 // decodePayload decodes one record payload.

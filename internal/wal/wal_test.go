@@ -226,3 +226,256 @@ func TestLogShortWriteFails(t *testing.T) {
 	}
 	l.Close()
 }
+
+// gateFS wraps an FS so every Write on files it opens consumes a token,
+// letting a test hold the writer goroutine mid-write while appends pile up.
+type gateFS struct {
+	walfault.FS
+	gate chan struct{}
+}
+
+func (g *gateFS) Append(name string) (walfault.File, error) {
+	f, err := g.FS.Append(name)
+	if err != nil {
+		return nil, err
+	}
+	return &gateFile{File: f, gate: g.gate}, nil
+}
+
+type gateFile struct {
+	walfault.File
+	gate chan struct{}
+}
+
+func (f *gateFile) Write(p []byte) (int, error) {
+	<-f.gate
+	return f.File.Write(p)
+}
+
+// Appends that accumulate while the writer is busy must go out in one
+// coalesced write(), not one syscall per record.
+func TestWriteCoalescing(t *testing.T) {
+	gate := make(chan struct{})
+	fs := &gateFS{FS: walfault.NewMemFS(walfault.Faults{}), gate: gate}
+	l, err := Open(fs, "wal", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 12
+	for seq := uint64(1); seq <= n; seq++ {
+		if _, err := l.Append(Op{Seq: seq, Key: seq, Value: []byte("payload")}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Release the writer: however the swap raced the appends, everything
+	// buffered behind the first blocked write must drain in at most one
+	// more write call.
+	go func() {
+		for {
+			gate <- struct{}{}
+		}
+	}()
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if got := l.Synced(); got != n {
+		t.Fatalf("synced %d, want %d", got, n)
+	}
+	st := l.Stats()
+	if st.Appends != n || st.Writes < 1 || st.Writes > 2 {
+		t.Fatalf("expected %d appends in <= 2 coalesced writes, got %+v", n, st)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := fs.ReadFile("wal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	if _, err := Scan(data, func(Op) { count++ }); err != nil || count != n {
+		t.Fatalf("replayed %d records (err %v), want %d", count, err, n)
+	}
+}
+
+// An interval timer made stale by an explicit Sync must not fire a spurious
+// fsync or wakeup; a timer with undurable records still must.
+func TestStaleTimerCanceled(t *testing.T) {
+	fs := walfault.NewMemFS(walfault.Faults{})
+	const interval = 100 * time.Millisecond
+	l, err := Open(fs, "wal", Options{SyncInterval: interval})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append(Op{Seq: 1, Key: 1}); err != nil {
+		t.Fatal(err)
+	}
+	// The explicit Sync lands long before the timer's deadline and makes the
+	// record durable; the timer must be canceled (or detect staleness).
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(3 * interval)
+	st := l.Stats()
+	if st.Fsyncs != 1 || st.TimerFires != 0 {
+		t.Fatalf("stale timer caused extra work: %+v (want 1 fsync, 0 timer fires)", st)
+	}
+	// Positive control: with no explicit Sync, the timer is the only thing
+	// that makes the next record durable.
+	if _, err := l.Append(Op{Seq: 2, Key: 2}); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for l.Synced() < 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("interval timer never synced record 2: %+v", l.Stats())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	st = l.Stats()
+	if st.TimerFires != 1 || st.Fsyncs != 2 {
+		t.Fatalf("after timer commit: %+v (want 2 fsyncs, 1 timer fire)", st)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// createFile mirrors the persister's createEmpty: rotation targets must
+// exist, empty and durable, before Rotate is called.
+func createFile(t *testing.T, fs walfault.FS, name string) {
+	t.Helper()
+	f, err := fs.Create(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Rotate must leave the old file complete and fully durable, route later
+// appends to the successor, and keep LSNs/durability working across the cut.
+func TestRotate(t *testing.T) {
+	fs := walfault.NewMemFS(walfault.Faults{})
+	l, err := Open(fs, "wal-a", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seq := uint64(1); seq <= 5; seq++ {
+		if _, err := l.Append(Op{Seq: seq, Key: seq}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	createFile(t, fs, "wal-b")
+	if err := l.Rotate("wal-b"); err != nil {
+		t.Fatal(err)
+	}
+	aData, err := fs.ReadFile("wal-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fs.SyncedLen("wal-a") != int64(len(aData)) {
+		t.Fatalf("old file not fully durable after rotate: %d of %d bytes synced",
+			fs.SyncedLen("wal-a"), len(aData))
+	}
+	var aSeqs []uint64
+	if _, err := Scan(aData, func(op Op) { aSeqs = append(aSeqs, op.Seq) }); err != nil {
+		t.Fatal(err)
+	}
+	if len(aSeqs) != 5 || aSeqs[4] != 5 {
+		t.Fatalf("old file holds %v, want seqs 1..5", aSeqs)
+	}
+	for seq := uint64(6); seq <= 8; seq++ {
+		if _, err := l.Append(Op{Seq: seq, Key: seq}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if got := l.Synced(); got != 8 {
+		t.Fatalf("synced LSN %d after rotation, want 8", got)
+	}
+	if st := l.Stats(); st.Rotations != 1 {
+		t.Fatalf("Rotations = %d, want 1", st.Rotations)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	bData, err := fs.ReadFile("wal-b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bSeqs []uint64
+	if _, err := Scan(bData, func(op Op) { bSeqs = append(bSeqs, op.Seq) }); err != nil {
+		t.Fatal(err)
+	}
+	if len(bSeqs) != 3 || bSeqs[0] != 6 || bSeqs[2] != 8 {
+		t.Fatalf("successor holds %v, want seqs 6..8", bSeqs)
+	}
+}
+
+// Rotations racing a concurrent appender must preserve record order across
+// the whole file chain and keep every pre-rotation file fully durable.
+func TestRotateConcurrentAppends(t *testing.T) {
+	fs := walfault.NewMemFS(walfault.Faults{})
+	files := []string{"wal-000001", "wal-000002", "wal-000003", "wal-000004"}
+	l, err := Open(fs, files[0], Options{SyncEvery: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 4000
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for seq := uint64(1); seq <= n; seq++ {
+			if _, err := l.Append(Op{Seq: seq, Key: seq}); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	for _, next := range files[1:] {
+		createFile(t, fs, next)
+		if err := l.Rotate(next); err != nil {
+			t.Fatal(err)
+		}
+	}
+	<-done
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	want := uint64(1)
+	for i, name := range files {
+		data, err := fs.ReadFile(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Every file but the live one was closed by a rotation, which fsyncs
+		// first: its entire contents must be durable.
+		if i < len(files)-1 && fs.SyncedLen(name) != int64(len(data)) {
+			t.Fatalf("%s: %d of %d bytes durable after rotation", name, fs.SyncedLen(name), len(data))
+		}
+		if _, err := Scan(data, func(op Op) {
+			if op.Seq != want {
+				t.Fatalf("%s: seq %d out of order, want %d", name, op.Seq, want)
+			}
+			want++
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if want != n+1 {
+		t.Fatalf("replayed %d records across the chain, want %d", want-1, n)
+	}
+}

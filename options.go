@@ -22,6 +22,9 @@ type options struct {
 	syncEvery    int
 	syncInterval time.Duration
 	walBuffer    int
+	walCoalesce  int
+	ckptWALBytes int64
+	ckptInterval time.Duration
 }
 
 // Option configures New.
@@ -150,6 +153,34 @@ func WithSyncInterval(d time.Duration) Option {
 // this much encoded data awaits the background writer.
 func WithWALBuffer(bytes int) Option {
 	return func(o *options) { o.walBuffer = bytes }
+}
+
+// WithWriteCoalesce sets the WAL writer's batch growth target in bytes
+// (default 256 KiB): after taking a batch, the writer keeps folding in
+// records that mutators appended meanwhile until the batch reaches this
+// size or no more are waiting, then issues one write() for the whole run.
+// Coalescing never delays a record — it only gathers work that already
+// exists — so larger values trade nothing but memory for fewer syscalls.
+// Negative disables coalescing (one write per buffer swap).
+func WithWriteCoalesce(bytes int) Option {
+	return func(o *options) { o.walCoalesce = bytes }
+}
+
+// WithAutoCheckpoint enables the automatic checkpoint scheduler on a queue
+// opened by Open: a background goroutine checkpoints once the live WAL
+// exceeds maxWALBytes (0 disables the size trigger) or maxAge has passed
+// since the last checkpoint while unlogged-to-segment work exists (0
+// disables the age trigger), and sweeps orphaned files on a timer. Both
+// zero — the default — leaves checkpointing fully manual. Automatic
+// checkpoints run concurrently with queue operations (see Checkpoint) and
+// bound recovery cost for long-running queues: replay work stays
+// proportional to the live items plus one WAL's worth of tail, not to the
+// operation history.
+func WithAutoCheckpoint(maxWALBytes int64, maxAge time.Duration) Option {
+	return func(o *options) {
+		o.ckptWALBytes = maxWALBytes
+		o.ckptInterval = maxAge
+	}
 }
 
 // WithStickyHint sets the sticky skip-shared budget (default 64): how many

@@ -4,13 +4,13 @@ import (
 	"errors"
 	"fmt"
 	"io/fs"
-	"sort"
 	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"klsm/internal/checkpointd"
 	"klsm/internal/segment"
 	"klsm/internal/wal"
 	"klsm/internal/walfault"
@@ -63,6 +63,10 @@ type RecoveryStats struct {
 	// TornBytes is the length of the torn WAL tail Open truncated (bytes
 	// past the last complete record — never acknowledged, by construction).
 	TornBytes int64
+	// FrozenWALs counts retired WAL files the manifest left un-compacted (a
+	// crash landed between a checkpoint's rotation and its commit); their
+	// records were replayed and the next checkpoint retires them.
+	FrozenWALs int
 }
 
 // PersistStats is a snapshot of the durability layer's counters.
@@ -77,11 +81,29 @@ type PersistStats struct {
 	// WALSyncWaits counts explicit Sync calls that had to wait for the
 	// group-commit writer.
 	WALSyncWaits int64
+	// WALWrites counts write() calls on the live WAL; coalescing makes this
+	// smaller than WALAppends under load.
+	WALWrites int64
+	// WALTimerFires counts SyncInterval timers that actually woke the
+	// writer; timers made stale by an earlier Sync are canceled.
+	WALTimerFires int64
+	// LiveWALBytes is the current size of the live WAL file — the input to
+	// the auto-checkpoint size trigger.
+	LiveWALBytes int64
+	// FrozenWALs is the current count of rotated-but-uncompacted WAL files
+	// (nonzero only while a checkpoint is in flight or after one failed).
+	FrozenWALs int
 	// Checkpoints counts completed Checkpoint calls and CheckpointTime their
 	// cumulative duration.
 	Checkpoints int64
 	// CheckpointTime is the cumulative wall time spent in Checkpoint.
 	CheckpointTime time.Duration
+	// AutoCheckpoints and AutoCheckpointFailures count scheduler-triggered
+	// checkpoint attempts by outcome; OrphansRemoved counts files the timed
+	// GC swept. All zero without WithAutoCheckpoint.
+	AutoCheckpoints        int64
+	AutoCheckpointFailures int64
+	OrphansRemoved         int64
 	// Segments is the number of live checkpoint segment files.
 	Segments int
 	// NextSeq is the next unassigned durability sequence number.
@@ -97,19 +119,27 @@ type persister[V any] struct {
 	codec ValueCodec[V]
 	wopts wal.Options
 
-	// log is the live WAL; swapped by Checkpoint. Atomic so the (quiescent
-	// by contract, but race-detector-visible) op path reads it safely.
-	log atomic.Pointer[wal.Log]
+	// log is the live WAL. The pointer never changes after openFS —
+	// Checkpoint rotates the Log's file in place — so the op path reads it
+	// without synchronization.
+	log *wal.Log
 	// seq is the last assigned durability sequence number.
 	seq atomic.Uint64
 
-	// ckptMu serializes Checkpoint and Close against each other and guards
-	// the fields below.
+	// sched drives automatic checkpoints and timed orphan GC; nil without
+	// WithAutoCheckpoint.
+	sched *checkpointd.Scheduler
+
+	// ckptMu serializes Checkpoint, the orphan sweep and Close against each
+	// other and guards the fields below.
 	ckptMu   sync.Mutex
 	walName  string
+	frozen   []string // rotated WALs not yet compacted (manifest Frozen)
+	walBase  int64    // live WAL bytes present at Open (before log.FileBytes)
 	segs     []segment.Ref
 	walOrd   uint64 // ordinal for the next WAL file name
 	segOrd   uint64 // ordinal for the next segment file name
+	closed   bool
 	recovery RecoveryStats
 
 	ckpts     atomic.Int64
@@ -137,6 +167,15 @@ func Open[V any](dir string, codec ValueCodec[V], opts ...Option) (*Queue[V], er
 	return openFS(fsys, dir, codec, opts...)
 }
 
+// OpenFS is Open over a caller-supplied filesystem instead of a real
+// directory: the fault-injection tests (and the server's crash harness) run
+// a queue on a walfault.MemFS — with injected fsync errors, short writes
+// and simulated kills — through exactly the production recovery paths. dir
+// is used only in messages. Production callers want Open.
+func OpenFS[V any](fsys walfault.FS, dir string, codec ValueCodec[V], opts ...Option) (*Queue[V], error) {
+	return openFS(fsys, dir, codec, opts...)
+}
+
 // openFS is Open over an abstract filesystem — the crash-injection tests
 // call it with a walfault.MemFS.
 func openFS[V any](fsys walfault.FS, dir string, codec ValueCodec[V], opts ...Option) (*Queue[V], error) {
@@ -148,7 +187,12 @@ func openFS[V any](fsys walfault.FS, dir string, codec ValueCodec[V], opts ...Op
 		fs:    fsys,
 		dir:   dir,
 		codec: codec,
-		wopts: wal.Options{SyncEvery: o.syncEvery, SyncInterval: o.syncInterval, BufferCap: o.walBuffer},
+		wopts: wal.Options{
+			SyncEvery:          o.syncEvery,
+			SyncInterval:       o.syncInterval,
+			BufferCap:          o.walBuffer,
+			WriteCoalesceBytes: o.walCoalesce,
+		},
 	}
 
 	m, err := segment.ReadManifest(fsys)
@@ -170,33 +214,52 @@ func openFS[V any](fsys walfault.FS, dir string, codec ValueCodec[V], opts ...Op
 		return nil, err
 	}
 
-	// Scan the WAL tail before touching segments: deletes logged there
-	// cancel items wherever they live. Records are appended in operation
-	// order into one file, so a durable delete implies its insert is durable
-	// too — in this WAL or in a segment.
-	walData, err := fsys.ReadFile(m.WAL)
-	if err != nil {
-		return nil, fmt.Errorf("klsm: manifest names missing WAL %s: %w", m.WAL, err)
-	}
-	var inserts []wal.Op
+	// Scan the WAL chain — frozen files (oldest first), then the live WAL —
+	// before touching segments: deletes logged anywhere in the chain cancel
+	// items wherever they live. Records are appended in operation order and
+	// rotation preserves that order across files, so a durable delete
+	// implies its insert is durable too — earlier in the chain or in a
+	// segment. A torn tail is truncated wherever it appears: torn bytes were
+	// never fsynced, hence never acknowledged (a frozen file can only be
+	// torn when the crash landed before the rotation that would have
+	// fsynced it, with the successor still empty).
+	chain := append(append([]string(nil), m.Frozen...), m.WAL)
+	walInserts := make([][]wal.Op, len(chain))
 	deleted := make(map[uint64]bool) // seq -> matched to its insert yet?
 	maxSeq := uint64(0)
-	res, err := wal.Scan(walData, func(op wal.Op) {
-		if op.Seq > maxSeq {
-			maxSeq = op.Seq
+	for i, name := range chain {
+		walData, err := fsys.ReadFile(name)
+		if err != nil {
+			return nil, fmt.Errorf("klsm: manifest names missing WAL %s: %w", name, err)
 		}
-		if op.Delete {
-			deleted[op.Seq] = false
-			p.recovery.WALDeletes++
-		} else {
-			inserts = append(inserts, op)
+		var inserts []wal.Op
+		res, err := wal.Scan(walData, func(op wal.Op) {
+			if op.Seq > maxSeq {
+				maxSeq = op.Seq
+			}
+			if op.Delete {
+				deleted[op.Seq] = false
+				p.recovery.WALDeletes++
+			} else {
+				inserts = append(inserts, op)
+			}
+		})
+		if err != nil {
+			return nil, fmt.Errorf("klsm: %s: %w", name, err)
 		}
-	})
-	if err != nil {
-		return nil, fmt.Errorf("klsm: %s: %w", m.WAL, err)
+		walInserts[i] = inserts
+		p.recovery.WALRecords += int64(res.Records)
+		if res.Torn {
+			p.recovery.TornBytes += int64(len(walData)) - res.GoodLen
+			if err := fsys.Truncate(name, res.GoodLen); err != nil {
+				return nil, err
+			}
+		}
+		if name == m.WAL {
+			p.walBase = res.GoodLen
+		}
 	}
-	p.recovery.WALRecords = int64(res.Records)
-	p.recovery.TornBytes = int64(len(walData)) - res.GoodLen
+	p.recovery.FrozenWALs = len(m.Frozen)
 
 	q := &Queue[V]{q: newCoreQueue[V](o, nil)}
 	q.p = p
@@ -236,23 +299,26 @@ func openFS[V any](fsys walfault.FS, dir string, codec ValueCodec[V], opts ...Op
 		p.recovery.SegmentItems += int64(len(keys))
 	}
 
-	// Re-apply the WAL-tail inserts that were never deleted, as one batch.
-	keys, vals, seqs = keys[:0], vals[:0], seqs[:0]
-	for _, op := range inserts {
-		if _, dead := deleted[op.Seq]; dead {
-			deleted[op.Seq] = true
-			continue
+	// Re-apply the never-deleted inserts of each WAL in the chain, one batch
+	// per file, in chain order.
+	for i, inserts := range walInserts {
+		keys, vals, seqs = keys[:0], vals[:0], seqs[:0]
+		for _, op := range inserts {
+			if _, dead := deleted[op.Seq]; dead {
+				deleted[op.Seq] = true
+				continue
+			}
+			v, err := codec.Decode(op.Value)
+			if err != nil {
+				return nil, fmt.Errorf("klsm: %s seq %d: decoding value: %w", chain[i], op.Seq, err)
+			}
+			keys = append(keys, op.Key)
+			vals = append(vals, v)
+			seqs = append(seqs, op.Seq)
 		}
-		v, err := codec.Decode(op.Value)
-		if err != nil {
-			return nil, fmt.Errorf("klsm: %s seq %d: decoding value: %w", m.WAL, op.Seq, err)
-		}
-		keys = append(keys, op.Key)
-		vals = append(vals, v)
-		seqs = append(seqs, op.Seq)
+		lh.InsertBatchSeqs(keys, vals, seqs)
+		p.recovery.WALInserts += int64(len(keys))
 	}
-	lh.InsertBatchSeqs(keys, vals, seqs)
-	p.recovery.WALInserts = int64(len(keys))
 	for _, matched := range deleted {
 		if !matched {
 			p.recovery.UnknownDeletes++
@@ -260,16 +326,16 @@ func openFS[V any](fsys walfault.FS, dir string, codec ValueCodec[V], opts ...Op
 	}
 	lh.Close()
 
-	// Drop the torn tail so appends resume at the last complete record, and
-	// sweep artifacts the manifest does not name (half-written segments or
-	// WALs from an interrupted checkpoint, a stale MANIFEST.tmp).
-	if res.Torn {
-		if err := fsys.Truncate(m.WAL, res.GoodLen); err != nil {
-			return nil, err
+	// Sweep artifacts the manifest does not name (half-written segments or
+	// WALs from an interrupted checkpoint, a stale MANIFEST.tmp). Torn tails
+	// were already truncated during the chain scan.
+	live := map[string]bool{segment.ManifestName: true}
+	for _, name := range chain {
+		live[name] = true
+		if n := ordOf(name); n >= p.walOrd {
+			p.walOrd = n + 1
 		}
 	}
-	live := map[string]bool{segment.ManifestName: true, m.WAL: true}
-	p.walOrd = ordOf(m.WAL) + 1
 	for _, ref := range m.Segments {
 		live[ref.Name] = true
 		if n := ordOf(ref.Name); n >= p.segOrd {
@@ -292,14 +358,70 @@ func openFS[V any](fsys walfault.FS, dir string, codec ValueCodec[V], opts ...Op
 	}
 	p.seq.Store(maxSeq)
 	p.walName = m.WAL
+	p.frozen = m.Frozen
 	p.segs = m.Segments
 
 	l, err := wal.Open(fsys, m.WAL, p.wopts)
 	if err != nil {
 		return nil, err
 	}
-	p.log.Store(l)
+	p.log = l
+	if o.ckptWALBytes > 0 || o.ckptInterval > 0 {
+		p.sched = checkpointd.Start(
+			checkpointd.Policy{MaxWALBytes: o.ckptWALBytes, MaxAge: o.ckptInterval},
+			checkpointd.Hooks{
+				WALBytes:     p.workBytes,
+				Checkpoint:   p.checkpoint,
+				SweepOrphans: p.sweepOrphans,
+			})
+	}
 	return q, nil
+}
+
+// workBytes reports the un-checkpointed work the scheduler's triggers gate
+// on: the live WAL's size, or a token byte when only a frozen backlog (from
+// an interrupted compaction) remains to retire.
+func (p *persister[V]) workBytes() int64 {
+	p.ckptMu.Lock()
+	base := p.walBase
+	backlog := len(p.frozen)
+	p.ckptMu.Unlock()
+	b := base + p.log.FileBytes()
+	if b == 0 && backlog > 0 {
+		return 1
+	}
+	return b
+}
+
+// sweepOrphans removes every file in the directory that the committed
+// manifest state does not name. It runs under ckptMu, so the live set it
+// computes is exactly the committed state — a checkpoint mid-flight can
+// never lose a file it just staged, and a manifest-named segment is never
+// eligible by construction.
+func (p *persister[V]) sweepOrphans() int {
+	p.ckptMu.Lock()
+	defer p.ckptMu.Unlock()
+	if p.closed {
+		return 0
+	}
+	live := map[string]bool{segment.ManifestName: true, p.walName: true}
+	for _, n := range p.frozen {
+		live[n] = true
+	}
+	for _, s := range p.segs {
+		live[s.Name] = true
+	}
+	names, err := p.fs.List()
+	if err != nil {
+		return 0
+	}
+	removed := 0
+	for _, n := range names {
+		if !live[n] && p.fs.Remove(n) == nil {
+			removed++
+		}
+	}
+	return removed
 }
 
 // appendInsert encodes value into scratch, appends the insert record, and
@@ -312,13 +434,13 @@ func (p *persister[V]) appendInsert(scratch []byte, key uint64, value V, seq uin
 	if err != nil {
 		panic(fmt.Errorf("klsm: value codec failed on insert: %w", err))
 	}
-	p.log.Load().Append(wal.Op{Seq: seq, Key: key, Value: buf})
+	p.log.Append(wal.Op{Seq: seq, Key: key, Value: buf})
 	return buf
 }
 
 // appendDelete logs the consumption of the insert with the given seq.
 func (p *persister[V]) appendDelete(key, seq uint64) {
-	p.log.Load().Append(wal.Op{Delete: true, Seq: seq, Key: key})
+	p.log.Append(wal.Op{Delete: true, Seq: seq, Key: key})
 }
 
 // Sync blocks until every operation performed before the call is durable,
@@ -334,113 +456,114 @@ func (q *Queue[V]) Sync() error {
 	if q.p == nil {
 		return nil
 	}
-	return q.p.log.Load().Sync()
+	return q.p.log.Sync()
 }
 
-// Checkpoint compacts the durability state: it snapshots every live item
-// into sorted segment files, publishes a new MANIFEST naming them plus a
-// fresh empty WAL, and deletes the old WAL and segments. Recovery cost
+// Checkpoint compacts the durability state: it rotates the live WAL and
+// merges the frozen log with the existing segments into a fresh sorted
+// segment set, publishing each step through the MANIFEST. Recovery cost
 // thereafter is proportional to the live item count plus the short new WAL,
 // not to the operation history.
 //
-// Checkpoint runs the Quiesce barrier and therefore must not run
-// concurrently with any queue operation (same contract as Quiesce). It
-// returns ErrNotPersistent on a queue created by New and ErrClosed after
-// Close. A crash at any point during Checkpoint is safe: the MANIFEST is
-// published by atomic rename, so recovery sees either the complete old
-// state or the complete new one, and sweeps the loser's files.
+// Checkpoint is log-structured: it reads only immutable on-disk files —
+// never the in-memory queue — so it is safe to run concurrently with every
+// queue operation, including inserts and deletes (checkpoints and Close
+// still serialize against each other). It returns ErrNotPersistent on a
+// queue created by New and ErrClosed after Close. A crash at any point is
+// safe: each MANIFEST is published by atomic rename, and every intermediate
+// state replays acknowledged operations exactly once.
 func (q *Queue[V]) Checkpoint() error {
-	p := q.p
-	if p == nil {
+	if q.p == nil {
 		return ErrNotPersistent
 	}
+	return q.p.checkpoint()
+}
+
+// checkpoint runs one full log-structured checkpoint under ckptMu:
+//
+//  1. Stage a fresh empty WAL file.
+//  2. Publish M1: the new WAL is live, the old live WAL joins the frozen
+//     list, segments unchanged. From here recovery replays the old WAL as
+//     frozen history — which is exactly what it holds.
+//  3. Rotate the log: the writer fsyncs and closes the old file (now
+//     complete and immutable) and directs pending plus future appends to
+//     the new one. Append order is preserved across the cut.
+//  4. Compact every frozen WAL and every old segment into a fresh segment
+//     set (checkpointd.Compact — immutable inputs only).
+//  5. Publish M2: frozen list empty, segments replaced. Then delete the
+//     retired files.
+//
+// A failure between M1 and a completed rotation adopts M1 in memory and
+// returns: the manifest-named state stays a superset of the files recovery
+// needs, appends continue on the old file (still named, as frozen — it is
+// simply not immutable yet), and the next attempt rotates it out with a
+// fresh successor. A failure after rotation leaves the frozen backlog for
+// the next attempt; Compact cleans up its own staging.
+func (p *persister[V]) checkpoint() error {
 	p.ckptMu.Lock()
 	defer p.ckptMu.Unlock()
-	if q.closed.Load() {
+	if p.closed {
 		return ErrClosed
 	}
 	start := time.Now()
-	old := p.log.Load()
-	// Make the WAL prefix durable first: if we crash mid-checkpoint, the
-	// old manifest still rules and every acknowledged op replays from it.
-	if err := old.Sync(); err != nil {
-		return err
-	}
-	q.q.Quiesce()
 
-	var entries []segment.Entry
-	var encErr error
-	q.q.SnapshotLive(func(key uint64, seq uint64, value V) {
-		if encErr != nil {
-			return
-		}
-		b, err := p.codec.Encode(nil, value)
-		if err != nil {
-			encErr = fmt.Errorf("klsm: value codec failed during checkpoint: %w", err)
-			return
-		}
-		entries = append(entries, segment.Entry{Key: key, Seq: seq, Value: b})
-	})
-	if encErr != nil {
-		return encErr
-	}
-	sort.Slice(entries, func(i, j int) bool {
-		if entries[i].Key != entries[j].Key {
-			return entries[i].Key < entries[j].Key
-		}
-		return entries[i].Seq < entries[j].Seq
-	})
-
-	// Stage the new state: segment files and an empty WAL, all fsynced,
-	// none named by the (still-old) MANIFEST yet.
-	var refs []segment.Ref
-	var staged []string
-	abort := func(err error) error {
-		for _, n := range staged {
-			p.fs.Remove(n)
-		}
-		return err
-	}
-	for off := 0; off < len(entries); off += ckptChunk {
-		chunk := entries[off:min(off+ckptChunk, len(entries))]
-		name := ordName("seg", p.segOrd)
-		p.segOrd++
-		if err := segment.Write(p.fs, name, chunk); err != nil {
-			return abort(err)
-		}
-		staged = append(staged, name)
-		refs = append(refs, segment.Ref{Name: name, Count: int64(len(chunk))})
-	}
 	newWAL := ordName("wal", p.walOrd)
 	p.walOrd++
 	if err := createEmpty(p.fs, newWAL); err != nil {
-		return abort(err)
+		p.fs.Remove(newWAL)
+		return err
 	}
-	staged = append(staged, newWAL)
-	nl, err := wal.Open(p.fs, newWAL, p.wopts)
+	frozen := append(append([]string(nil), p.frozen...), p.walName)
+	m1 := segment.Manifest{
+		NextSeq:  p.seq.Load() + 1,
+		WAL:      newWAL,
+		Frozen:   frozen,
+		Segments: p.segs,
+	}
+	if err := segment.WriteManifest(p.fs, m1); err != nil {
+		p.fs.Remove(newWAL)
+		return err
+	}
+	// M1 is durable: adopt it in memory before attempting the rotation, so
+	// that whatever happens next, sweepOrphans' live set matches (is a
+	// superset of) what the published manifest names.
+	p.walName = newWAL
+	p.frozen = frozen
+	if err := p.log.Rotate(newWAL); err != nil {
+		return err
+	}
+	p.walBase = 0
+
+	refs, _, err := checkpointd.Compact(p.fs, frozen, p.segs, ckptChunk, func() string {
+		name := ordName("seg", p.segOrd)
+		p.segOrd++
+		return name
+	})
 	if err != nil {
-		return abort(err)
+		return err
 	}
 
-	// The commit point: after this rename is durable, recovery uses the new
-	// state; before it, the old. Nothing in between exists.
-	m := segment.Manifest{NextSeq: p.seq.Load() + 1, WAL: newWAL, Segments: refs}
-	if err := segment.WriteManifest(p.fs, m); err != nil {
-		nl.Close()
-		return abort(err)
+	// The commit point: after this rename is durable, recovery compacts
+	// nothing and replays only the short live WAL.
+	m2 := segment.Manifest{NextSeq: p.seq.Load() + 1, WAL: newWAL, Segments: refs}
+	if err := segment.WriteManifest(p.fs, m2); err != nil {
+		for _, r := range refs {
+			p.fs.Remove(r.Name)
+		}
+		return err
 	}
-
-	p.log.Store(nl)
-	closeErr := old.Close()
-	p.fs.Remove(p.walName)
-	for _, s := range p.segs {
+	retiredSegs := p.segs
+	p.frozen = nil
+	p.segs = refs
+	for _, n := range frozen {
+		p.fs.Remove(n)
+	}
+	for _, s := range retiredSegs {
 		p.fs.Remove(s.Name)
 	}
-	p.walName = newWAL
-	p.segs = refs
 	p.ckpts.Add(1)
 	p.ckptNanos.Add(time.Since(start).Nanoseconds())
-	return closeErr
+	return nil
 }
 
 // Close shuts the queue down: registry handles are retired, deferred
@@ -469,9 +592,15 @@ func (q *Queue[V]) Close() error {
 		return nil
 	}
 	p := q.p
+	// Stop the scheduler before taking ckptMu: an in-flight automatic
+	// checkpoint holds the mutex and Stop waits for it to finish.
+	if p.sched != nil {
+		p.sched.Stop()
+	}
 	p.ckptMu.Lock()
 	defer p.ckptMu.Unlock()
-	return p.log.Load().Close()
+	p.closed = true
+	return p.log.Close()
 }
 
 // PersistStats returns a snapshot of the durability counters; the zero
@@ -481,22 +610,35 @@ func (q *Queue[V]) PersistStats() PersistStats {
 	if p == nil {
 		return PersistStats{}
 	}
-	ws := p.log.Load().Stats()
+	ws := p.log.Stats()
 	p.ckptMu.Lock()
 	nsegs := len(p.segs)
+	nfrozen := len(p.frozen)
+	walBase := p.walBase
 	rec := p.recovery
 	p.ckptMu.Unlock()
-	return PersistStats{
+	st := PersistStats{
 		WALAppends:     ws.Appends,
 		WALBytes:       ws.Bytes,
 		WALFsyncs:      ws.Fsyncs,
 		WALSyncWaits:   ws.SyncWaits,
+		WALWrites:      ws.Writes,
+		WALTimerFires:  ws.TimerFires,
+		LiveWALBytes:   walBase + p.log.FileBytes(),
+		FrozenWALs:     nfrozen,
 		Checkpoints:    p.ckpts.Load(),
 		CheckpointTime: time.Duration(p.ckptNanos.Load()),
 		Segments:       nsegs,
 		NextSeq:        p.seq.Load() + 1,
 		Recovery:       rec,
 	}
+	if p.sched != nil {
+		ss := p.sched.Stats()
+		st.AutoCheckpoints = ss.Runs
+		st.AutoCheckpointFailures = ss.Failures
+		st.OrphansRemoved = ss.OrphansRemoved
+	}
+	return st
 }
 
 // createEmpty creates name as an empty durable file.

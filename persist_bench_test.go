@@ -1,0 +1,61 @@
+package klsm
+
+import (
+	"testing"
+	"time"
+)
+
+// BenchmarkPersistentInsert measures the mutator-visible cost of a logged
+// insert against a real on-disk WAL with the group-commit timer at its
+// default: the append encodes an unsealed frame under the buffer mutex and
+// returns, while the writer goroutine seals CRCs, coalesces and writes
+// behind it. This is the single-threaded half of the E17/E19 overhead
+// story; profile it (-cpuprofile) to see the mutator/writer CPU split.
+func BenchmarkPersistentInsert(b *testing.B) {
+	q, err := Open[struct{}](b.TempDir(), NoValue{},
+		WithSyncInterval(2*time.Millisecond))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer q.Close()
+	h := q.NewHandle()
+	defer h.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Insert(uint64(i), struct{}{})
+	}
+	b.StopTimer()
+	if err := q.Sync(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkPersistentMix is the E19 single-core shape in miniature: a 50/50
+// insert/delete-min mix on a persistent queue, every op logged.
+func BenchmarkPersistentMix(b *testing.B) {
+	q, err := Open[struct{}](b.TempDir(), NoValue{},
+		WithSyncInterval(2*time.Millisecond))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer q.Close()
+	h := q.NewHandle()
+	defer h.Close()
+	for i := 0; i < 1024; i++ {
+		h.Insert(uint64(i), struct{}{})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i&1 == 0 {
+			h.Insert(uint64(1024+i), struct{}{})
+		} else {
+			h.TryDeleteMin()
+		}
+	}
+	b.StopTimer()
+	if err := q.Sync(); err != nil {
+		b.Fatal(err)
+	}
+}

@@ -204,7 +204,7 @@ func TestCrashRecoveryStress(t *testing.T) {
 		fs.Crash()
 		close(stop)
 		wg.Wait()
-		q.p.log.Load().Abandon()
+		q.p.log.Abandon()
 		nextKey = keyBase + 16*workers*1_000_000 // new unique range next cycle
 
 		// Merge the worker ledgers into next cycle's expectations. A pending

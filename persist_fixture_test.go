@@ -1,0 +1,83 @@
+package klsm
+
+import (
+	"bytes"
+	"encoding/hex"
+	"testing"
+
+	"klsm/internal/walfault"
+)
+
+// The on-disk image below was produced by the durability layer as of the
+// segment-checkpoint release (PR 7): a MANIFEST with no frozen lines, one
+// checkpoint segment holding (key 10, seq 1, "a") and (key 20, seq 2, "bb"),
+// and a WAL tail logging insert(seq 3, key 5, "ccc"), delete(seq 2) and
+// insert(seq 4, key 30, "dddd"). The bytes are the compatibility contract:
+// every later release must recover this directory — and leave its files
+// byte-identical, since nothing here is torn or compactable-by-default.
+var fixturePR7 = map[string]string{
+	"seg-000001": "4b4c534d53454731020a01016114020262621a3071e7",
+	"wal-000002": "07000000ed83155752cc7a8e0103050363636303000000e9918adf7932d8c002021408000000b6eed69e89d35f4e01041e0464646464",
+	"MANIFEST":   "6b6c736d2d6d616e69666573742076310a6e65787473657120330a77616c2077616c2d3030303030320a7365676d656e74207365672d30303030303120320a6372632036613461343736660a",
+}
+
+func TestRecoverPR7FormatFixture(t *testing.T) {
+	fs := walfault.NewMemFS(walfault.Faults{})
+	for name, hexData := range fixturePR7 {
+		data, err := hex.DecodeString(hexData)
+		if err != nil {
+			t.Fatalf("bad fixture hex for %s: %v", name, err)
+		}
+		f, err := fs.Create(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f.Write(data); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Sync(); err != nil {
+			t.Fatal(err)
+		}
+		f.Close()
+	}
+
+	q, err := OpenFS(fs, "fixture", StringValue{})
+	if err != nil {
+		t.Fatalf("OpenFS on PR7 fixture: %v", err)
+	}
+	st := q.PersistStats()
+	rec := st.Recovery
+	if !rec.Recovered || rec.SegmentItems != 1 || rec.WALRecords != 3 ||
+		rec.WALInserts != 2 || rec.WALDeletes != 1 || rec.UnknownDeletes != 0 ||
+		rec.TornBytes != 0 || rec.FrozenWALs != 0 {
+		t.Errorf("recovery stats: %+v", rec)
+	}
+	if st.NextSeq != 5 {
+		t.Errorf("NextSeq = %d, want 5 (max fixture seq + 1)", st.NextSeq)
+	}
+	// Recovery appends nothing, so every fixture byte must be untouched
+	// (checked before draining — the drain below logs delete records).
+	for name, hexData := range fixturePR7 {
+		wantBytes, _ := hex.DecodeString(hexData)
+		gotBytes, err := fs.ReadFile(name)
+		if err != nil {
+			t.Fatalf("%s missing after recovery: %v", name, err)
+		}
+		if !bytes.Equal(gotBytes, wantBytes) {
+			t.Errorf("%s not byte-identical after recovery:\n got %x\nwant %x", name, gotBytes, wantBytes)
+		}
+	}
+	got := q.DrainMin(nil, 10)
+	want := []KV[uint64, string]{{Key: 5, Value: "ccc"}, {Key: 10, Value: "a"}, {Key: 30, Value: "dddd"}}
+	if len(got) != len(want) {
+		t.Fatalf("recovered %d items (%v), want %d", len(got), got, len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("item %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	if err := q.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+}

@@ -176,7 +176,7 @@ func TestCrashRecoveryMatrix(t *testing.T) {
 			// Kill: writer goroutine may be mid-batch; the kept prefix is
 			// whatever the scheduler got to disk.
 			fs.Crash()
-			q.p.log.Load().Abandon()
+			q.p.log.Abandon()
 			q2, err := openFS(fs, "mem", StringValue{}, cfg.opts...)
 			if err != nil {
 				t.Fatalf("reopen after kill: %v", err)
@@ -309,7 +309,7 @@ func TestRecoveryConcurrentReuse(t *testing.T) {
 		t.Fatalf("Sync: %v", err)
 	}
 	fs.Crash()
-	q.p.log.Load().Abandon()
+	q.p.log.Abandon()
 
 	q2 := mustOpenFS(t, fs, nil)
 	var wg sync.WaitGroup

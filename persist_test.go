@@ -16,7 +16,7 @@ import (
 // object is garbage afterwards, exactly like a dead process's heap.
 func crashQueue[V any](q *Queue[V], fs *walfault.MemFS) {
 	fs.Crash()
-	q.p.log.Load().Abandon()
+	q.p.log.Abandon()
 }
 
 // drainAllStrings empties a single-threaded queue, returning the multiset
