@@ -79,3 +79,24 @@ func (h *Handle[V]) DrainMin(dst []KV[uint64, V], n int) []KV[uint64, V] {
 	})
 	return dst
 }
+
+// DrainMinBounded is DrainMin restricted to keys at or below bound: it
+// removes up to n items with qualifying keys, appends them to dst in pop
+// order, and returns the extended slice. The drain stops early when no
+// reachable key <= bound remains (see TryDeleteMinBounded for the strength
+// of that signal); a short result therefore means "nothing further is due",
+// not necessarily "the queue is empty". The per-pop relaxation contract and
+// the persistent-queue logging rule match DrainMin exactly.
+func (h *Handle[V]) DrainMinBounded(dst []KV[uint64, V], n int, bound uint64) []KV[uint64, V] {
+	if p := h.persist(); p != nil {
+		h.h.DrainMinBoundedSeq(bound, n, func(k uint64, v V, seq uint64) {
+			p.appendDelete(k, seq)
+			dst = append(dst, KV[uint64, V]{Key: k, Value: v})
+		})
+		return dst
+	}
+	h.h.DrainMinBounded(bound, n, func(k uint64, v V) {
+		dst = append(dst, KV[uint64, V]{Key: k, Value: v})
+	})
+	return dst
+}

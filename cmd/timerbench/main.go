@@ -1,0 +1,510 @@
+// Command timerbench measures the timerq deadline manager against a
+// hierarchical timing wheel and against itself at strict relaxation
+// (k = 0), over the three mixes a timer subsystem lives on:
+//
+//   - insert: threads schedule fresh timers with uniformly random future
+//     deadlines as fast as they can (connection-setup storms).
+//   - cancel: a prefilled pending set is churned with a configurable
+//     cancellation fraction (-cancelmix, default 0.5): each op either
+//     cancels a live timer or schedules a replacement (timeouts that
+//     almost never fire — the I/O-timeout pattern). A sampler records the
+//     physical footprint across the run; the series endpoints land in the
+//     JSON "extra" field to document that lazy cancellation plus the
+//     pressure heuristic keeps the structure bounded instead of
+//     accumulating every tombstone.
+//   - expire: a prefilled pending set whose deadlines are spread across
+//     -ticks tick instants is drained tick by tick, threads racing to
+//     claim ticks and batch-expire them (the steady-state tick loop).
+//
+// Paper-scale invocation (EXPERIMENTS.md E20):
+//
+//	timerbench -timers 1000000 -threads 1,4,8 -reps 5 -json pr10-timer-sweep
+//
+// The defaults are laptop-scale so the full sweep finishes in well under a
+// minute; the shape — where the wheel's single mutex saturates, what
+// relaxation buys at expiry, whether cancel-heavy footprint stays flat —
+// is preserved.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"klsm"
+	"klsm/internal/harness"
+	"klsm/internal/pqs/timingwheel"
+	"klsm/internal/stats"
+	"klsm/timerq"
+)
+
+// base anchors every deadline in the bench; any in-window instant works.
+var base = time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+
+// tickDur is the tick resolution: deadlines quantize to it in the expire
+// workload and the wheel resolves to it.
+const tickDur = time.Millisecond
+
+// engine abstracts the two contenders behind the operations the workloads
+// need. Payloads are a bare int — the identity is what's measured.
+type engine interface {
+	Schedule(deadline time.Time, payload int) uint64
+	Cancel(id uint64) bool
+	// Expire fires every timer due at or before now, returning the count.
+	Expire(now time.Time) int
+	Len() int
+	// Footprint is the physical entry count: pending plus unreclaimed
+	// tombstones for timerq, identical to Len for the eager-cancel wheel.
+	Footprint() int
+}
+
+type timerqEngine struct{ q *timerq.Queue[int] }
+
+func (e *timerqEngine) Schedule(d time.Time, p int) uint64 {
+	id, err := e.q.Schedule(d, p)
+	if err != nil {
+		panic(err) // bench deadlines are always in-window
+	}
+	return uint64(id)
+}
+func (e *timerqEngine) Cancel(id uint64) bool { return e.q.Cancel(timerq.TimerID(id)) }
+func (e *timerqEngine) Expire(now time.Time) int {
+	return e.q.Expire(now, func(timerq.TimerID, time.Time, int) {})
+}
+func (e *timerqEngine) Len() int       { return e.q.Len() }
+func (e *timerqEngine) Footprint() int { return e.q.Footprint() }
+
+type wheelEngine struct{ w *timingwheel.Wheel[int] }
+
+func (e *wheelEngine) Schedule(d time.Time, p int) uint64 {
+	return uint64(e.w.Schedule(d, p))
+}
+func (e *wheelEngine) Cancel(id uint64) bool { return e.w.Cancel(timingwheel.ID(id)) }
+func (e *wheelEngine) Expire(now time.Time) int {
+	return e.w.Advance(now, func(timingwheel.ID, int) {})
+}
+func (e *wheelEngine) Len() int       { return e.w.Len() }
+func (e *wheelEngine) Footprint() int { return e.w.Len() }
+
+type engineSpec struct {
+	name string
+	new  func() engine
+}
+
+func specs() []engineSpec {
+	tq := func(k int) func() engine {
+		return func() engine {
+			return &timerqEngine{q: timerq.New[int](
+				timerq.WithQueueOptions(klsm.WithRelaxation(k)),
+			)}
+		}
+	}
+	return []engineSpec{
+		{"wheel", func() engine { return &wheelEngine{w: timingwheel.New[int](base, tickDur)} }},
+		{"timerq(k=0)", tq(0)},
+		{"timerq(k=256)", tq(256)},
+		{"timerq(k=1024)", tq(1024)},
+	}
+}
+
+func main() {
+	var (
+		threadsFlag = flag.String("threads", "1,4,8", "comma-separated thread counts")
+		queuesFlag  = flag.String("queues", "all", "comma-separated engine names or 'all'")
+		workFlag    = flag.String("workloads", "insert,cancel,expire", "comma-separated workload names")
+		timers      = flag.Int("timers", 200_000, "pending-timer population per run (paper scale: 1000000+)")
+		cancelMix   = flag.Float64("cancelmix", 0.5, "cancellation fraction of the cancel workload (>= 0.5 for the bounded-footprint claim)")
+		duration    = flag.Duration("duration", 500*time.Millisecond, "timed-phase length of the cancel workload")
+		ticks       = flag.Int("ticks", 512, "tick instants the expire workload spreads deadlines over")
+		reps        = flag.Int("reps", 3, "repetitions per point")
+		seed        = flag.Uint64("seed", 1, "base workload seed")
+		jsonTag     = flag.String("json", "", "also write the sweep as BENCH_<tag>.json")
+		jsonDir     = flag.String("jsondir", ".", "directory for the -json output file")
+		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile of the whole sweep to this file")
+	)
+	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "timerbench:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "timerbench:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
+	threads, err := harness.ParseIntList(*threadsFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "timerbench:", err)
+		os.Exit(1)
+	}
+	engines, err := pickEngines(*queuesFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "timerbench:", err)
+		os.Exit(1)
+	}
+	workloads, err := pickWorkloads(*workFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "timerbench:", err)
+		os.Exit(1)
+	}
+	if *cancelMix < 0 || *cancelMix > 1 {
+		fmt.Fprintf(os.Stderr, "timerbench: -cancelmix %v out of [0,1]\n", *cancelMix)
+		os.Exit(1)
+	}
+
+	fmt.Printf("# timer subsystem benchmark: timers=%d cancelmix=%.2f ticks=%d reps=%d GOMAXPROCS=%d\n",
+		*timers, *cancelMix, *ticks, *reps, runtime.GOMAXPROCS(0))
+	fmt.Printf("# metric: operations / thread / second (mean ±95%% CI); extra columns per workload\n")
+
+	out := harness.NewBenchFile(*jsonTag)
+	out.Prefill = *timers
+	out.DurationS = duration.Seconds()
+	out.Reps = *reps
+	out.InsertMix = 1 - *cancelMix
+	out.Seed = *seed
+
+	cfg := benchConfig{
+		timers:    *timers,
+		cancelMix: *cancelMix,
+		duration:  *duration,
+		ticks:     *ticks,
+		reps:      *reps,
+		seed:      *seed,
+	}
+	for _, wl := range workloads {
+		fmt.Printf("\n## workload: %s\n", wl.name)
+		for _, es := range engines {
+			for _, t := range threads {
+				pt := wl.run(es, t, cfg)
+				out.Results = append(out.Results, pt)
+				fmt.Printf("%-16s T=%-3d %12.0f ±%-10.0f %s\n",
+					es.name, t, pt.MeanOpsPerThread, pt.CI95, extraString(pt.Extra))
+			}
+		}
+	}
+
+	if *jsonTag != "" {
+		path, err := out.Write(*jsonDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "timerbench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nwrote %s\n", path)
+	}
+}
+
+type benchConfig struct {
+	timers    int
+	cancelMix float64
+	duration  time.Duration
+	ticks     int
+	reps      int
+	seed      uint64
+}
+
+type workload struct {
+	name string
+	run  func(es engineSpec, threads int, cfg benchConfig) harness.BenchPoint
+}
+
+func pickEngines(names string) ([]engineSpec, error) {
+	all := specs()
+	if names == "all" {
+		return all, nil
+	}
+	var out []engineSpec
+	for _, name := range splitList(names) {
+		found := false
+		for _, es := range all {
+			if es.name == name {
+				out = append(out, es)
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("unknown engine %q", name)
+		}
+	}
+	return out, nil
+}
+
+func pickWorkloads(names string) ([]workload, error) {
+	all := map[string]workload{
+		"insert": {"insert", runInsert},
+		"cancel": {"cancel", runCancel},
+		"expire": {"expire", runExpire},
+	}
+	var out []workload
+	for _, name := range splitList(names) {
+		wl, ok := all[name]
+		if !ok {
+			return nil, fmt.Errorf("unknown workload %q", name)
+		}
+		out = append(out, wl)
+	}
+	return out, nil
+}
+
+func splitList(s string) []string {
+	var out []string
+	start := 0
+	for i := 0; i <= len(s); i++ {
+		if i == len(s) || s[i] == ',' {
+			if i > start {
+				out = append(out, s[start:i])
+			}
+			start = i + 1
+		}
+	}
+	return out
+}
+
+// deadlineIn returns a deadline on one of cfg.ticks tick instants past base.
+func deadlineIn(rng *rand.Rand, ticks int) time.Time {
+	return base.Add(time.Duration(1+rng.Intn(ticks)) * tickDur)
+}
+
+// runInsert times T threads scheduling timers/T fresh timers each.
+func runInsert(es engineSpec, threads int, cfg benchConfig) harness.BenchPoint {
+	perThread := cfg.timers / threads
+	samples := make([]float64, 0, cfg.reps)
+	for rep := 0; rep < cfg.reps; rep++ {
+		e := es.new()
+		var wg sync.WaitGroup
+		start := time.Now()
+		for t := 0; t < threads; t++ {
+			wg.Add(1)
+			go func(t int) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(int64(cfg.seed) + int64(rep*threads+t)))
+				for i := 0; i < perThread; i++ {
+					e.Schedule(deadlineIn(rng, cfg.ticks), i)
+				}
+			}(t)
+		}
+		wg.Wait()
+		elapsed := time.Since(start).Seconds()
+		samples = append(samples, float64(perThread)/elapsed)
+	}
+	s := stats.Summarize(samples)
+	return harness.BenchPoint{
+		Queue: es.name, Threads: threads, Workload: "insert",
+		MeanOpsPerThread: s.Mean, CI95: s.CI95,
+	}
+}
+
+// runCancel churns a prefilled population: each op cancels a live timer
+// with probability cancelMix, else schedules a replacement. A sampler
+// records the footprint series; its endpoints document boundedness.
+func runCancel(es engineSpec, threads int, cfg benchConfig) harness.BenchPoint {
+	samples := make([]float64, 0, cfg.reps)
+	var extra map[string]float64
+	for rep := 0; rep < cfg.reps; rep++ {
+		e := es.new()
+		// Prefill, remembering ids per worker so cancels stay thread-local.
+		pools := make([][]uint64, threads)
+		perThread := cfg.timers / threads
+		var pwg sync.WaitGroup
+		for t := 0; t < threads; t++ {
+			pwg.Add(1)
+			go func(t int) {
+				defer pwg.Done()
+				rng := rand.New(rand.NewSource(int64(cfg.seed) + int64(1000+rep*threads+t)))
+				pool := make([]uint64, 0, perThread*2)
+				for i := 0; i < perThread; i++ {
+					pool = append(pool, e.Schedule(deadlineIn(rng, cfg.ticks), i))
+				}
+				pools[t] = pool
+			}(t)
+		}
+		pwg.Wait()
+
+		var (
+			stop    atomic.Bool
+			ops     atomic.Int64
+			sampMu  sync.Mutex
+			fpSamps []float64
+		)
+		// Footprint sampler: ~20 samples across the timed phase.
+		var swg sync.WaitGroup
+		swg.Add(1)
+		go func() {
+			defer swg.Done()
+			interval := cfg.duration / 20
+			if interval < time.Millisecond {
+				interval = time.Millisecond
+			}
+			for !stop.Load() {
+				fp := float64(e.Footprint())
+				sampMu.Lock()
+				fpSamps = append(fpSamps, fp)
+				sampMu.Unlock()
+				time.Sleep(interval)
+			}
+		}()
+
+		var wg sync.WaitGroup
+		start := time.Now()
+		for t := 0; t < threads; t++ {
+			wg.Add(1)
+			go func(t int) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(int64(cfg.seed) + int64(2000+rep*threads+t)))
+				pool := pools[t]
+				n := int64(0)
+				for !stop.Load() {
+					if len(pool) > 0 && rng.Float64() < cfg.cancelMix {
+						i := rng.Intn(len(pool))
+						e.Cancel(pool[i])
+						pool[i] = pool[len(pool)-1]
+						pool = pool[:len(pool)-1]
+					} else {
+						pool = append(pool, e.Schedule(deadlineIn(rng, cfg.ticks), t))
+					}
+					n++
+				}
+				ops.Add(n)
+			}(t)
+		}
+		time.Sleep(cfg.duration)
+		stop.Store(true)
+		wg.Wait()
+		swg.Wait()
+		elapsed := time.Since(start).Seconds()
+		samples = append(samples, float64(ops.Load())/float64(threads)/elapsed)
+
+		if rep == cfg.reps-1 {
+			fpEnd := float64(e.Footprint())
+			live := float64(e.Len())
+			maxFP, midFP := 0.0, 0.0
+			if len(fpSamps) > 0 {
+				for _, f := range fpSamps {
+					if f > maxFP {
+						maxFP = f
+					}
+				}
+				midFP = fpSamps[len(fpSamps)/2]
+			}
+			extra = map[string]float64{
+				"live_end":      live,
+				"footprint_end": fpEnd,
+				"footprint_mid": midFP,
+				"footprint_max": maxFP,
+			}
+			if live > 0 {
+				extra["fp_over_live_end"] = fpEnd / live
+			}
+		}
+	}
+	s := stats.Summarize(samples)
+	return harness.BenchPoint{
+		Queue: es.name, Threads: threads, Workload: "cancel",
+		MeanOpsPerThread: s.Mean, CI95: s.CI95, Extra: extra,
+	}
+}
+
+// runExpire is the steady-state tick loop: timers are prefilled across
+// cfg.ticks instants, then threads race to claim ticks; the claimer of
+// tick k batch-expires everything due at it AND schedules a tick's worth
+// of replacement timers at future deadlines, keeping the pending
+// population roughly constant — the shape a live timeout manager actually
+// runs (expiry never happens in a vacuum; new work arrives while old work
+// fires). After the last tick a final sweep drains the replacements. The
+// metric is fired timers per thread per second over the whole loop, so an
+// engine whose schedule path drags (strict k = 0 consolidates the shared
+// structure on nearly every insert) pays for it where a timer subsystem
+// would: in delivered-expiry throughput.
+func runExpire(es engineSpec, threads int, cfg benchConfig) harness.BenchPoint {
+	samples := make([]float64, 0, cfg.reps)
+	var extra map[string]float64
+	for rep := 0; rep < cfg.reps; rep++ {
+		e := es.new()
+		perThread := cfg.timers / threads
+		var pwg sync.WaitGroup
+		for t := 0; t < threads; t++ {
+			pwg.Add(1)
+			go func(t int) {
+				defer pwg.Done()
+				rng := rand.New(rand.NewSource(int64(cfg.seed) + int64(3000+rep*threads+t)))
+				for i := 0; i < perThread; i++ {
+					e.Schedule(deadlineIn(rng, cfg.ticks), i)
+				}
+			}(t)
+		}
+		pwg.Wait()
+		total := perThread * threads
+		perTick := cfg.timers / cfg.ticks
+
+		var (
+			tick  atomic.Int64
+			fired atomic.Int64
+			wg    sync.WaitGroup
+		)
+		start := time.Now()
+		for t := 0; t < threads; t++ {
+			wg.Add(1)
+			go func(t int) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(int64(cfg.seed) + int64(4000+rep*threads+t)))
+				for {
+					k := tick.Add(1)
+					if k > int64(cfg.ticks) {
+						return
+					}
+					fired.Add(int64(e.Expire(base.Add(time.Duration(k) * tickDur))))
+					// Replacements land strictly after the tick sweep's
+					// horizon, uniformly over one more window.
+					for i := 0; i < perTick; i++ {
+						d := base.Add(time.Duration(int(k)+1+rng.Intn(cfg.ticks)) * tickDur)
+						e.Schedule(d, i)
+					}
+				}
+			}(t)
+		}
+		wg.Wait()
+		// Final sweep: collect the replacements (and any stragglers the
+		// racing bounded drains left — tick claim order is not monotonic).
+		fired.Add(int64(e.Expire(base.Add(time.Duration(2*cfg.ticks+2) * tickDur))))
+		elapsed := time.Since(start).Seconds()
+		want := int64(total + cfg.ticks*perTick)
+		if got := fired.Load(); got != want {
+			fmt.Fprintf(os.Stderr, "timerbench: %s expire fired %d of %d\n", es.name, got, want)
+			os.Exit(1)
+		}
+		samples = append(samples, float64(fired.Load())/float64(threads)/elapsed)
+		if rep == cfg.reps-1 {
+			extra = map[string]float64{"footprint_end": float64(e.Footprint())}
+		}
+	}
+	s := stats.Summarize(samples)
+	return harness.BenchPoint{
+		Queue: es.name, Threads: threads, Workload: "expire",
+		MeanOpsPerThread: s.Mean, CI95: s.CI95, Extra: extra,
+	}
+}
+
+func extraString(extra map[string]float64) string {
+	if extra == nil {
+		return ""
+	}
+	keys := []string{"live_end", "footprint_mid", "footprint_end", "footprint_max", "fp_over_live_end"}
+	out := ""
+	for _, k := range keys {
+		if v, ok := extra[k]; ok {
+			out += fmt.Sprintf(" %s=%.0f", k, v)
+		}
+	}
+	return out
+}

@@ -86,20 +86,77 @@ func (float64Codec) Decode(enc uint64) float64 {
 // payloads).
 func Float64Key() KeyCodec[float64] { return float64Codec{} }
 
-// timeCodec maps through UnixNano with the int64 sign-bit flip.
+// timeKeyMin and timeKeyMax are the edges of the UnixNano-representable
+// window: the earliest and latest instants whose nanoseconds-since-1970
+// count fits an int64 (April 1677 and April 2262, roughly). time.Unix
+// normalizes the out-of-range nanosecond argument, so both are exact.
+var (
+	timeKeyMin = time.Unix(0, math.MinInt64)
+	timeKeyMax = time.Unix(0, math.MaxInt64)
+)
+
+// TimeKeyRangeError reports a time.Time key outside the UnixNano-encodable
+// window (see TimeKey). It is returned by CheckTimeKey — and through it by
+// deadline-accepting APIs like timerq.Schedule — for callers that must
+// reject rather than clamp.
+type TimeKeyRangeError struct {
+	// Key is the offending instant.
+	Key time.Time
+}
+
+// Error implements error.
+func (e *TimeKeyRangeError) Error() string {
+	side := "after"
+	edge := timeKeyMax
+	if e.Key.Before(timeKeyMin) {
+		side, edge = "before", timeKeyMin
+	}
+	return "klsm: time key " + e.Key.Format(time.RFC3339) + " is " + side +
+		" the UnixNano-encodable window edge " + edge.Format(time.RFC3339)
+}
+
+// CheckTimeKey reports whether t can be encoded exactly by TimeKey: it
+// returns nil for instants inside the UnixNano window (edges included) and
+// a *TimeKeyRangeError outside it, where Encode clamps. Deadline APIs call
+// this to reject unrepresentable deadlines instead of silently saturating.
+func CheckTimeKey(t time.Time) error {
+	if t.Before(timeKeyMin) || t.After(timeKeyMax) {
+		return &TimeKeyRangeError{Key: t}
+	}
+	return nil
+}
+
+// timeCodec maps through UnixNano with the int64 sign-bit flip, clamping
+// instants outside the representable window to its edges (UnixNano itself is
+// undefined there — the unguarded conversion used to wrap silently and
+// mis-order by up to the whole key space).
 type timeCodec struct{}
 
-func (timeCodec) Encode(key time.Time) uint64 { return uint64(key.UnixNano()) ^ (1 << 63) }
+func (timeCodec) Encode(key time.Time) uint64 {
+	if key.Before(timeKeyMin) {
+		return 0
+	}
+	if key.After(timeKeyMax) {
+		return ^uint64(0)
+	}
+	return uint64(key.UnixNano()) ^ (1 << 63)
+}
 func (timeCodec) Decode(enc uint64) time.Time { return time.Unix(0, int64(enc^(1<<63))).UTC() }
 
 // TimeKey returns the order-preserving codec for time.Time keys (earlier
 // instants are higher priority — the natural shape for deadline and
-// event-simulation queues). Keys are mapped through UnixNano, so the
-// ordering guarantee covers instants representable in nanoseconds since
-// 1970, roughly years 1678 through 2262; outside that window UnixNano
-// overflows and the order is undefined. Decode returns the instant in UTC
-// with nanosecond precision: the monotonic reading and location of the
-// original are not round-tripped (time.Time.Equal still holds).
+// event-simulation queues). Keys are mapped through UnixNano, so exact
+// encoding covers instants representable in nanoseconds since 1970, roughly
+// years 1678 through 2262. Instants outside that window are clamped to the
+// corresponding window edge — ordering against every in-window key is
+// preserved (weakly: all earlier-than-window instants collapse to one
+// priority, likewise all later-than-window ones) instead of the silent
+// integer wraparound that would order year 2263 before 1970. Callers that
+// need to reject rather than clamp use CheckTimeKey, which returns a typed
+// *TimeKeyRangeError. Decode returns the instant in UTC with nanosecond
+// precision: the monotonic reading and location of the original are not
+// round-tripped (time.Time.Equal still holds), and clamped keys decode to
+// the window edge they clamped to.
 func TimeKey() KeyCodec[time.Time] { return timeCodec{} }
 
 // stringPrefixCodec packs the first 8 bytes big-endian.

@@ -1,6 +1,7 @@
 package klsm
 
 import (
+	"errors"
 	"math"
 	"strings"
 	"testing"
@@ -149,6 +150,79 @@ func TestTimeCodecOrder(t *testing.T) {
 		if a.Before(b) != (c.Encode(a) < c.Encode(b)) {
 			t.Fatalf("order violated: %v vs %v", a, b)
 		}
+	}
+}
+
+// TestTimeCodecRangeClamp pins the TimeKey out-of-window behavior at both
+// window edges: instants before the earliest UnixNano-representable instant
+// clamp to priority 0, instants after the latest clamp to ^0, ordering
+// against every in-window instant is (weakly) preserved instead of the
+// pre-guard silent wraparound, and CheckTimeKey accepts exactly the window
+// (edges included) with a typed *TimeKeyRangeError outside it.
+func TestTimeCodecRangeClamp(t *testing.T) {
+	c := TimeKey()
+	loEdge := time.Unix(0, math.MinInt64)
+	hiEdge := time.Unix(0, math.MaxInt64)
+	below := []time.Time{
+		loEdge.Add(-time.Nanosecond),
+		loEdge.Add(-1000 * time.Hour),
+		time.Date(1000, 1, 1, 0, 0, 0, 0, time.UTC),
+	}
+	above := []time.Time{
+		hiEdge.Add(time.Nanosecond),
+		hiEdge.Add(1000 * time.Hour),
+		time.Date(9999, 1, 1, 0, 0, 0, 0, time.UTC),
+	}
+	inside := []time.Time{loEdge, time.Unix(0, 0), time.Now(), hiEdge}
+	for _, a := range below {
+		if got := c.Encode(a); got != 0 {
+			t.Fatalf("Encode(%v) = %d, want clamp to 0", a, got)
+		}
+		if err := CheckTimeKey(a); err == nil {
+			t.Fatalf("CheckTimeKey(%v) = nil, want range error", a)
+		}
+	}
+	for _, a := range above {
+		if got := c.Encode(a); got != ^uint64(0) {
+			t.Fatalf("Encode(%v) = %d, want clamp to ^0", a, got)
+		}
+		if err := CheckTimeKey(a); err == nil {
+			t.Fatalf("CheckTimeKey(%v) = nil, want range error", a)
+		}
+	}
+	for _, a := range inside {
+		if err := CheckTimeKey(a); err != nil {
+			t.Fatalf("CheckTimeKey(%v) = %v, want nil (in window)", a, err)
+		}
+	}
+	// Weak order across the clamp boundary: below <= inside <= above, with
+	// strict order against the window interior (the edges themselves share
+	// the clamped priorities by construction).
+	for _, lo := range below {
+		for _, mid := range inside[1 : len(inside)-1] {
+			if c.Encode(lo) >= c.Encode(mid) {
+				t.Fatalf("clamped %v not below in-window %v", lo, mid)
+			}
+		}
+		for _, hi := range above {
+			if c.Encode(lo) >= c.Encode(hi) {
+				t.Fatalf("clamped %v not below clamped-high %v", lo, hi)
+			}
+		}
+	}
+	for _, hi := range above {
+		for _, mid := range inside[1 : len(inside)-1] {
+			if c.Encode(hi) <= c.Encode(mid) {
+				t.Fatalf("clamped %v not above in-window %v", hi, mid)
+			}
+		}
+	}
+	// The typed error names the offending key and is the documented type.
+	var rangeErr *TimeKeyRangeError
+	if err := CheckTimeKey(above[0]); !errors.As(err, &rangeErr) {
+		t.Fatalf("CheckTimeKey error type = %T, want *TimeKeyRangeError", err)
+	} else if !rangeErr.Key.Equal(above[0]) || rangeErr.Error() == "" {
+		t.Fatalf("range error content wrong: %v", rangeErr)
 	}
 }
 

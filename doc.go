@@ -101,6 +101,19 @@
 // exactly-once deletion are identical with any of them disabled
 // (WithMinCaching(false), WithDeletionBuffer(0), WithStickyHint(0)).
 //
+// # Lazy deletion and the merge filter
+//
+// NewWithDrop / NewOrderedWithDrop install a drop filter consulted during
+// block merges: items the filter reports stale are physically discarded by
+// the merge instead of ever surfacing from a delete. SetMergeFilter
+// installs or replaces it at runtime, Handle.Compact force-merges both
+// structures down to filtered single blocks, and Queue.Footprint reports
+// physical occupancy (which under filtering is the meaningful size —
+// logical Size drifts as merges drop items). These hooks are what the
+// timerq subsystem builds its lazy cancellation on: cancelled timers
+// become registry tombstones that merges reclaim for free (see the timerq
+// package and DESIGN.md "Timer subsystem").
+//
 // # Durability
 //
 // Open (and OpenOrdered) returns a persistent queue rooted at a directory:

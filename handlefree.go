@@ -95,3 +95,13 @@ func (q *Queue[V]) DrainMin(dst []KV[uint64, V], n int) []KV[uint64, V] {
 	defer q.returnHandle(h)
 	return h.DrainMin(dst, n)
 }
+
+// DrainMinBounded removes up to n items with keys at or below bound through
+// a registry handle, appending them to dst in pop order and returning the
+// extended slice; see Handle.DrainMinBounded for the bounded-drain contract
+// and the strength of its early-exit signal.
+func (q *Queue[V]) DrainMinBounded(dst []KV[uint64, V], n int, bound uint64) []KV[uint64, V] {
+	h := q.borrowHandle()
+	defer q.returnHandle(h)
+	return h.DrainMinBounded(dst, n, bound)
+}

@@ -221,6 +221,73 @@ func (h *Handle[V]) bufRefill() bool {
 	return true
 }
 
+// bufPeek returns the next live buffered candidate without consuming it, so
+// PeekMin observes exactly the entry the next buffered pop would claim.
+// Stale entries (taken elsewhere since the fill) are skipped destructively,
+// and with a Drop callback, filter-positive entries are claimed and
+// discarded in passing — identical to what the next pop would do — so the
+// surviving head is a key TryDeleteMin can actually return. A false return
+// means the buffer cannot serve (empty or invalidated); the caller decides
+// whether to refill.
+func (h *Handle[V]) bufPeek() (item.Snap[V], bool) {
+	drop := h.q.cfg.Drop
+	for h.bufPos < len(h.buf) {
+		if h.q.cfg.Mode != DistOnly && !h.q.shared.PtrIs(h.bufAnchor) {
+			h.bufInvalidate()
+			return item.Snap[V]{}, false
+		}
+		e := h.buf[h.bufPos]
+		if e.It.Version() == e.Ver {
+			if drop == nil || !drop(e.It.Key(), e.It.Value()) {
+				return e, true
+			}
+			if e.It.TryTakeAt(e.Ver) {
+				h.deleted.Add(1)
+			}
+		}
+		h.buf[h.bufPos] = item.Snap[V]{}
+		h.bufPos++
+	}
+	return item.Snap[V]{}, false
+}
+
+// bufTryDeleteBounded is bufTryDelete restricted to keys at or below bound.
+// The buffer pops ascending, so a head above the bound proves no buffered
+// candidate qualifies; the head is left in place for a later unbounded pop
+// and the caller falls to the slow path (which re-proves dryness against
+// the live structure and runs the due-bounded spy).
+func (h *Handle[V]) bufTryDeleteBounded(bound uint64) (key uint64, value V, seq uint64, hit bool) {
+	drop := h.q.cfg.Drop
+	for {
+		if h.bufPos < len(h.buf) {
+			if h.q.cfg.Mode != DistOnly && !h.q.shared.PtrIs(h.bufAnchor) {
+				h.bufInvalidate()
+				var zero V
+				return 0, zero, 0, false
+			}
+			if h.buf[h.bufPos].Key > bound {
+				var zero V
+				return 0, zero, 0, false
+			}
+		}
+		e, ok := h.bufNext()
+		if !ok {
+			if !h.bufRefill() {
+				var zero V
+				return 0, zero, 0, false
+			}
+			continue
+		}
+		if e.It.TryTakeAt(e.Ver) {
+			h.deleted.Add(1)
+			h.BufPops.Add(1)
+			if drop == nil || !drop(e.It.Key(), e.It.Value()) {
+				return e.It.Key(), e.It.Value(), e.It.Seq(), true
+			}
+		}
+	}
+}
+
 // bufTryDelete pops buffered candidates until one take succeeds (skipping
 // entries taken elsewhere and, with a Drop callback, discarding dropped
 // items) or the buffer cannot serve (empty, invalidated, or refill found

@@ -273,6 +273,50 @@ func (q *Queue[V]) Size() int {
 	return int(n)
 }
 
+// SetDrop installs the lazy-deletion filter (§4.5) after construction but
+// strictly before the first handle is registered: merges, deletes and purges
+// then treat any item the callback reports stale as logically deleted.
+// Construction-time wiring (Config.Drop) is preferred; SetDrop exists for
+// callers that must build the queue before the state the filter closes over
+// (a cancellation registry, say). It panics once a handle exists — the
+// filter is copied into per-handle structures at NewHandle and into the
+// shared k-LSM before it is shared, so a later install would be silently
+// ignored by existing handles.
+func (q *Queue[V]) SetDrop(drop block.DropFunc[V]) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if len(q.handles) > 0 || q.nextID.Load() != 0 {
+		panic("core: SetDrop after NewHandle")
+	}
+	q.cfg.Drop = drop
+	q.shared.SetDrop(drop)
+}
+
+// FootprintItems returns the number of physical item slots currently held by
+// published blocks — live items plus logically deleted or drop-filtered ones
+// not yet compacted away. It is a racy diagnostic snapshot (blocks may be
+// merged or retired mid-walk); its value is bounding the structure's memory
+// in tests and benchmarks, where Size cannot serve: merge-time drop claims
+// are invisible to the inserted/deleted counters.
+func (q *Queue[V]) FootprintItems() int {
+	n := 0
+	for _, d := range *q.victims.Load() {
+		for i := 0; i < d.Blocks(); i++ {
+			if b := d.BlockAt(i); b != nil {
+				n += b.Filled()
+			}
+		}
+	}
+	if snap := q.shared.Snapshot(); snap != nil {
+		for i := 0; i < snap.Blocks(); i++ {
+			if b := snap.BlockAt(i); b != nil {
+				n += b.Filled()
+			}
+		}
+	}
+	return n
+}
+
 // NewHandle registers and returns a handle. A handle must only be used by
 // one goroutine at a time; every goroutine operating on the queue needs its
 // own handle. Handles are the unit of the relaxation bound: ρ = T·k with T
@@ -856,14 +900,47 @@ func (h *Handle[V]) TryDeleteMinSeq() (key uint64, value V, seq uint64, ok bool)
 }
 
 // PeekMin returns a key/payload that TryDeleteMin could return, without
-// deleting it. The view is relaxed exactly like TryDeleteMin's.
+// deleting it. The view is relaxed exactly like TryDeleteMin's, and the two
+// observe the same candidate source: with the deletion buffer enabled,
+// PeekMin reads (and refills) the buffer head TryDeleteMin would pop next,
+// so on a single handle the peeked key is exactly the next deleted key.
+// Like TryDeleteMin, PeekMin never surfaces an item the Drop filter reports
+// stale — filter-positive candidates are claimed and discarded in passing.
 func (h *Handle[V]) PeekMin() (key uint64, value V, ok bool) {
-	it := h.findMinCandidate()
-	if it == nil {
-		var zero V
-		return 0, zero, false
+	if h.bufCap > 0 {
+		if e, hit := h.bufPeek(); hit {
+			return e.Key, e.It.Value(), true
+		}
+		if h.bufRefill() {
+			if e, hit := h.bufPeek(); hit {
+				return e.Key, e.It.Value(), true
+			}
+		}
 	}
-	return it.Key(), it.Value(), true
+	drop := h.q.cfg.Drop
+	for {
+		it := h.findMinCandidate()
+		if it == nil {
+			// Mirror TryDeleteMin's emptiness protocol: items may sit in
+			// other handles' DistLSMs, so an empty local+shared view spies
+			// before reporting empty — otherwise peek and delete would
+			// disagree about a non-empty queue.
+			if !h.spy() {
+				var zero V
+				return 0, zero, false
+			}
+			continue
+		}
+		if drop != nil && drop(it.Key(), it.Value()) {
+			// Same lazy-deletion rule as TryDeleteMin: claim the stale item
+			// so no handle surfaces it, then look again.
+			if it.TryTake() {
+				h.deleted.Add(1)
+			}
+			continue
+		}
+		return it.Key(), it.Value(), true
+	}
 }
 
 // spy copies blocks from other handles' DistLSMs into h's (paper §4.2).
@@ -896,4 +973,175 @@ func (h *Handle[V]) spy() bool {
 		}
 	}
 	return false
+}
+
+// spyDue is the bounded-drain liveness pass: an ordinary spy only fires when
+// the spying handle is empty, so a due item (key <= bound) sitting in an
+// idle handle's DistLSM would be invisible to a bounded drain running on
+// this one — reachable by nobody until its owner happens to operate. spyDue
+// sweeps every victim whose blocks provably hold a live key at or below the
+// bound (distlsm.SpyBelow) and copies them in, returning whether anything
+// was copied. A false return is the bounded-emptiness signal: no reachable
+// structure held a key <= bound at the time of the sweep.
+func (h *Handle[V]) spyDue(bound uint64) bool {
+	if h.q.cfg.Mode == SharedOnly {
+		return false
+	}
+	victims := *h.q.victims.Load()
+	copied := false
+	for _, v := range victims {
+		if v == h.dist {
+			continue
+		}
+		if h.dist.SpyBelow(v, bound) {
+			copied = true
+		}
+	}
+	if copied {
+		h.SpyCalls.Add(1)
+		if h.bufCap > 0 {
+			h.bufInvalidate()
+		}
+	}
+	return copied
+}
+
+// TryDeleteMinBounded is TryDeleteMin restricted to keys at or below bound:
+// it claims and returns a relaxed-minimal item only when that item's key is
+// <= bound, and returns false without claiming anything once every reachable
+// candidate exceeds the bound. It is the deadline primitive ("pop everything
+// due by now") the timer subsystem drains through. A false return means no
+// key <= bound was reachable — including, unlike TryDeleteMin's emptiness,
+// keys stranded in idle handles' local structures, which a due-bounded spy
+// pass (spyDue) pulls in before concluding dryness. Candidates above the
+// bound are left untouched and unordered relative to this call.
+func (h *Handle[V]) TryDeleteMinBounded(bound uint64) (key uint64, value V, ok bool) {
+	key, value, _, ok = h.TryDeleteMinBoundedSeq(bound)
+	return key, value, ok
+}
+
+// TryDeleteMinBoundedSeq is TryDeleteMinBounded additionally returning the
+// item's durability sequence number, mirroring TryDeleteMinSeq.
+func (h *Handle[V]) TryDeleteMinBoundedSeq(bound uint64) (key uint64, value V, seq uint64, ok bool) {
+	if h.bufCap > 0 {
+		if k, v, s, hit := h.bufTryDeleteBounded(bound); hit {
+			return k, v, s, true
+		}
+	}
+	drop := h.q.cfg.Drop
+	mode := h.q.cfg.Mode
+	spied := false
+	for {
+		var local *item.Item[V]
+		var shared item.Snap[V]
+		var haveShared, sharedOK bool
+		haveShared = mode == DistOnly
+		if mode != SharedOnly {
+			local = h.dist.FindMin()
+		}
+		for {
+			if !haveShared {
+				if local != nil && h.q.shared.SkipShared(h.cursor, local.Key()) {
+					// Skip-shared fast path: nothing smaller over there.
+				} else {
+					shared, sharedOK = h.q.shared.FindMinSnap(h.cursor)
+					haveShared = true
+				}
+			}
+			var it *item.Item[V]
+			var ver uint64
+			fromShared := false
+			if local != nil {
+				it, ver = local, 0
+			}
+			if sharedOK && (local == nil || shared.Key < local.Key()) {
+				it, ver, fromShared = shared.It, shared.Ver, true
+			}
+			if it == nil || it.Key() > bound {
+				// Both sides dry below the bound. (A candidate above the
+				// bound proves dryness the same way emptiness does: it is a
+				// relaxed minimum, so everything reachable from here is >=
+				// it > bound.) Fall through to the due-bounded spy.
+				break
+			}
+			var won bool
+			if fromShared {
+				won = it.TryTakeAt(ver)
+			} else {
+				won = it.TryTake()
+			}
+			if won {
+				h.deleted.Add(1)
+				if drop == nil || !drop(it.Key(), it.Value()) {
+					return it.Key(), it.Value(), it.Seq(), true
+				}
+				// Filter-positive: discard and keep looking.
+			}
+			if fromShared {
+				shared, sharedOK = h.q.shared.FindMinSnap(h.cursor)
+			} else {
+				local = h.dist.FindMin()
+				if mode == Combined {
+					haveShared = haveShared && sharedOK
+				}
+			}
+		}
+		if spied || !h.spyDue(bound) {
+			var zero V
+			return 0, zero, 0, false
+		}
+		spied = true
+	}
+}
+
+// DrainMinBounded removes up to max items with keys at or below bound,
+// invoking emit for each in pop order, and returns the number removed. It
+// stops early when TryDeleteMinBounded fails — after its due-bounded spy
+// pass, the strongest "nothing due" signal the structure offers. Each pop
+// individually satisfies the ρ = T·k bound and local ordering; relative
+// order of pops within the bound is relaxed exactly like DrainMin's.
+func (h *Handle[V]) DrainMinBounded(bound uint64, max int, emit func(key uint64, value V)) int {
+	return h.DrainMinBoundedSeq(bound, max, func(k uint64, v V, _ uint64) { emit(k, v) })
+}
+
+// DrainMinBoundedSeq is DrainMinBounded with each pop's durability sequence
+// number passed to emit, mirroring DrainMinSeq.
+func (h *Handle[V]) DrainMinBoundedSeq(bound uint64, max int, emit func(key uint64, value V, seq uint64)) int {
+	if h.bufCap > 0 && max > h.bufCap {
+		h.fillHint = max
+		defer func() { h.fillHint = 0 }()
+	}
+	for n := 0; n < max; n++ {
+		k, v, s, ok := h.TryDeleteMinBoundedSeq(bound)
+		if !ok {
+			return n
+		}
+		emit(k, v, s)
+	}
+	if max < 0 {
+		return 0
+	}
+	return max
+}
+
+// Compact physically reclaims logically deleted and Drop-filtered items from
+// every structure this handle owns or shares: its deletion buffer is
+// discarded, its DistLSM is purged block-by-block, and the shared k-LSM is
+// purged through this handle's cursor (distlsm.Purge / sharedlsm.Purge).
+// Ordinary merges apply the filter only when blocks collide at a level, so a
+// long-lived high-level block can hold filter-positive garbage indefinitely;
+// Compact is the explicit pressure valve. Items removed here have their
+// references released exactly once through the §4.4 retirement protocol.
+// Owner only, like every handle operation; other handles' DistLSMs are
+// untouched (their garbage is bounded by the per-handle size bound ~2(k+1)).
+func (h *Handle[V]) Compact() {
+	if h.bufCap > 0 {
+		h.bufInvalidate()
+	}
+	if h.q.cfg.Mode != SharedOnly {
+		h.dist.Purge()
+	}
+	if h.q.cfg.Mode != DistOnly {
+		h.q.shared.Purge(h.cursor)
+	}
 }

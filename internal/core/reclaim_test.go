@@ -201,3 +201,118 @@ func TestReclaimSurvivesClose(t *testing.T) {
 		t.Fatalf("releases %d exceed inserts %d (double free)", rs.ItemPuts, 2*n)
 	}
 }
+
+// TestReclaimAccountingFilteredMerges extends the acceptance stress test to
+// the §4.5 lazy-deletion path: a Drop filter backed by a concurrently
+// mutated cancel-set claims items during merges, deletes, spies and
+// explicit Compact passes — and the refcount ledger must still balance
+// exactly. Every insert acquires one lineage reference; whether the item
+// leaves by TryDeleteMin or by a filter claim inside a merge, it must be
+// released exactly once: ItemPuts == inserted, no live item freed, no limbo
+// leak. Run under -race in CI (the name keeps it inside the TestReclaim
+// quality regex).
+func TestReclaimAccountingFilteredMerges(t *testing.T) {
+	const (
+		workers = 4
+		ops     = 20_000
+	)
+	// The cancel-set the filter consults. Values are globally unique
+	// (worker*ops + i), so a set of values identifies items exactly.
+	var canceled sync.Map
+	drop := func(_ uint64, v uint64) bool {
+		_, ok := canceled.Load(v)
+		return ok
+	}
+	q := NewQueue(Config[uint64]{K: 128, Mode: Combined, LocalOrdering: true, Drop: drop})
+	handles := make([]*Handle[uint64], workers)
+	for i := range handles {
+		handles[i] = q.NewHandle()
+	}
+
+	var wg sync.WaitGroup
+	inserts := make([]int64, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			h := handles[w]
+			rng := xrand.NewSeeded(uint64(w)*1871 + 7)
+			// Values this worker inserted and may later cancel.
+			var mine []uint64
+			for i := 0; i < ops; i++ {
+				switch r := rng.Intn(10); {
+				case r < 4: // insert
+					v := uint64(w*ops + i)
+					h.Insert(rng.Uint64(), v)
+					mine = append(mine, v)
+					inserts[w]++
+				case r < 7: // cancel one of our own (popped-already is harmless)
+					if len(mine) > 0 {
+						j := rng.Intn(len(mine))
+						canceled.Store(mine[j], struct{}{})
+						mine[j] = mine[len(mine)-1]
+						mine = mine[:len(mine)-1]
+					}
+				case r < 9: // delete (the drop-aware path claims filtered items)
+					h.TryDeleteMin()
+				default:
+					if i%4096 == 1 {
+						// Occasional full purge concurrent with everything
+						// else: dist CopyDropIn swaps and shared Purge CAS
+						// races are the paths under test.
+						h.Compact()
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	var inserted int64
+	for w := 0; w < workers; w++ {
+		inserted += inserts[w]
+	}
+
+	// Drain to physical emptiness. TryDeleteMin never surfaces filtered
+	// items and Size() drifts under merge-time claims, so alternate
+	// surface-drains with Compact passes until the physical footprint is
+	// gone instead of trusting either signal alone.
+	h := handles[0]
+	for round := 0; ; round++ {
+		misses := 0
+		for misses < 3 {
+			if _, _, ok := h.TryDeleteMin(); ok {
+				misses = 0
+			} else {
+				misses++
+			}
+		}
+		// Every handle compacts: a handle's Compact purges its own dist
+		// (plus the shared structure), and other handles' dists hold
+		// taken-by-spy slots and filter-positive items h0 cannot reach.
+		for _, hh := range handles {
+			hh.Compact()
+		}
+		if q.FootprintItems() == 0 {
+			break
+		}
+		if round > 100 {
+			t.Fatalf("footprint stuck at %d items after %d drain+compact rounds",
+				q.FootprintItems(), round)
+		}
+	}
+
+	q.Quiesce()
+	rs := q.ReclaimStats()
+	t.Logf("inserted=%d releases=%d reuses=%d limboLeaked=%d",
+		inserted, rs.ItemPuts, rs.ItemReuses, rs.LimboLeaked)
+	if rs.ItemsLostLive != 0 {
+		t.Fatalf("%d live items hit refcount zero (reachability bug)", rs.ItemsLostLive)
+	}
+	if rs.LimboLeaked != 0 {
+		t.Fatalf("%d blocks leaked at a limbo cap", rs.LimboLeaked)
+	}
+	if rs.ItemPuts != inserted {
+		t.Fatalf("item releases = %d, want exactly %d (filtered claims must release exactly once)", rs.ItemPuts, inserted)
+	}
+}

@@ -667,12 +667,73 @@ func (d *Dist[V]) Spy(victim *Dist[V]) bool {
 	g := d.pool.Guard()
 	g.Enter()
 	defer g.Exit()
+	copied := d.spyBlocks(victim, ^uint64(0))
+	if copied > 0 {
+		d.stats.spies.Add(1)
+		d.stats.spiedBlocks.Add(copied)
+	}
+	return d.size.Load() != 0
+}
+
+// SpyBelow is the bounded-drain variant of Spy: it copies the victim's
+// blocks into d only when the victim provably holds a live key at or below
+// bound — the case where a deadline-bounded drain on this handle would
+// otherwise strand a due item in an idle victim's local structure. Unlike
+// Spy (which only fires when the spying handle is empty), SpyBelow is called
+// while d may still hold items above the bound, so it reports whether any
+// block was actually copied rather than whether d is non-empty. Owner of d
+// only; the victim may be mutating concurrently.
+func (d *Dist[V]) SpyBelow(victim *Dist[V], bound uint64) bool {
+	if victim == nil || victim == d {
+		return false
+	}
+	g := d.pool.Guard()
+	g.Enter()
+	defer g.Exit()
+	// Pre-scan for a live key <= bound. LiveMin is read-only and safe on a
+	// foreign block; the victim's owner-local min cache is NOT consulted
+	// (it is unsynchronized plain state).
+	vsz := int(victim.size.Load())
+	due := false
+	for i := 0; i < vsz && !due; i++ {
+		b := victim.blocks[i].Load()
+		if b == nil || b.Empty() {
+			continue
+		}
+		if it, _ := b.LiveMin(); it != nil && it.Key() <= bound {
+			due = true
+		}
+	}
+	if !due {
+		return false
+	}
+	copied := d.spyBlocks(victim, bound)
+	if copied > 0 {
+		d.stats.spies.Add(1)
+		d.stats.spiedBlocks.Add(copied)
+	}
+	return copied > 0
+}
+
+// spyBlocks is the shared Spy/SpyBelow copy loop: it appends copies of the
+// victim's level-compatible blocks to d and returns how many were taken.
+// bound filters which blocks are worth taking: a block whose live minimum
+// exceeds it cannot contain a due key and is skipped, so a bounded spy
+// copies only the slice of the victim that can actually serve the drain —
+// Spy passes ^uint64(0) to take everything. Must run under an entered
+// guard (see Spy).
+func (d *Dist[V]) spyBlocks(victim *Dist[V], bound uint64) int64 {
 	vsz := int(victim.size.Load())
 	copied := int64(0)
 	for i := 0; i < vsz; i++ {
 		b := victim.blocks[i].Load()
 		if b == nil || b.Empty() {
 			continue
+		}
+		if bound != ^uint64(0) {
+			if it, _ := b.LiveMin(); it == nil || it.Key() > bound {
+				continue
+			}
 		}
 		sz := int(d.size.Load())
 		level := b.Level()
@@ -705,11 +766,50 @@ func (d *Dist[V]) Spy(victim *Dist[V]) bool {
 		}
 		copied++
 	}
-	if copied > 0 {
-		d.stats.spies.Add(1)
-		d.stats.spiedBlocks.Add(copied)
+	return copied
+}
+
+// Purge physically removes drop-filtered items from every block (owner
+// only): each published block whose contents the filter touches is replaced
+// by a CopyDropIn copy, then a Consolidate pass restores the level invariant
+// and recompacts. The copy re-acquires its own item references before
+// publication (the spy-copy protocol), and the unlinked originals release
+// theirs through Retire — items the filter claims are released exactly once,
+// by the original block's retirement. Without a configured drop filter this
+// is just Consolidate.
+func (d *Dist[V]) Purge() {
+	if d.drop == nil {
+		d.Consolidate()
+		return
 	}
-	return d.size.Load() != 0
+	sz := int(d.size.Load())
+	unlinked := d.retireScratch[:0]
+	for i := 0; i < sz; i++ {
+		b := d.blocks[i].Load()
+		if b == nil || b.Empty() {
+			continue
+		}
+		nb := b.CopyDropIn(d.pool, b.Level(), d.drop)
+		if nb.Filled() == b.Filled() {
+			// Nothing dropped or dead: keep the original (the copy never
+			// acquired references, so recycling it releases nothing).
+			d.pool.Put(nb)
+			continue
+		}
+		// Same protocol as Spy: acquire the copy's references before the
+		// store unlinks the original, so no item is ever reference-free
+		// while reachable.
+		nb.AcquireRefs()
+		d.blocks[i].Store(nb)
+		unlinked = append(unlinked, b)
+	}
+	d.cacheLen = -1
+	for j, ub := range unlinked {
+		unlinked[j] = nil
+		d.pool.Retire(ub)
+	}
+	d.retireScratch = unlinked[:0]
+	d.Consolidate()
 }
 
 // DrainTo publishes compacted copies of every block to overflow and then

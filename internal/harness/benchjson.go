@@ -21,6 +21,15 @@ type BenchPoint struct {
 	MeanOpsPerThread  float64 `json:"mean_ops_per_thread_per_s"`
 	CI95              float64 `json:"ci95"`
 	FailedDeletesMean float64 `json:"failed_deletes_mean"`
+
+	// Workload names the operation mix for harnesses that sweep more than
+	// one (cmd/timerbench: "insert", "cancel", "expire"); empty for the
+	// classic single-mix sweeps, so existing files parse unchanged.
+	Workload string `json:"workload,omitempty"`
+	// Extra carries workload-specific side metrics (cmd/timerbench records
+	// footprint and live-count series endpoints here to document the
+	// bounded-footprint claim). Nil for the classic sweeps.
+	Extra map[string]float64 `json:"extra,omitempty"`
 }
 
 // BenchFile is the top-level BENCH_<tag>.json document, shared by

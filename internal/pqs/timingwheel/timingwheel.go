@@ -1,0 +1,223 @@
+// Package timingwheel is a mutex-guarded hierarchical timing wheel — the
+// classical timer data structure (Varghese & Lauck) and the baseline
+// cmd/timerbench compares the timerq subsystem against.
+//
+// The wheel hashes each timer into a slot by deadline: level 0 resolves one
+// tick per slot, level 1 one wheel-revolution per slot, and so on, with
+// wheelBits slots per level. Advancing time walks level-0 slots, cascading
+// higher-level slots down as their windows open. Every operation — schedule,
+// cancel, advance — takes one global mutex: the structure itself is O(1) per
+// operation, but it serializes, which is exactly the contrast the benchmark
+// exists to measure against the relaxed queue's scalable (but merge-paying)
+// design. Cancellation here is eager and O(1): the timer's node unlinks from
+// its slot list in place.
+package timingwheel
+
+import (
+	"sync"
+	"time"
+)
+
+const (
+	// wheelBits gives 64 slots per level; 8 levels of 64 slots at
+	// millisecond ticks cover ~8900 years, more than any deadline.
+	wheelBits  = 6
+	wheelSize  = 1 << wheelBits
+	wheelMask  = wheelSize - 1
+	wheelLevel = 8
+)
+
+// ID identifies one scheduled timer. IDs are dense from 1; 0 is never
+// issued.
+type ID uint64
+
+// node is one pending timer, doubly linked within its slot so Cancel can
+// unlink in place. lvl/idx record which slot holds it (cascades relocate
+// nodes, so the position is state, not a pure hash of the deadline).
+type node[P any] struct {
+	id         ID
+	deadline   int64 // ticks
+	lvl, idx   int32
+	payload    P
+	prev, next *node[P]
+}
+
+// slot is a circular doubly-linked list head (sentinel-free: nil = empty).
+type slot[P any] struct {
+	head *node[P]
+}
+
+func (s *slot[P]) push(n *node[P]) {
+	n.prev = nil
+	n.next = s.head
+	if s.head != nil {
+		s.head.prev = n
+	}
+	s.head = n
+}
+
+func (s *slot[P]) remove(n *node[P]) {
+	if n.prev != nil {
+		n.prev.next = n.next
+	} else {
+		s.head = n.next
+	}
+	if n.next != nil {
+		n.next.prev = n.prev
+	}
+	n.prev, n.next = nil, nil
+}
+
+// take detaches and returns the whole list.
+func (s *slot[P]) take() *node[P] {
+	h := s.head
+	s.head = nil
+	return h
+}
+
+// Wheel is a hierarchical timing wheel with O(1) schedule and cancel and
+// amortized-O(1) advance per tick. All methods are safe for concurrent use;
+// one mutex guards everything.
+type Wheel[P any] struct {
+	mu     sync.Mutex
+	levels [wheelLevel][wheelSize]slot[P]
+	// now is the current tick; timers due at or before it have fired.
+	now int64
+	// tick is the wheel resolution.
+	tick time.Duration
+	// epoch anchors tick 0 in wall time.
+	epoch   time.Time
+	nodes   map[ID]*node[P]
+	nextID  ID
+	pending int
+}
+
+// New returns a wheel with the given tick resolution, anchored at epoch:
+// a deadline d maps to tick (d - epoch) / tick. Deadlines before epoch are
+// treated as due immediately.
+func New[P any](epoch time.Time, tick time.Duration) *Wheel[P] {
+	return &Wheel[P]{
+		tick:  tick,
+		epoch: epoch,
+		nodes: make(map[ID]*node[P]),
+	}
+}
+
+// ticksOf converts a wall-clock instant to a wheel tick (floor).
+func (w *Wheel[P]) ticksOf(t time.Time) int64 {
+	d := t.Sub(w.epoch)
+	if d < 0 {
+		return 0
+	}
+	return int64(d / w.tick)
+}
+
+// place links n into the slot its deadline hashes to, relative to the
+// current tick. Called with mu held. minDelta is 1 when called from
+// Schedule — the current tick's slot has already been drained, so an
+// already-due timer must land on the next tick — and 0 from cascade, which
+// runs before the current tick's level-0 slot drains, so an exactly-due
+// node lands in it and fires on time.
+func (w *Wheel[P]) place(n *node[P], minDelta int64) {
+	delta := n.deadline - w.now
+	if delta < minDelta {
+		delta = minDelta
+	}
+	due := w.now + delta
+	for lvl := 0; lvl < wheelLevel; lvl++ {
+		if delta < int64(1)<<uint((lvl+1)*wheelBits) {
+			idx := (due >> uint(lvl*wheelBits)) & wheelMask
+			n.lvl, n.idx = int32(lvl), int32(idx)
+			w.levels[lvl][idx].push(n)
+			return
+		}
+	}
+	// Beyond the top level's horizon: park in the top level's furthest
+	// slot; it re-cascades each revolution.
+	idx := (due >> uint((wheelLevel-1)*wheelBits)) & wheelMask
+	n.lvl, n.idx = wheelLevel-1, int32(idx)
+	w.levels[wheelLevel-1][idx].push(n)
+}
+
+// Schedule registers a timer firing at deadline and returns its ID.
+func (w *Wheel[P]) Schedule(deadline time.Time, payload P) ID {
+	w.mu.Lock()
+	w.nextID++
+	id := w.nextID
+	n := &node[P]{id: id, deadline: w.ticksOf(deadline), payload: payload}
+	w.nodes[id] = n
+	w.place(n, 1)
+	w.pending++
+	w.mu.Unlock()
+	return id
+}
+
+// Cancel removes a pending timer, reporting whether it was still pending.
+// Eager O(1): the node unlinks from its slot immediately.
+func (w *Wheel[P]) Cancel(id ID) bool {
+	w.mu.Lock()
+	n, ok := w.nodes[id]
+	if ok {
+		delete(w.nodes, id)
+		w.levels[n.lvl][n.idx].remove(n)
+		w.pending--
+	}
+	w.mu.Unlock()
+	return ok
+}
+
+// Advance moves the wheel to now, invoking emit for every timer whose
+// deadline has passed, and returns the number fired. Emit runs with the
+// wheel lock held (the baseline measures raw structure cost, not callback
+// scheduling).
+func (w *Wheel[P]) Advance(now time.Time, emit func(id ID, payload P)) int {
+	target := w.ticksOf(now)
+	fired := 0
+	w.mu.Lock()
+	for w.now < target {
+		w.now++
+		idx := w.now & wheelMask
+		if idx == 0 {
+			w.cascade()
+		}
+		for n := w.levels[0][idx].take(); n != nil; {
+			next := n.next
+			n.prev, n.next = nil, nil
+			if _, live := w.nodes[n.id]; live {
+				delete(w.nodes, n.id)
+				w.pending--
+				fired++
+				emit(n.id, n.payload)
+			}
+			n = next
+		}
+	}
+	w.mu.Unlock()
+	return fired
+}
+
+// cascade re-places every node in the higher-level slots whose windows just
+// opened. Called with mu held, at each level-0 revolution boundary.
+func (w *Wheel[P]) cascade() {
+	for lvl := 1; lvl < wheelLevel; lvl++ {
+		idx := (w.now >> uint(lvl*wheelBits)) & wheelMask
+		for n := w.levels[lvl][idx].take(); n != nil; {
+			next := n.next
+			n.prev, n.next = nil, nil
+			w.place(n, 0)
+			n = next
+		}
+		if idx != 0 {
+			// This revolution did not wrap the next level up; stop.
+			return
+		}
+	}
+}
+
+// Len returns the number of pending timers.
+func (w *Wheel[P]) Len() int {
+	w.mu.Lock()
+	n := w.pending
+	w.mu.Unlock()
+	return n
+}

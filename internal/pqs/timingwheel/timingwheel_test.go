@@ -1,0 +1,155 @@
+package timingwheel
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+)
+
+var epoch = time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+
+func TestScheduleAdvance(t *testing.T) {
+	w := New[int](epoch, time.Millisecond)
+	deadlines := map[ID]int64{}
+	for i := 0; i < 5000; i++ {
+		// Spread across all levels: a few ticks out to far past the
+		// level-0 horizon.
+		d := int64(1 + rand.Intn(1<<18))
+		id := w.Schedule(epoch.Add(time.Duration(d)*time.Millisecond), i)
+		deadlines[id] = d
+	}
+	if w.Len() != 5000 {
+		t.Fatalf("Len = %d", w.Len())
+	}
+	firedAt := map[ID]int64{}
+	for step := int64(1000); step <= 1<<18+1000; step += 1000 {
+		now := step
+		w.Advance(epoch.Add(time.Duration(step)*time.Millisecond), func(id ID, _ int) {
+			firedAt[id] = now
+		})
+	}
+	if len(firedAt) != 5000 {
+		t.Fatalf("fired %d, want 5000", len(firedAt))
+	}
+	for id, d := range deadlines {
+		at, ok := firedAt[id]
+		if !ok {
+			t.Fatalf("timer %d (deadline %d) never fired", id, d)
+		}
+		// Fired on the first advance step at or after the deadline, never
+		// before it.
+		if at < d || at-d >= 1000 {
+			t.Fatalf("timer %d deadline %d fired at %d", id, d, at)
+		}
+	}
+	if w.Len() != 0 {
+		t.Fatalf("Len after drain = %d", w.Len())
+	}
+}
+
+func TestCancel(t *testing.T) {
+	w := New[int](epoch, time.Millisecond)
+	ids := make([]ID, 0, 1000)
+	for i := 0; i < 1000; i++ {
+		ids = append(ids, w.Schedule(epoch.Add(time.Duration(1+i)*time.Millisecond), i))
+	}
+	for i, id := range ids {
+		if i%2 == 0 {
+			if !w.Cancel(id) {
+				t.Fatalf("Cancel(live %d) = false", id)
+			}
+			if w.Cancel(id) {
+				t.Fatalf("Cancel(canceled %d) = true", id)
+			}
+		}
+	}
+	if w.Len() != 500 {
+		t.Fatalf("Len = %d, want 500", w.Len())
+	}
+	fired := 0
+	w.Advance(epoch.Add(time.Hour), func(id ID, p int) {
+		if p%2 == 0 {
+			t.Fatalf("canceled timer %d fired", id)
+		}
+		fired++
+	})
+	if fired != 500 {
+		t.Fatalf("fired %d, want 500", fired)
+	}
+}
+
+// TestCancelAfterCascade cancels timers whose nodes have been relocated by
+// a cascade, exercising the recorded-position unlink.
+func TestCancelAfterCascade(t *testing.T) {
+	w := New[int](epoch, time.Millisecond)
+	// Far enough out to start on level >= 1.
+	ids := make([]ID, 0, 100)
+	for i := 0; i < 100; i++ {
+		ids = append(ids, w.Schedule(epoch.Add(time.Duration(200+i)*time.Millisecond), i))
+	}
+	// Advance past a revolution boundary so the slots cascade to level 0.
+	w.Advance(epoch.Add(190*time.Millisecond), func(ID, int) {
+		t.Fatalf("nothing is due yet")
+	})
+	for _, id := range ids {
+		if !w.Cancel(id) {
+			t.Fatalf("Cancel(%d) after cascade = false", id)
+		}
+	}
+	if n := w.Advance(epoch.Add(time.Hour), func(ID, int) {}); n != 0 {
+		t.Fatalf("canceled timers fired: %d", n)
+	}
+}
+
+func TestPastDeadline(t *testing.T) {
+	w := New[int](epoch, time.Millisecond)
+	w.Advance(epoch.Add(100*time.Millisecond), func(ID, int) {})
+	w.Schedule(epoch.Add(50*time.Millisecond), 1) // already past
+	fired := 0
+	w.Advance(epoch.Add(101*time.Millisecond), func(ID, int) { fired++ })
+	if fired != 1 {
+		t.Fatalf("past-deadline timer fired %d times", fired)
+	}
+}
+
+func TestConcurrent(t *testing.T) {
+	w := New[int](epoch, time.Millisecond)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	fired := map[ID]int{}
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			for i := 0; i < 2000; i++ {
+				id := w.Schedule(epoch.Add(time.Duration(1+rng.Intn(5000))*time.Millisecond), g)
+				if rng.Intn(2) == 0 {
+					w.Cancel(id)
+				}
+				if i%100 == 0 {
+					w.Advance(epoch.Add(time.Duration(rng.Intn(2000))*time.Millisecond), func(id ID, _ int) {
+						mu.Lock()
+						fired[id]++
+						mu.Unlock()
+					})
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	w.Advance(epoch.Add(time.Hour), func(id ID, _ int) {
+		mu.Lock()
+		fired[id]++
+		mu.Unlock()
+	})
+	for id, n := range fired {
+		if n != 1 {
+			t.Fatalf("timer %d fired %d times", id, n)
+		}
+	}
+	if w.Len() != 0 {
+		t.Fatalf("Len = %d after drain", w.Len())
+	}
+}

@@ -220,8 +220,19 @@ func (a *BlockArray[V]) consolidate(drop block.DropFunc[V], needPivots bool, al 
 		// Shrink only trims the logically deleted *tail*; with large k,
 		// deletions land uniformly in the candidate suffix and dead items
 		// accumulate mid-block, degrading every subsequent find-min. When
-		// the candidate suffix is mostly dead (and big enough for the copy
-		// to amortize), compact the whole block.
+		// the block is mostly dead (and big enough for the copy to
+		// amortize), compact it whole. Deletions only ever land under a
+		// pivot and pivots only extend toward the block head, so every
+		// un-trimmed dead item sits inside the *current* suffix [p, f) —
+		// counting dead there measures the whole block. The trigger is
+		// dead*2 >= f (half the block), not dead*2 >= f-p (half the
+		// suffix): the suffix condition made steady drains of a large
+		// block quadratic — each window's worth of deletions re-copied
+		// all f items — while the whole-block condition charges each O(f)
+		// copy to f/2 deaths, amortized O(1) per delete. Blocks whose
+		// drained region forms a contiguous tail (bounded drains, FIFO-ish
+		// deadline loads) never need the copy at all: the tail trim below
+		// reclaims them incrementally.
 		if idx < len(a.pivots) {
 			f := b.Filled()
 			p := a.pivots[idx]
@@ -236,7 +247,7 @@ func (a *BlockArray[V]) consolidate(drop block.DropFunc[V], needPivots bool, al 
 						dead++
 					}
 				}
-				if dead*2 >= f-p {
+				if dead*2 >= f {
 					nb := b.CopyIn(pool, b.Level())
 					al.note(nb)
 					b = nb

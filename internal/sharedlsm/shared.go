@@ -650,6 +650,68 @@ func (s *Shared[V]) FindMinSnap(c *Cursor[V]) (item.Snap[V], bool) {
 	}
 }
 
+// Purge physically removes drop-filtered items from the shared structure:
+// each snapshot block whose contents the filter (or logical deletion)
+// touches is replaced by a CopyDropIn copy, the snapshot is consolidated
+// with a pivot recalculation, and the result is pushed. Ordinary
+// consolidation applies the filter only on level-collision merges, so a
+// large high-level block full of filter-positive items can otherwise sit
+// untouched indefinitely — Purge is the explicit compaction pass that
+// reclaims it. Without a configured drop filter it is a no-op (plain
+// consolidation already handles logically deleted items well enough).
+//
+// Reference safety mirrors FindMinSnap's consolidate path: the cursor's
+// epoch stamp (taken in refresh before the pointer load) pins every block
+// the snapshot can reach, fresh copies acquire their item references at the
+// winning push, and the superseded originals release theirs through the
+// epoch-gated retirement — so items the filter claims are released exactly
+// once, by their original block's retirement. Items claimed during a failed
+// CAS attempt stay claimed; they are filter-positive garbage either way and
+// remain referenced by the still-published originals.
+func (s *Shared[V]) Purge(c *Cursor[V]) {
+	if s.drop == nil {
+		return
+	}
+	for {
+		s.refresh(c)
+		if c.snapshot == nil {
+			return
+		}
+		a := c.snapshot
+		pool := c.al.blockPool()
+		for i, b := range a.blocks {
+			if b == nil || b.Empty() {
+				continue
+			}
+			nb := b.CopyDropIn(pool, b.Level(), s.drop)
+			if nb.Filled() == b.Filled() {
+				// Nothing dropped or dead in this block: keep the original.
+				// The copy was never noted and never acquired references, so
+				// recycling it releases nothing.
+				if pool != nil {
+					pool.Put(nb)
+				}
+				continue
+			}
+			c.al.note(nb)
+			a.blocks[i] = nb
+		}
+		c.gen++ // the snapshot was mutated in place: invalidate the window
+		a.consolidate(s.drop, true, c.al)
+		if a.empty() {
+			if !a.published {
+				c.al.discardFresh()
+				c.spare = a
+			}
+			c.snapshot = nil
+		}
+		if s.push(c) {
+			return
+		}
+		// Lost the publication race: refresh and retry with the new array.
+	}
+}
+
 // FillCandidates moves up to max candidates into dst for a per-handle
 // deletion buffer: random window draws below the overlay bound (consumed
 // from the window without being taken) plus the ascending live prefixes of

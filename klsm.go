@@ -155,6 +155,35 @@ func (q *Queue[V]) NewHandle() *Handle[V] {
 	return &Handle[V]{h: q.q.NewHandle(), q: q}
 }
 
+// SetMergeFilter installs the lazy-deletion filter after construction but
+// strictly before the queue's first handle exists (explicit or borrowed):
+// from then on, items the callback reports stale are discarded by deletes
+// and peeks instead of returned, physically dropped whenever a merge or
+// Compact pass copies over them, and never resurface. It is the
+// post-construction alternative to NewWithDrop for callers whose filter
+// closes over state built after the queue — a cancellation registry keyed
+// by queue contents, say; prefer NewWithDrop when construction order
+// allows. The callback must be safe for concurrent calls from any handle's
+// merges and must be stable for a given item (once true, always true), or
+// an item may be dropped on one path and returned on another.
+//
+// SetMergeFilter panics once any handle has been created, and on persistent
+// queues: filter-dropped items bypass the WAL's delete records, so recovery
+// would resurrect every item the filter removed.
+func (q *Queue[V]) SetMergeFilter(drop DropFunc[V]) {
+	if q.closed.Load() {
+		panic(ErrClosed)
+	}
+	if q.p != nil {
+		panic("klsm: SetMergeFilter on a persistent queue would desync the WAL (dropped items leave no delete records)")
+	}
+	var coreDrop func(key uint64, value V) bool
+	if drop != nil {
+		coreDrop = func(key uint64, value V) bool { return drop(key, value) }
+	}
+	q.q.SetDrop(coreDrop)
+}
+
 // Size returns the number of keys in the queue. Like the paper's size
 // operation it is approximate: the result may deviate from the exact count
 // by up to the relaxation bound ρ = T·k while operations are in flight.
@@ -182,6 +211,50 @@ func (q *Queue[V]) SetRelaxation(k int) { q.q.SetRelaxation(k) }
 // Rho returns the current worst-case relaxation bound T·k, where T is the
 // number of handles created so far.
 func (q *Queue[V]) Rho() int { return q.q.Rho() }
+
+// Footprint returns the number of physical item slots the queue's published
+// blocks currently hold: live items plus logically deleted or filter-dropped
+// ones that no compaction pass has reclaimed yet. It is a racy diagnostic
+// snapshot intended for observing memory pressure — under a merge filter,
+// Size cannot serve that purpose because merge-time drops are invisible to
+// its insert/delete counters. Footprint bounded across time is the signal
+// that lazy deletion is keeping up (see Compact).
+func (q *Queue[V]) Footprint() int { return q.q.FootprintItems() }
+
+// Compact physically reclaims logically deleted and filter-dropped items:
+// every idle registry handle's local structure and the shared k-LSM are
+// purged block-by-block (dropped items' references released exactly once
+// through the §4.4 ledger) and re-consolidated. Ordinary merges apply the
+// filter only when blocks collide at a level, so without occasional
+// compaction a long-lived high-level block can hold filter-positive
+// garbage indefinitely; call Compact when Footprint degrades relative to
+// Size — or use timerq, which automates exactly that heuristic for
+// timers. Safe to call concurrently with other operations. Explicit
+// Handles are owner-only and are not swept — their owners call
+// Handle.Compact themselves.
+func (q *Queue[V]) Compact() {
+	if q.closed.Load() {
+		panic(ErrClosed)
+	}
+	// Borrow the whole free list at once: each Compact purges only its
+	// own handle's local structure (plus the shared k-LSM), so sweeping a
+	// single borrowed handle would strand filter-dropped items in the
+	// other registry handles' local structures indefinitely. Concurrent
+	// handle-free operations simply register fresh handles meanwhile.
+	q.freeMu.Lock()
+	hs := q.freeHandles
+	q.freeHandles = nil
+	q.freeMu.Unlock()
+	if len(hs) == 0 {
+		hs = append(hs, q.borrowHandle())
+	}
+	for _, h := range hs {
+		h.Compact()
+	}
+	q.freeMu.Lock()
+	q.freeHandles = append(q.freeHandles, hs...)
+	q.freeMu.Unlock()
+}
 
 // Quiesce drives every deferred §4.4 reclamation step to completion:
 // DistLSM consolidation, shared-structure maintenance, and the guard- and
@@ -259,8 +332,40 @@ func (h *Handle[V]) TryDeleteMin() (key uint64, value V, ok bool) {
 
 // PeekMin returns a key TryDeleteMin could return, without removing it. The
 // result is relaxed exactly like TryDeleteMin's and may be stale by the
-// time the caller acts on it.
+// time the caller acts on it. With the deletion buffer enabled (the
+// default), PeekMin observes the same buffered candidate the next
+// TryDeleteMin on this handle would pop.
 func (h *Handle[V]) PeekMin() (key uint64, value V, ok bool) {
 	h.persist()
 	return h.h.PeekMin()
+}
+
+// TryDeleteMinBounded is TryDeleteMin restricted to keys at or below bound:
+// it removes and returns a relaxed-minimal key only when that key is <=
+// bound, leaving everything above the bound untouched. A false result is a
+// stronger signal than TryDeleteMin's emptiness — before concluding
+// dryness, the queue runs a due-bounded spy pass that pulls in qualifying
+// keys stranded in idle handles' local structures, so false means no
+// reachable key <= bound existed at that moment. This is the deadline
+// primitive ("pop the next item due by now"); timerq builds on it. On a
+// persistent queue a successful delete logs its WAL record like
+// TryDeleteMin.
+func (h *Handle[V]) TryDeleteMinBounded(bound uint64) (key uint64, value V, ok bool) {
+	if p := h.persist(); p != nil {
+		k, v, seq, ok := h.h.TryDeleteMinBoundedSeq(bound)
+		if ok {
+			p.appendDelete(k, seq)
+		}
+		return k, v, ok
+	}
+	return h.h.TryDeleteMinBounded(bound)
+}
+
+// Compact physically reclaims logically deleted and merge-filter-dropped
+// items from this handle's local structure and the shared k-LSM; see
+// Queue.Compact for when that matters. Owner-only like every handle
+// operation.
+func (h *Handle[V]) Compact() {
+	h.persist()
+	h.h.Compact()
 }

@@ -143,6 +143,39 @@ func (q *OrderedQueue[K, V]) DrainMin(dst []KV[K, V], n int) []KV[K, V] {
 	return drainMinDecoded(h, q.codec, dst, n)
 }
 
+// DrainMinBounded removes up to n items whose keys are at or below bound (in
+// codec order) through a registry handle, appending them to dst in pop
+// order; see Handle.DrainMinBounded for the bounded-drain contract. This is
+// the tick primitive for deadline queues: with TimeKey, bound is "now" and
+// the result is every due item, early-exited with a strong "nothing further
+// due" signal.
+func (q *OrderedQueue[K, V]) DrainMinBounded(dst []KV[K, V], n int, bound K) []KV[K, V] {
+	h := q.q.borrowHandle()
+	defer q.q.returnHandle(h)
+	return drainMinBoundedDecoded(h, q.codec, dst, n, q.codec.Encode(bound))
+}
+
+// SetMergeFilter installs the lazy-deletion filter after construction but
+// before the first handle exists; the callback receives decoded keys. See
+// Queue.SetMergeFilter for the contract and panics, and NewOrderedWithDrop
+// for the construction-time equivalent.
+func (q *OrderedQueue[K, V]) SetMergeFilter(drop func(key K, value V) bool) {
+	var wrapped DropFunc[V]
+	if drop != nil {
+		codec := q.codec
+		wrapped = func(key uint64, value V) bool { return drop(codec.Decode(key), value) }
+	}
+	q.q.SetMergeFilter(wrapped)
+}
+
+// Footprint returns the physical item-slot count of the queue's published
+// blocks; see Queue.Footprint.
+func (q *OrderedQueue[K, V]) Footprint() int { return q.q.Footprint() }
+
+// Compact physically reclaims logically deleted and filter-dropped items
+// through a registry handle; see Queue.Compact.
+func (q *OrderedQueue[K, V]) Compact() { q.q.Compact() }
+
 // insertBatchEncoded encodes keys into the handle's encode scratch (owned
 // exclusively by the caller while it holds the handle) and runs the engine
 // batch insert; the scratch stays on the handle for reuse.
@@ -155,9 +188,34 @@ func insertBatchEncoded[K, V any](h *Handle[V], codec KeyCodec[K], keys []K, val
 	h.InsertBatch(enc, values)
 }
 
-// drainMinDecoded pops up to n items through h, decoding keys into dst.
+// drainMinDecoded pops up to n items through h, decoding keys into dst,
+// with the same persistence routing as Handle.DrainMin (each pop logs its
+// delete record on a persistent queue).
 func drainMinDecoded[K, V any](h *Handle[V], codec KeyCodec[K], dst []KV[K, V], n int) []KV[K, V] {
+	if p := h.persist(); p != nil {
+		h.h.DrainMinSeq(n, func(k uint64, v V, seq uint64) {
+			p.appendDelete(k, seq)
+			dst = append(dst, KV[K, V]{Key: codec.Decode(k), Value: v})
+		})
+		return dst
+	}
 	h.h.DrainMin(n, func(k uint64, v V) {
+		dst = append(dst, KV[K, V]{Key: codec.Decode(k), Value: v})
+	})
+	return dst
+}
+
+// drainMinBoundedDecoded is drainMinDecoded restricted to encoded keys at or
+// below bound; see Handle.DrainMinBounded.
+func drainMinBoundedDecoded[K, V any](h *Handle[V], codec KeyCodec[K], dst []KV[K, V], n int, bound uint64) []KV[K, V] {
+	if p := h.persist(); p != nil {
+		h.h.DrainMinBoundedSeq(bound, n, func(k uint64, v V, seq uint64) {
+			p.appendDelete(k, seq)
+			dst = append(dst, KV[K, V]{Key: codec.Decode(k), Value: v})
+		})
+		return dst
+	}
+	h.h.DrainMinBounded(bound, n, func(k uint64, v V) {
 		dst = append(dst, KV[K, V]{Key: codec.Decode(k), Value: v})
 	})
 	return dst
@@ -216,3 +274,24 @@ func (h *OrderedHandle[K, V]) InsertBatch(keys []K, values []V) {
 func (h *OrderedHandle[K, V]) DrainMin(dst []KV[K, V], n int) []KV[K, V] {
 	return drainMinDecoded(h.h, h.codec, dst, n)
 }
+
+// DrainMinBounded removes up to n items whose keys are at or below bound in
+// codec order, appending them to dst in pop order; see Handle.DrainMinBounded.
+func (h *OrderedHandle[K, V]) DrainMinBounded(dst []KV[K, V], n int, bound K) []KV[K, V] {
+	return drainMinBoundedDecoded(h.h, h.codec, dst, n, h.codec.Encode(bound))
+}
+
+// TryDeleteMinBounded removes and returns a relaxed-minimal key only when it
+// is at or below bound in codec order; see Handle.TryDeleteMinBounded.
+func (h *OrderedHandle[K, V]) TryDeleteMinBounded(bound K) (key K, value V, ok bool) {
+	ek, value, ok := h.h.TryDeleteMinBounded(h.codec.Encode(bound))
+	if !ok {
+		var zero K
+		return zero, value, false
+	}
+	return h.codec.Decode(ek), value, true
+}
+
+// Compact physically reclaims logically deleted and filter-dropped items
+// from this handle's structures; see Handle.Compact.
+func (h *OrderedHandle[K, V]) Compact() { h.h.Compact() }

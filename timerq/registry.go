@@ -1,0 +1,143 @@
+package timerq
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// TimerID identifies one scheduled timer for the lifetime of its Queue.
+// IDs are allocated densely from 1 and never reused; the zero TimerID is
+// never issued, so it can serve as a "no timer" sentinel in caller state.
+type TimerID uint64
+
+// shardCount is the tombstone-registry shard count (power of two; IDs are
+// dense, so id&mask spreads adjacent timers across shards). 64 shards keep
+// the per-shard mutexes uncontended for any realistic expirer/scheduler
+// concurrency while the merge filter consults the registry from every
+// handle's merge passes.
+const shardCount = 64
+
+// entry is a live timer's registry record: its current generation (bumped
+// by Reschedule, so stale queue entries self-identify), its deadline in
+// UnixNano, and the payload — which lives only here, never in the queue,
+// so the priority-queue entries stay two words regardless of P.
+type entry[P any] struct {
+	gen      uint64
+	deadline int64
+	payload  P
+}
+
+// shard is one mutex-guarded slice of the registry.
+type shard[P any] struct {
+	mu sync.Mutex
+	m  map[TimerID]entry[P]
+	// padding to a cache line would go here on a machine where false
+	// sharing between adjacent shard mutexes is measurable; the map header
+	// already spaces them beyond one word.
+}
+
+// registry is the sharded tombstone registry: presence of (id, gen) is the
+// single source of truth for "this timer is live". Schedule adds before the
+// queue insert (so the merge filter can never drop a live-but-unqueued
+// entry), Cancel and a successful fire remove, Reschedule bumps gen —
+// making every older queue entry for the id garbage the filter can claim.
+type registry[P any] struct {
+	shards [shardCount]shard[P]
+	// live counts registered timers (adds minus removes), read lock-free
+	// by Len and the compaction-pressure heuristic.
+	live atomic.Int64
+}
+
+func (r *registry[P]) shardOf(id TimerID) *shard[P] {
+	return &r.shards[uint64(id)&(shardCount-1)]
+}
+
+// add registers a timer. The id is fresh (never reused), so no collision
+// check is needed.
+func (r *registry[P]) add(id TimerID, gen uint64, deadline int64, payload P) {
+	s := r.shardOf(id)
+	s.mu.Lock()
+	if s.m == nil {
+		s.m = make(map[TimerID]entry[P])
+	}
+	s.m[id] = entry[P]{gen: gen, deadline: deadline, payload: payload}
+	s.mu.Unlock()
+	r.live.Add(1)
+}
+
+// cancel removes the timer if it is live, reporting whether it was. This is
+// the entire cancellation fast path: the queue entry becomes a tombstone
+// the expiry check skips and the merge filter eventually reclaims.
+func (r *registry[P]) cancel(id TimerID) bool {
+	s := r.shardOf(id)
+	s.mu.Lock()
+	_, ok := s.m[id]
+	if ok {
+		delete(s.m, id)
+	}
+	s.mu.Unlock()
+	if ok {
+		r.live.Add(-1)
+	}
+	return ok
+}
+
+// fire removes the timer iff (id, gen) matches the live record, returning
+// its payload. The removal under the shard lock is the exactly-once
+// arbitration point between expiry, cancellation and reschedule: whichever
+// removes (or bumps) first wins, every other path sees a mismatch.
+func (r *registry[P]) fire(id TimerID, gen uint64) (payload P, ok bool) {
+	s := r.shardOf(id)
+	s.mu.Lock()
+	e, present := s.m[id]
+	if !present || e.gen != gen {
+		s.mu.Unlock()
+		var zero P
+		return zero, false
+	}
+	delete(s.m, id)
+	s.mu.Unlock()
+	r.live.Add(-1)
+	return e.payload, true
+}
+
+// bump advances a live timer's generation and deadline for Reschedule,
+// returning the new generation. The old queue entry — still carrying the
+// previous gen — is garbage from this moment on.
+func (r *registry[P]) bump(id TimerID, deadline int64) (gen uint64, ok bool) {
+	s := r.shardOf(id)
+	s.mu.Lock()
+	e, present := s.m[id]
+	if !present {
+		s.mu.Unlock()
+		return 0, false
+	}
+	e.gen++
+	e.deadline = deadline
+	s.m[id] = e
+	s.mu.Unlock()
+	return e.gen, true
+}
+
+// alive reports whether (id, gen) is the live record — the merge filter's
+// query. Anything else (canceled, fired, or superseded by a reschedule) is
+// garbage the filter may physically drop.
+func (r *registry[P]) alive(id TimerID, gen uint64) bool {
+	s := r.shardOf(id)
+	s.mu.Lock()
+	e, present := s.m[id]
+	s.mu.Unlock()
+	return present && e.gen == gen
+}
+
+// lookup returns a live timer's deadline for introspection.
+func (r *registry[P]) lookup(id TimerID) (deadline int64, ok bool) {
+	s := r.shardOf(id)
+	s.mu.Lock()
+	e, present := s.m[id]
+	s.mu.Unlock()
+	if !present {
+		return 0, false
+	}
+	return e.deadline, true
+}

@@ -1,0 +1,322 @@
+// Package timerq is a deadline manager for millions of timers over the
+// k-LSM relaxed priority queue, with first-class cancellation.
+//
+// Timers are (deadline, payload) pairs identified by a TimerID. Schedule
+// inserts, Cancel and Reschedule are O(1) registry operations that never
+// touch the priority queue, and a tick-driven Expire batch-drains every
+// timer due by "now" through the queue's bounded drain. Relaxation is a
+// feature here, not a compromise: firing a timer up to ρ = T·k ranks early
+// within one tick is invisible at tick granularity, and the relaxed queue's
+// throughput headroom is exactly what a timeout manager for millions of
+// connections needs (see DESIGN.md "Timer subsystem" for the safety
+// argument, and cmd/timerbench for the measured comparison against a
+// hierarchical timing wheel and against the strict k=0 configuration).
+//
+// Cancellation is lazy, in three layers:
+//
+//  1. The sharded tombstone registry (ID → generation) is the source of
+//     truth. Cancel removes the registry record; the queue entry remains as
+//     a tombstone.
+//  2. Expiry consults the registry: a drained entry whose (ID, generation)
+//     no longer matches is discarded, never emitted. Removal under the
+//     registry shard lock makes fire-vs-cancel-vs-reschedule exactly-once.
+//  3. Tombstones are physically reclaimed by the queue's merge filter
+//     (klsm.NewOrderedWithDrop): whenever a merge, delete or compaction
+//     pass copies over a tombstoned entry, it is dropped. A
+//     cancellation-pressure heuristic triggers a full Compact when the
+//     tombstone estimate outgrows the live count, so the structure's
+//     footprint stays bounded even under adversarial cancel-heavy load
+//     that never naturally merges the affected blocks.
+package timerq
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"klsm"
+)
+
+// tref is the queue payload: the timer's identity plus the generation it
+// was enqueued under. Two words — the actual payload lives in the registry.
+type tref struct {
+	id  TimerID
+	gen uint64
+}
+
+// expireBatch is the per-round drain size of Expire: large enough to
+// amortize the drain's window refills (it exceeds the default deletion
+// buffer several times over), small enough to keep emit latency and the
+// per-round buffer allocation modest.
+const expireBatch = 256
+
+// config collects the Option-settable knobs.
+type config struct {
+	queueOpts []klsm.Option
+	// pressure is the garbage/live ratio beyond which a Compact triggers.
+	pressure float64
+	// minGarbage floors the trigger: below this many estimated tombstoned
+	// entries, compaction never runs (it would reclaim too little to pay
+	// for the pass).
+	minGarbage int64
+}
+
+// Option configures New.
+type Option func(*config)
+
+// WithQueueOptions passes options through to the underlying klsm queue:
+// relaxation (klsm.WithRelaxation), mode, pooling, and every other
+// klsm.Option. The default is klsm's default configuration (combined
+// k-LSM, k = 256).
+func WithQueueOptions(opts ...klsm.Option) Option {
+	return func(c *config) { c.queueOpts = append(c.queueOpts, opts...) }
+}
+
+// WithCompactionPressure tunes the cancellation-pressure heuristic: a
+// compaction pass triggers once the estimated tombstoned-entry count
+// exceeds both ratio × (live timers) and min. The defaults (ratio 1.0,
+// min 4096) compact when garbage outweighs live content; a ratio <= 0
+// disables ratio-based triggering entirely (compaction then only runs via
+// explicit Compact calls).
+func WithCompactionPressure(ratio float64, min int) Option {
+	return func(c *config) {
+		c.pressure = ratio
+		c.minGarbage = int64(min)
+	}
+}
+
+// Queue is the timer subsystem: a deadline-keyed relaxed priority queue
+// plus the tombstone registry that makes cancellation O(1). All methods
+// are safe for concurrent use by any number of goroutines.
+type Queue[P any] struct {
+	q   *klsm.OrderedQueue[time.Time, tref]
+	reg *registry[P]
+
+	nextID atomic.Uint64
+	// garbage estimates the tombstoned entries still physically present in
+	// the queue: incremented by Cancel and Reschedule, decremented when
+	// expiry pops a stale entry, lowered wholesale after a Compact. An
+	// overestimate (merges silently reclaim tombstones too) only makes
+	// compaction slightly eager. It doubles as the merge filter's fast
+	// path: at zero, merges skip the registry lookup entirely, so
+	// cancellation-free workloads pay nothing for the filter.
+	garbage atomic.Int64
+	// compacting serializes pressure-triggered compactions (a second
+	// trigger while one runs is dropped, not queued).
+	compacting atomic.Bool
+	// expireMu serializes Expire's drain loop. Concurrent expirers remain
+	// correct without it (the registry arbitrates exactly-once), but they
+	// duplicate work at the queue layer: each one's bounded drain spies
+	// the same due blocks out of idle handles' local structures, tripling
+	// copies that then die as garbage. One expirer at a time keeps the
+	// drain's structural work linear in the due population; Schedule,
+	// Cancel and Reschedule never touch this lock.
+	expireMu sync.Mutex
+
+	scheduled   atomic.Int64
+	canceled    atomic.Int64
+	fired       atomic.Int64
+	rescheduled atomic.Int64
+	compactions atomic.Int64
+
+	pressure   float64
+	minGarbage int64
+}
+
+// New returns an empty timer queue for payloads of type P.
+func New[P any](opts ...Option) *Queue[P] {
+	cfg := config{pressure: 1.0, minGarbage: 4096}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	tq := &Queue[P]{
+		reg:        &registry[P]{},
+		pressure:   cfg.pressure,
+		minGarbage: cfg.minGarbage,
+	}
+	// The merge filter: an entry is garbage exactly when its (id, gen) is
+	// no longer the registry's live record. Registry-add strictly precedes
+	// the queue insert in Schedule/Reschedule, so the filter can never
+	// claim a live timer's entry. The garbage fast path keeps merge passes
+	// lookup-free until the first cancellation.
+	drop := func(_ time.Time, r tref) bool {
+		if tq.garbage.Load() == 0 {
+			return false
+		}
+		return !tq.reg.alive(r.id, r.gen)
+	}
+	tq.q = klsm.NewOrderedWithDrop[time.Time, tref](klsm.TimeKey(), drop, cfg.queueOpts...)
+	return tq
+}
+
+// Schedule registers a timer firing at deadline and returns its ID. The
+// deadline must be inside TimeKey's representable window; outside it a
+// *klsm.TimeKeyRangeError is returned and nothing is scheduled (a silently
+// clamped deadline could fire ~300 years off). Deadlines in the past are
+// valid and fire on the next Expire.
+func (q *Queue[P]) Schedule(deadline time.Time, payload P) (TimerID, error) {
+	if err := klsm.CheckTimeKey(deadline); err != nil {
+		return 0, err
+	}
+	id := TimerID(q.nextID.Add(1))
+	// Registry first, queue second: from the instant the entry is
+	// queue-visible, the merge filter finds it alive.
+	q.reg.add(id, 1, deadline.UnixNano(), payload)
+	q.q.Insert(deadline, tref{id: id, gen: 1})
+	q.scheduled.Add(1)
+	return id, nil
+}
+
+// Cancel deregisters the timer, reporting whether it was still pending
+// (false: already fired, already canceled, or never scheduled). O(1): only
+// the registry is touched; the queue entry becomes a tombstone that expiry
+// skips and merges physically reclaim. Cancellation wins or loses against
+// a concurrent Expire atomically — the payload is delivered exactly once
+// or not at all, never both.
+func (q *Queue[P]) Cancel(id TimerID) bool {
+	if !q.reg.cancel(id) {
+		return false
+	}
+	q.canceled.Add(1)
+	q.garbage.Add(1)
+	q.maybeCompact()
+	return true
+}
+
+// Reschedule moves a pending timer to a new deadline, reporting whether it
+// was still pending. The deadline window rule matches Schedule. Internally
+// the timer's generation advances and a fresh queue entry is inserted; the
+// superseded entry becomes a tombstone. A timer that fires concurrently
+// with its Reschedule does one or the other — fires at the old deadline or
+// moves — never both.
+func (q *Queue[P]) Reschedule(id TimerID, deadline time.Time) (bool, error) {
+	if err := klsm.CheckTimeKey(deadline); err != nil {
+		return false, err
+	}
+	gen, ok := q.reg.bump(id, deadline.UnixNano())
+	if !ok {
+		return false, nil
+	}
+	q.rescheduled.Add(1)
+	q.garbage.Add(1) // the superseded queue entry
+	q.q.Insert(deadline, tref{id: id, gen: gen})
+	q.maybeCompact()
+	return true, nil
+}
+
+// Expire fires every timer due at or before now: due entries are
+// batch-drained from the queue (bounded drain — entries past now are never
+// touched), arbitrated against the registry, and emit is invoked once per
+// surviving timer with its ID, deadline and payload. It returns the number
+// fired. Within one Expire call the emit order is the queue's relaxed pop
+// order — deadline order up to ρ = T·k ranks — which is invisible at tick
+// granularity (every emitted timer is genuinely due). Multiple goroutines
+// may call Expire concurrently; each due timer fires exactly once, on one
+// of them. A return of 0 is a strong signal: no reachable timer was due at
+// the drain's bound, including timers stranded in idle handles' local
+// structures (the queue's due-bounded spy pass covers them).
+func (q *Queue[P]) Expire(now time.Time, emit func(id TimerID, deadline time.Time, payload P)) int {
+	q.expireMu.Lock()
+	defer q.expireMu.Unlock()
+	fired := 0
+	buf := make([]klsm.KV[time.Time, tref], 0, expireBatch)
+	for {
+		buf = q.q.DrainMinBounded(buf[:0], expireBatch, now)
+		for _, kv := range buf {
+			payload, ok := q.reg.fire(kv.Value.id, kv.Value.gen)
+			if !ok {
+				// Tombstone (canceled or superseded): physically gone now.
+				q.garbage.Add(-1)
+				continue
+			}
+			q.fired.Add(1)
+			fired++
+			emit(kv.Value.id, kv.Key, payload)
+		}
+		if len(buf) < expireBatch {
+			break
+		}
+	}
+	q.maybeCompact()
+	return fired
+}
+
+// Deadline returns a pending timer's current deadline (UTC), with ok false
+// when the timer is no longer pending.
+func (q *Queue[P]) Deadline(id TimerID) (deadline time.Time, ok bool) {
+	ns, ok := q.reg.lookup(id)
+	if !ok {
+		return time.Time{}, false
+	}
+	return time.Unix(0, ns).UTC(), true
+}
+
+// Len returns the number of pending timers — exactly (registry count), not
+// the queue's entry count, which additionally holds unreclaimed tombstones
+// (see Footprint).
+func (q *Queue[P]) Len() int { return int(q.reg.live.Load()) }
+
+// Footprint returns the physical entry count of the underlying queue's
+// published blocks: pending timers plus tombstones not yet reclaimed. A
+// Footprint that stays within a small factor of Len across ticks is the
+// signal that lazy cancellation is keeping up; cmd/timerbench records it.
+func (q *Queue[P]) Footprint() int { return q.q.Footprint() }
+
+// Compact synchronously purges tombstoned entries from the whole queue
+// structure (see klsm.Queue.Compact). The pressure heuristic calls this
+// automatically; it is exported for callers that want deterministic
+// compaction points (between ticks, say).
+func (q *Queue[P]) Compact() {
+	q.q.Compact()
+	q.compactions.Add(1)
+}
+
+// maybeCompact runs Compact when the tombstone estimate exceeds both the
+// configured floor and ratio × live — at most one compaction at a time,
+// extra triggers dropped. The estimate is lowered by what the pass could
+// have seen, not zeroed: cancellations racing the compaction keep their
+// count.
+func (q *Queue[P]) maybeCompact() {
+	if q.pressure <= 0 {
+		return
+	}
+	g := q.garbage.Load()
+	if g < q.minGarbage || float64(g) < q.pressure*float64(q.reg.live.Load()) {
+		return
+	}
+	if !q.compacting.CompareAndSwap(false, true) {
+		return
+	}
+	defer q.compacting.Store(false)
+	q.Compact()
+	q.garbage.Add(-g)
+}
+
+// Stats is a snapshot of the queue's operation counters.
+type Stats struct {
+	// Scheduled, Canceled, Rescheduled, Fired count successful operations
+	// since New.
+	Scheduled, Canceled, Rescheduled, Fired int64
+	// Compactions counts completed Compact passes (explicit and
+	// pressure-triggered).
+	Compactions int64
+	// GarbageEstimate is the current tombstoned-entry estimate driving the
+	// pressure heuristic.
+	GarbageEstimate int64
+	// Pending and Footprint mirror Len and Footprint at snapshot time.
+	Pending, Footprint int
+}
+
+// Stats returns a racy snapshot of the operation counters.
+func (q *Queue[P]) Stats() Stats {
+	return Stats{
+		Scheduled:       q.scheduled.Load(),
+		Canceled:        q.canceled.Load(),
+		Rescheduled:     q.rescheduled.Load(),
+		Fired:           q.fired.Load(),
+		Compactions:     q.compactions.Load(),
+		GarbageEstimate: q.garbage.Load(),
+		Pending:         q.Len(),
+		Footprint:       q.Footprint(),
+	}
+}

@@ -1,0 +1,399 @@
+package timerq
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"klsm"
+)
+
+// base is an arbitrary in-window instant all test deadlines hang off.
+var base = time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+
+func at(d time.Duration) time.Time { return base.Add(d) }
+
+func TestScheduleExpireBasic(t *testing.T) {
+	q := New[string]()
+	ids := make(map[TimerID]string)
+	for i := 0; i < 100; i++ {
+		id, err := q.Schedule(at(time.Duration(i)*time.Millisecond), fmt.Sprintf("p%d", i))
+		if err != nil {
+			t.Fatalf("Schedule: %v", err)
+		}
+		if id == 0 {
+			t.Fatalf("Schedule returned zero TimerID")
+		}
+		if _, dup := ids[id]; dup {
+			t.Fatalf("duplicate TimerID %d", id)
+		}
+		ids[id] = fmt.Sprintf("p%d", i)
+	}
+	if got := q.Len(); got != 100 {
+		t.Fatalf("Len = %d, want 100", got)
+	}
+
+	// Nothing is due before the first deadline... except timer 0 itself.
+	fired := map[TimerID]string{}
+	n := q.Expire(at(50*time.Millisecond), func(id TimerID, deadline time.Time, p string) {
+		if deadline.After(at(50 * time.Millisecond)) {
+			t.Errorf("fired timer with deadline %v after bound", deadline)
+		}
+		fired[id] = p
+	})
+	if n != 51 { // deadlines 0..50ms inclusive
+		t.Fatalf("Expire fired %d, want 51", n)
+	}
+	if q.Len() != 49 {
+		t.Fatalf("Len after partial expire = %d, want 49", q.Len())
+	}
+	// The rest fire on a later tick; none fire twice.
+	n = q.Expire(at(time.Hour), func(id TimerID, _ time.Time, p string) {
+		if _, dup := fired[id]; dup {
+			t.Errorf("timer %d fired twice", id)
+		}
+		fired[id] = p
+	})
+	if n != 49 {
+		t.Fatalf("second Expire fired %d, want 49", n)
+	}
+	for id, want := range ids {
+		if got, ok := fired[id]; !ok || got != want {
+			t.Fatalf("timer %d: fired payload %q ok=%v, want %q", id, got, ok, want)
+		}
+	}
+	if q.Len() != 0 {
+		t.Fatalf("Len after full expire = %d, want 0", q.Len())
+	}
+	// Empty queue: Expire is a no-op.
+	if n := q.Expire(at(2*time.Hour), func(TimerID, time.Time, string) {}); n != 0 {
+		t.Fatalf("Expire on empty queue fired %d", n)
+	}
+}
+
+func TestPastDeadlineFires(t *testing.T) {
+	q := New[int]()
+	if _, err := q.Schedule(at(-time.Hour), 7); err != nil {
+		t.Fatalf("Schedule in the past: %v", err)
+	}
+	var got int
+	if n := q.Expire(at(0), func(_ TimerID, _ time.Time, p int) { got = p }); n != 1 {
+		t.Fatalf("Expire fired %d, want 1", n)
+	}
+	if got != 7 {
+		t.Fatalf("payload = %d, want 7", got)
+	}
+}
+
+func TestCancel(t *testing.T) {
+	q := New[int]()
+	id1, _ := q.Schedule(at(time.Millisecond), 1)
+	id2, _ := q.Schedule(at(2*time.Millisecond), 2)
+
+	if !q.Cancel(id1) {
+		t.Fatalf("Cancel(live) = false")
+	}
+	if q.Cancel(id1) {
+		t.Fatalf("Cancel(already canceled) = true")
+	}
+	if q.Cancel(TimerID(999999)) {
+		t.Fatalf("Cancel(never scheduled) = true")
+	}
+	if q.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", q.Len())
+	}
+
+	var fired []int
+	q.Expire(at(time.Hour), func(_ TimerID, _ time.Time, p int) { fired = append(fired, p) })
+	if len(fired) != 1 || fired[0] != 2 {
+		t.Fatalf("fired = %v, want [2]", fired)
+	}
+	if q.Cancel(id2) {
+		t.Fatalf("Cancel(already fired) = true")
+	}
+}
+
+func TestReschedule(t *testing.T) {
+	q := New[string]()
+	id, _ := q.Schedule(at(time.Millisecond), "x")
+
+	ok, err := q.Reschedule(id, at(time.Hour))
+	if err != nil || !ok {
+		t.Fatalf("Reschedule = %v, %v", ok, err)
+	}
+	if dl, ok := q.Deadline(id); !ok || !dl.Equal(at(time.Hour)) {
+		t.Fatalf("Deadline = %v, %v; want %v", dl, ok, at(time.Hour))
+	}
+
+	// Old deadline passes: nothing fires (the stale entry is a tombstone).
+	if n := q.Expire(at(time.Minute), func(TimerID, time.Time, string) {}); n != 0 {
+		t.Fatalf("Expire at old deadline fired %d, want 0", n)
+	}
+	if q.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", q.Len())
+	}
+
+	// New deadline: fires once, at the new deadline.
+	var deadlines []time.Time
+	n := q.Expire(at(2*time.Hour), func(_ TimerID, dl time.Time, _ string) { deadlines = append(deadlines, dl) })
+	if n != 1 || len(deadlines) != 1 || !deadlines[0].Equal(at(time.Hour)) {
+		t.Fatalf("Expire fired %d with deadlines %v, want 1 at %v", n, deadlines, at(time.Hour))
+	}
+
+	if ok, _ := q.Reschedule(id, at(3*time.Hour)); ok {
+		t.Fatalf("Reschedule(fired timer) = true")
+	}
+}
+
+// TestRescheduleEarlier moves a timer backward in time — the fresh queue
+// entry lands below keys already seen — and checks it still fires.
+func TestRescheduleEarlier(t *testing.T) {
+	q := New[int]()
+	id, _ := q.Schedule(at(time.Hour), 1)
+	if ok, err := q.Reschedule(id, at(time.Millisecond)); !ok || err != nil {
+		t.Fatalf("Reschedule earlier = %v, %v", ok, err)
+	}
+	n := q.Expire(at(time.Minute), func(TimerID, time.Time, int) {})
+	if n != 1 {
+		t.Fatalf("Expire fired %d, want 1", n)
+	}
+	// The stale (later) entry must not resurrect the timer.
+	if n := q.Expire(at(2*time.Hour), func(TimerID, time.Time, int) {}); n != 0 {
+		t.Fatalf("stale entry fired: %d", n)
+	}
+}
+
+func TestDeadlineRangeRejected(t *testing.T) {
+	q := New[int]()
+	var rangeErr *klsm.TimeKeyRangeError
+	tooEarly := time.Date(1500, 1, 1, 0, 0, 0, 0, time.UTC)
+	if _, err := q.Schedule(tooEarly, 0); !errors.As(err, &rangeErr) {
+		t.Fatalf("Schedule(out of window) err = %v, want *TimeKeyRangeError", err)
+	}
+	if q.Len() != 0 {
+		t.Fatalf("rejected Schedule left Len = %d", q.Len())
+	}
+	id, _ := q.Schedule(at(0), 0)
+	if _, err := q.Reschedule(id, tooEarly); !errors.As(err, &rangeErr) {
+		t.Fatalf("Reschedule(out of window) err = %v, want *TimeKeyRangeError", err)
+	}
+	if dl, ok := q.Deadline(id); !ok || !dl.Equal(at(0)) {
+		t.Fatalf("failed Reschedule moved deadline: %v %v", dl, ok)
+	}
+}
+
+// TestCancelHeavyFootprintBounded drives the cancellation-pressure
+// heuristic: schedule far-future timers and cancel most of them, in waves,
+// and require the queue's physical footprint to stay within a constant
+// factor of the live count instead of accumulating every tombstone.
+func TestCancelHeavyFootprintBounded(t *testing.T) {
+	const (
+		waves    = 8
+		perWave  = 20000
+		cancelPc = 90 // cancel 90% of each wave
+	)
+	q := New[int](WithCompactionPressure(0.5, 1024))
+	rng := rand.New(rand.NewSource(1))
+	live := 0
+	for w := 0; w < waves; w++ {
+		ids := make([]TimerID, 0, perWave)
+		for i := 0; i < perWave; i++ {
+			id, err := q.Schedule(at(time.Duration(1+rng.Intn(1<<20))*time.Second), i)
+			if err != nil {
+				t.Fatalf("Schedule: %v", err)
+			}
+			ids = append(ids, id)
+		}
+		for _, id := range ids {
+			if rng.Intn(100) < cancelPc {
+				if q.Cancel(id) {
+					live--
+				}
+			}
+		}
+		live += perWave
+	}
+	if got := q.Len(); got != live {
+		t.Fatalf("Len = %d, want %d", got, live)
+	}
+	st := q.Stats()
+	if st.Compactions == 0 {
+		t.Fatalf("pressure heuristic never compacted: %+v", st)
+	}
+	// One explicit compaction settles in-flight estimates, then the bound:
+	// the total tombstones created vastly exceed any allowed slack, so this
+	// fails if tombstones accumulate.
+	q.Compact()
+	fp := q.Footprint()
+	limit := 4*live + 4096
+	if fp > limit {
+		t.Fatalf("Footprint %d exceeds %d (live %d): tombstones accumulating", fp, limit, live)
+	}
+	// Everything left must still fire exactly once.
+	fired := 0
+	q.Expire(at(1<<21*time.Second), func(TimerID, time.Time, int) { fired++ })
+	if fired != live {
+		t.Fatalf("fired %d, want %d", fired, live)
+	}
+}
+
+// TestConcurrentExactlyOnce races schedulers, cancelers and expirers and
+// asserts every timer either fires exactly once or is canceled exactly
+// once — never both, never neither, never twice.
+func TestConcurrentExactlyOnce(t *testing.T) {
+	const (
+		schedulers = 4
+		perSched   = 3000
+	)
+	q := New[uint64](WithCompactionPressure(1.0, 512))
+	var (
+		firedCount [schedulers * perSched]atomic.Int32
+		canceled   [schedulers * perSched]atomic.Bool
+		idOf       [schedulers * perSched]TimerID
+		scheduled  atomic.Int64
+		done       atomic.Bool
+	)
+	var wg sync.WaitGroup
+
+	for s := 0; s < schedulers; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(s)))
+			for i := 0; i < perSched; i++ {
+				slot := s*perSched + i
+				id, err := q.Schedule(at(time.Duration(rng.Intn(1000))*time.Microsecond), uint64(slot))
+				if err != nil {
+					t.Errorf("Schedule: %v", err)
+					return
+				}
+				idOf[slot] = id
+				scheduled.Add(1)
+				// Cancel roughly half, sometimes after a reschedule.
+				if rng.Intn(2) == 0 {
+					if rng.Intn(4) == 0 {
+						q.Reschedule(id, at(time.Duration(rng.Intn(2000))*time.Microsecond))
+					}
+					if q.Cancel(id) {
+						canceled[slot].Store(true)
+					}
+				}
+			}
+		}(s)
+	}
+
+	// Expirers run concurrently with scheduling, firing whatever is due.
+	var ewg sync.WaitGroup
+	for e := 0; e < 3; e++ {
+		ewg.Add(1)
+		go func() {
+			defer ewg.Done()
+			for !done.Load() {
+				q.Expire(at(2*time.Millisecond), func(_ TimerID, _ time.Time, slot uint64) {
+					firedCount[slot].Add(1)
+				})
+			}
+			// Final sweep after all scheduling settled.
+			q.Expire(at(2*time.Millisecond), func(_ TimerID, _ time.Time, slot uint64) {
+				firedCount[slot].Add(1)
+			})
+		}()
+	}
+
+	wg.Wait()
+	done.Store(true)
+	ewg.Wait()
+
+	for slot := range firedCount {
+		f := firedCount[slot].Load()
+		c := canceled[slot].Load()
+		switch {
+		case f > 1:
+			t.Fatalf("slot %d (timer %d) fired %d times", slot, idOf[slot], f)
+		case f == 1 && c:
+			t.Fatalf("slot %d (timer %d) both fired and canceled", slot, idOf[slot])
+		case f == 0 && !c:
+			t.Fatalf("slot %d (timer %d) neither fired nor canceled", slot, idOf[slot])
+		}
+	}
+	if q.Len() != 0 {
+		t.Fatalf("Len = %d after full drain", q.Len())
+	}
+}
+
+// TestExpireConcurrentNoDuplicates hammers one due population with many
+// concurrent expirers; the registry arbitration must hand each timer to
+// exactly one of them.
+func TestExpireConcurrentNoDuplicates(t *testing.T) {
+	const n = 50000
+	q := New[int]()
+	for i := 0; i < n; i++ {
+		if _, err := q.Schedule(at(time.Duration(i)*time.Microsecond), i); err != nil {
+			t.Fatalf("Schedule: %v", err)
+		}
+	}
+	var seen [n]atomic.Int32
+	var total atomic.Int64
+	var wg sync.WaitGroup
+	for e := 0; e < 8; e++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			fired := q.Expire(at(time.Hour), func(_ TimerID, _ time.Time, p int) {
+				seen[p].Add(1)
+			})
+			total.Add(int64(fired))
+		}()
+	}
+	wg.Wait()
+	if total.Load() != n {
+		t.Fatalf("total fired %d, want %d", total.Load(), n)
+	}
+	for i := range seen {
+		if c := seen[i].Load(); c != 1 {
+			t.Fatalf("timer %d fired %d times", i, c)
+		}
+	}
+}
+
+func TestStatsAndDeadline(t *testing.T) {
+	q := New[int]()
+	id, _ := q.Schedule(at(time.Second), 1)
+	if dl, ok := q.Deadline(id); !ok || !dl.Equal(at(time.Second)) {
+		t.Fatalf("Deadline = %v, %v", dl, ok)
+	}
+	q.Schedule(at(2*time.Second), 2)
+	id3, _ := q.Schedule(at(3*time.Second), 3)
+	q.Cancel(id3)
+	q.Reschedule(id, at(4*time.Second))
+	q.Expire(at(2*time.Second), func(TimerID, time.Time, int) {})
+
+	st := q.Stats()
+	if st.Scheduled != 3 || st.Canceled != 1 || st.Rescheduled != 1 || st.Fired != 1 {
+		t.Fatalf("Stats = %+v", st)
+	}
+	if st.Pending != 1 {
+		t.Fatalf("Pending = %d, want 1", st.Pending)
+	}
+	if _, ok := q.Deadline(id3); ok {
+		t.Fatalf("Deadline(canceled) reported live")
+	}
+}
+
+// TestStrictMode runs the basic flow at k = 0 (strict ordering) to confirm
+// timer semantics are relaxation-independent.
+func TestStrictMode(t *testing.T) {
+	q := New[int](WithQueueOptions(klsm.WithRelaxation(0)))
+	for i := 0; i < 1000; i++ {
+		q.Schedule(at(time.Duration(i)*time.Millisecond), i)
+	}
+	fired := 0
+	q.Expire(at(500*time.Millisecond), func(TimerID, time.Time, int) { fired++ })
+	if fired != 501 {
+		t.Fatalf("strict Expire fired %d, want 501", fired)
+	}
+}
